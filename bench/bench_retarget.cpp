@@ -1,0 +1,150 @@
+// Retargetability — the paper's parameterized-ISA claim.
+//
+// "The proposed compiler allows the description of the specialized
+//  instruction set of the target processor in a parameterized way allowing
+//  the support of any processor."
+//
+// This harness compiles the same MATLAB kernels against (a) built-in
+// presets and (b) a *textual ISA description parsed at run time* with custom
+// intrinsic spellings, then shows that the emitted C switches intrinsic
+// vocabularies with zero compiler changes and that cycle counts follow the
+// described datapaths.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "driver/compiler.hpp"
+#include "driver/kernels.hpp"
+#include "driver/report.hpp"
+
+namespace {
+
+using namespace mat2c;
+
+const char* kCustomIsaText = R"(
+# "vecstar" — a hypothetical licensed vector DSP, described textually.
+name vecstar
+simd f64 4
+simd c64 2
+memlanes 4
+feature fma
+feature cmul
+feature cmac
+feature zol
+feature agu
+cost cmul.c64 2
+intrinsic vfma.f64 vs_mac4d
+intrinsic vld.f64 vs_load4d
+intrinsic vst.f64 vs_store4d
+intrinsic vcmul.c64 vs_cxmul2
+)";
+
+isa::IsaDescription customIsa() {
+  DiagnosticEngine diags;
+  auto d = isa::IsaDescription::parse(kCustomIsaText, diags);
+  if (diags.hasErrors()) std::fprintf(stderr, "%s", diags.renderAll().c_str());
+  return d;
+}
+
+int countOccurrences(const std::string& text, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+void printTable() {
+  std::printf("\n=== Retargeting: one MATLAB source, four ISA descriptions ===\n\n");
+  report::Table table({"kernel", "target", "f64xW", "c64xW", "cycles", "speedup vs scalar",
+                       "intrinsic calls in C"});
+  Compiler compiler;
+  for (const char* kernel : {"fir", "fdeq"}) {
+    auto k = kernels::kernelByName(kernel);
+    double scalarCycles = 0;
+    for (int t = 0; t < 4; ++t) {
+      CompileOptions opts;
+      std::string label;
+      if (t == 0) {
+        opts = CompileOptions::proposed("scalar");
+        label = "scalar";
+      } else if (t == 1) {
+        opts = CompileOptions::proposed("dspx_w4");
+        label = "dspx_w4";
+      } else if (t == 2) {
+        opts = CompileOptions::proposed("dspx");
+        label = "dspx";
+      } else {
+        opts = CompileOptions::proposed();
+        opts.isa = customIsa();
+        label = "vecstar (textual)";
+      }
+      auto unit = compiler.compileSource(k.source, k.entry, k.argSpecs, opts);
+      if (validateAgainstInterpreter(k.source, k.entry, unit, k.args) > 1e-9) {
+        std::fprintf(stderr, "VALIDATION FAILED: %s on %s\n", kernel, label.c_str());
+      }
+      double cycles = unit.run(k.args).cycles.total;
+      if (t == 0) scalarCycles = cycles;
+      codegen::EmitOptions body;
+      body.embedRuntime = false;
+      std::string c = unit.cCode(body);
+      int intrinsics = countOccurrences(c, opts.isa.name() + "_") +
+                       countOccurrences(c, "vs_");
+      table.addRow({t == 0 ? k.name : "", label, std::to_string(opts.isa.lanesF64()),
+                    std::to_string(opts.isa.lanesC64()), report::Table::cycles(cycles),
+                    report::Table::num(scalarCycles / cycles, 1) + "x",
+                    std::to_string(intrinsics)});
+    }
+  }
+  std::printf("%s\n", table.toString().c_str());
+
+  // Show a slice of the emitted C for the textual target, proving the
+  // intrinsic vocabulary follows the description.
+  auto k = kernels::kernelByName("fir");
+  CompileOptions opts;
+  opts.isa = customIsa();
+  auto unit = compiler.compileSource(k.source, k.entry, k.argSpecs, opts);
+  codegen::EmitOptions body;
+  body.embedRuntime = false;
+  std::string c = unit.cCode(body);
+  std::printf("--- fir inner loop emitted for 'vecstar' (textual description) ---\n");
+  std::size_t pos = c.find("vs_mac4d");
+  if (pos != std::string::npos) {
+    std::size_t start = c.rfind('\n', c.rfind('\n', pos) - 1) + 1;
+    std::size_t stop = c.find('\n', c.find('\n', pos) + 1);
+    std::printf("%s\n\n", c.substr(start, stop - start).c_str());
+  }
+}
+
+void BM_Retarget(benchmark::State& state, std::string label) {
+  auto k = kernels::kernelByName("fir");
+  Compiler compiler;
+  CompileOptions opts;
+  if (label == "vecstar") {
+    opts.isa = customIsa();
+  } else {
+    opts = CompileOptions::proposed(label);
+  }
+  auto unit = compiler.compileSource(k.source, k.entry, k.argSpecs, opts);
+  double cycles = 0;
+  for (auto _ : state) {
+    auto r = unit.run(k.args);
+    cycles = r.cycles.total;
+    benchmark::DoNotOptimize(r.outputs.data());
+  }
+  state.counters["asip_cycles"] = cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printTable();
+  for (const char* t : {"scalar", "dspx", "vecstar"}) {
+    benchmark::RegisterBenchmark(("retarget/fir/" + std::string(t)).c_str(), BM_Retarget,
+                                 std::string(t));
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

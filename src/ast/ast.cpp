@@ -1,0 +1,111 @@
+#include "ast/ast.hpp"
+
+namespace mat2c::ast {
+
+const char* toString(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::NumberLit: return "NumberLit";
+    case NodeKind::StringLit: return "StringLit";
+    case NodeKind::Ident: return "Ident";
+    case NodeKind::Unary: return "Unary";
+    case NodeKind::Binary: return "Binary";
+    case NodeKind::Transpose: return "Transpose";
+    case NodeKind::Range: return "Range";
+    case NodeKind::Colon: return "Colon";
+    case NodeKind::End: return "End";
+    case NodeKind::CallIndex: return "CallIndex";
+    case NodeKind::MatrixLit: return "MatrixLit";
+    case NodeKind::Assign: return "Assign";
+    case NodeKind::ExprStmt: return "ExprStmt";
+    case NodeKind::If: return "If";
+    case NodeKind::For: return "For";
+    case NodeKind::While: return "While";
+    case NodeKind::Switch: return "Switch";
+    case NodeKind::Break: return "Break";
+    case NodeKind::Continue: return "Continue";
+    case NodeKind::Return: return "Return";
+    case NodeKind::Function: return "Function";
+    case NodeKind::Program: return "Program";
+  }
+  return "?";
+}
+
+const char* toString(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::Neg: return "-";
+    case UnaryOp::Plus: return "+";
+    case UnaryOp::Not: return "~";
+  }
+  return "?";
+}
+
+const char* toString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::MatMul: return "*";
+    case BinaryOp::ElemMul: return ".*";
+    case BinaryOp::MatDiv: return "/";
+    case BinaryOp::ElemDiv: return "./";
+    case BinaryOp::MatLeftDiv: return "\\";
+    case BinaryOp::ElemLeftDiv: return ".\\";
+    case BinaryOp::MatPow: return "^";
+    case BinaryOp::ElemPow: return ".^";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "~=";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::And: return "&";
+    case BinaryOp::Or: return "|";
+    case BinaryOp::AndAnd: return "&&";
+    case BinaryOp::OrOr: return "||";
+  }
+  return "?";
+}
+
+bool isComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isElementwise(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::ElemMul:
+    case BinaryOp::ElemDiv:
+    case BinaryOp::ElemLeftDiv:
+    case BinaryOp::ElemPow:
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::Lt:
+    case BinaryOp::Le:
+    case BinaryOp::Gt:
+    case BinaryOp::Ge:
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const Function* Program::findFunction(const std::string& name) const {
+  for (const auto& f : functions) {
+    if (f->name == name) return f.get();
+  }
+  return nullptr;
+}
+
+}  // namespace mat2c::ast

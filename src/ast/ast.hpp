@@ -1,0 +1,245 @@
+// Abstract syntax tree for the MATLAB subset.
+//
+// Nodes carry a NodeKind tag and dispatch is by switch + cast (see
+// ast/printer.cpp for the pattern); ownership is by unique_ptr along the
+// tree's edges.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace mat2c::ast {
+
+enum class NodeKind {
+  // Expressions
+  NumberLit, StringLit, Ident, Unary, Binary, Transpose, Range, Colon, End,
+  CallIndex, MatrixLit,
+  // Statements
+  Assign, ExprStmt, If, For, While, Switch, Break, Continue, Return,
+  // Top level
+  Function, Program,
+};
+
+const char* toString(NodeKind kind);
+
+struct Node {
+  explicit Node(NodeKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const NodeKind kind;
+  SourceLoc loc;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr : Node {
+  using Node::Node;
+};
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct NumberLit final : Expr {
+  NumberLit(double v, bool imag, SourceLoc l)
+      : Expr(NodeKind::NumberLit, l), value(v), imaginary(imag) {}
+  double value;
+  bool imaginary;  // literal had an i/j suffix
+};
+
+struct StringLit final : Expr {
+  StringLit(std::string v, SourceLoc l) : Expr(NodeKind::StringLit, l), value(std::move(v)) {}
+  std::string value;
+};
+
+struct Ident final : Expr {
+  Ident(std::string n, SourceLoc l) : Expr(NodeKind::Ident, l), name(std::move(n)) {}
+  std::string name;
+};
+
+enum class UnaryOp { Neg, Plus, Not };
+const char* toString(UnaryOp op);
+
+struct Unary final : Expr {
+  Unary(UnaryOp o, ExprPtr e, SourceLoc l)
+      : Expr(NodeKind::Unary, l), op(o), operand(std::move(e)) {}
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+enum class BinaryOp {
+  Add, Sub,
+  MatMul, ElemMul,          // *  .*
+  MatDiv, ElemDiv,          // /  ./   (right division)
+  MatLeftDiv, ElemLeftDiv,  // backslash and dot-backslash (left division)
+  MatPow, ElemPow,          // ^  .^
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or,                  // elementwise & |
+  AndAnd, OrOr,             // short-circuit && ||
+};
+const char* toString(BinaryOp op);
+bool isComparison(BinaryOp op);
+bool isElementwise(BinaryOp op);  // operates element-by-element with scalar expansion
+
+struct Binary final : Expr {
+  Binary(BinaryOp o, ExprPtr l_, ExprPtr r_, SourceLoc loc_)
+      : Expr(NodeKind::Binary, loc_), op(o), lhs(std::move(l_)), rhs(std::move(r_)) {}
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct Transpose final : Expr {
+  Transpose(ExprPtr e, bool conj, SourceLoc l)
+      : Expr(NodeKind::Transpose, l), operand(std::move(e)), conjugate(conj) {}
+  ExprPtr operand;
+  bool conjugate;  // ' vs .'
+};
+
+/// a:b or a:step:b
+struct Range final : Expr {
+  Range(ExprPtr s, ExprPtr st, ExprPtr e, SourceLoc l)
+      : Expr(NodeKind::Range, l), start(std::move(s)), step(std::move(st)), stop(std::move(e)) {}
+  ExprPtr start;
+  ExprPtr step;  // null for implicit step 1
+  ExprPtr stop;
+};
+
+/// Bare ':' inside an index list.
+struct Colon final : Expr {
+  explicit Colon(SourceLoc l) : Expr(NodeKind::Colon, l) {}
+};
+
+/// 'end' inside an index list.
+struct End final : Expr {
+  explicit End(SourceLoc l) : Expr(NodeKind::End, l) {}
+};
+
+/// `base(args...)` — indexing or a function call; sema disambiguates.
+struct CallIndex final : Expr {
+  CallIndex(ExprPtr b, std::vector<ExprPtr> a, SourceLoc l)
+      : Expr(NodeKind::CallIndex, l), base(std::move(b)), args(std::move(a)) {}
+  ExprPtr base;
+  std::vector<ExprPtr> args;
+};
+
+/// [r00 r01; r10 r11] — rows of element expressions.
+struct MatrixLit final : Expr {
+  MatrixLit(std::vector<std::vector<ExprPtr>> r, SourceLoc l)
+      : Expr(NodeKind::MatrixLit, l), rows(std::move(r)) {}
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct Stmt : Node {
+  using Node::Node;
+};
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One assignment target: `x` or `x(indices...)`.
+struct LValue {
+  std::string name;
+  std::vector<ExprPtr> indices;  // empty => whole-variable assignment
+  SourceLoc loc;
+};
+
+/// `x = rhs`, `x(i) = rhs`, or `[a, b] = f(...)`.
+struct Assign final : Stmt {
+  Assign(std::vector<LValue> t, ExprPtr r, SourceLoc l)
+      : Stmt(NodeKind::Assign, l), targets(std::move(t)), rhs(std::move(r)) {}
+  std::vector<LValue> targets;
+  ExprPtr rhs;
+};
+
+struct ExprStmt final : Stmt {
+  ExprStmt(ExprPtr e, SourceLoc l) : Stmt(NodeKind::ExprStmt, l), expr(std::move(e)) {}
+  ExprPtr expr;
+};
+
+struct If final : Stmt {
+  struct Branch {
+    ExprPtr cond;
+    std::vector<StmtPtr> body;
+  };
+  If(std::vector<Branch> b, std::vector<StmtPtr> e, SourceLoc l)
+      : Stmt(NodeKind::If, l), branches(std::move(b)), elseBody(std::move(e)) {}
+  std::vector<Branch> branches;  // if + elseifs, in order
+  std::vector<StmtPtr> elseBody;
+};
+
+struct For final : Stmt {
+  For(std::string v, ExprPtr r, std::vector<StmtPtr> b, SourceLoc l)
+      : Stmt(NodeKind::For, l), var(std::move(v)), range(std::move(r)), body(std::move(b)) {}
+  std::string var;
+  ExprPtr range;  // usually a Range; any row vector in full MATLAB
+  std::vector<StmtPtr> body;
+};
+
+struct While final : Stmt {
+  While(ExprPtr c, std::vector<StmtPtr> b, SourceLoc l)
+      : Stmt(NodeKind::While, l), cond(std::move(c)), body(std::move(b)) {}
+  ExprPtr cond;
+  std::vector<StmtPtr> body;
+};
+
+struct Switch final : Stmt {
+  struct Case {
+    ExprPtr value;  // a scalar/string, or a MatrixLit of alternatives
+    std::vector<StmtPtr> body;
+  };
+  Switch(ExprPtr s, std::vector<Case> c, std::vector<StmtPtr> o, SourceLoc l)
+      : Stmt(NodeKind::Switch, l), subject(std::move(s)), cases(std::move(c)),
+        otherwise(std::move(o)) {}
+  ExprPtr subject;
+  std::vector<Case> cases;
+  std::vector<StmtPtr> otherwise;
+};
+
+struct Break final : Stmt {
+  explicit Break(SourceLoc l) : Stmt(NodeKind::Break, l) {}
+};
+struct Continue final : Stmt {
+  explicit Continue(SourceLoc l) : Stmt(NodeKind::Continue, l) {}
+};
+struct Return final : Stmt {
+  explicit Return(SourceLoc l) : Stmt(NodeKind::Return, l) {}
+};
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+struct Function final : Node {
+  Function(std::string n, std::vector<std::string> ins, std::vector<std::string> outs_,
+           std::vector<StmtPtr> b, SourceLoc l)
+      : Node(NodeKind::Function, l), name(std::move(n)), params(std::move(ins)),
+        outs(std::move(outs_)), body(std::move(b)) {}
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<std::string> outs;
+  std::vector<StmtPtr> body;
+};
+using FunctionPtr = std::unique_ptr<Function>;
+
+/// A parsed file: function definitions plus (for scripts) loose statements.
+struct Program final : Node {
+  Program(std::vector<FunctionPtr> f, std::vector<StmtPtr> s, SourceLoc l)
+      : Node(NodeKind::Program, l), functions(std::move(f)), scriptBody(std::move(s)) {}
+  std::vector<FunctionPtr> functions;
+  std::vector<StmtPtr> scriptBody;
+
+  const Function* findFunction(const std::string& name) const;
+};
+using ProgramPtr = std::unique_ptr<Program>;
+
+/// Multi-line, indented dump used by tests and --dump-ast.
+std::string dump(const Node& node);
+
+}  // namespace mat2c::ast

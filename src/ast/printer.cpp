@@ -1,0 +1,204 @@
+// Indented AST dump, one node per line, used by parser tests and the driver's
+// --dump-ast mode.
+#include <sstream>
+
+#include "ast/ast.hpp"
+#include "support/string_utils.hpp"
+
+namespace mat2c::ast {
+namespace {
+
+class Printer {
+ public:
+  std::string print(const Node& n) {
+    visit(n);
+    return std::move(out_).str();
+  }
+
+ private:
+  void line(const std::string& text) {
+    for (int i = 0; i < indent_; ++i) out_ << "  ";
+    out_ << text << '\n';
+  }
+
+  void children(const std::vector<StmtPtr>& stmts) {
+    ++indent_;
+    for (const auto& s : stmts) visit(*s);
+    --indent_;
+  }
+
+  void child(const Node* n) {
+    if (!n) return;
+    ++indent_;
+    visit(*n);
+    --indent_;
+  }
+
+  void visit(const Node& n) {
+    switch (n.kind) {
+      case NodeKind::NumberLit: {
+        const auto& e = static_cast<const NumberLit&>(n);
+        line("Number " + formatDouble(e.value) + (e.imaginary ? "i" : ""));
+        return;
+      }
+      case NodeKind::StringLit:
+        line("String '" + static_cast<const StringLit&>(n).value + "'");
+        return;
+      case NodeKind::Ident:
+        line("Ident " + static_cast<const Ident&>(n).name);
+        return;
+      case NodeKind::Unary: {
+        const auto& e = static_cast<const Unary&>(n);
+        line(std::string("Unary ") + toString(e.op));
+        child(e.operand.get());
+        return;
+      }
+      case NodeKind::Binary: {
+        const auto& e = static_cast<const Binary&>(n);
+        line(std::string("Binary ") + toString(e.op));
+        child(e.lhs.get());
+        child(e.rhs.get());
+        return;
+      }
+      case NodeKind::Transpose: {
+        const auto& e = static_cast<const Transpose&>(n);
+        line(e.conjugate ? "Transpose'" : "Transpose.'");
+        child(e.operand.get());
+        return;
+      }
+      case NodeKind::Range: {
+        const auto& e = static_cast<const Range&>(n);
+        line("Range");
+        child(e.start.get());
+        child(e.step.get());
+        child(e.stop.get());
+        return;
+      }
+      case NodeKind::Colon:
+        line("Colon");
+        return;
+      case NodeKind::End:
+        line("End");
+        return;
+      case NodeKind::CallIndex: {
+        const auto& e = static_cast<const CallIndex&>(n);
+        line("CallIndex");
+        child(e.base.get());
+        ++indent_;
+        for (const auto& a : e.args) visit(*a);
+        --indent_;
+        return;
+      }
+      case NodeKind::MatrixLit: {
+        const auto& e = static_cast<const MatrixLit&>(n);
+        line("MatrixLit rows=" + std::to_string(e.rows.size()));
+        ++indent_;
+        for (const auto& row : e.rows) {
+          line("Row");
+          ++indent_;
+          for (const auto& el : row) visit(*el);
+          --indent_;
+        }
+        --indent_;
+        return;
+      }
+      case NodeKind::Assign: {
+        const auto& s = static_cast<const Assign&>(n);
+        std::vector<std::string> names;
+        names.reserve(s.targets.size());
+        for (const auto& t : s.targets)
+          names.push_back(t.name + (t.indices.empty() ? "" : "(...)"));
+        line("Assign " + join(names, ", "));
+        ++indent_;
+        for (const auto& t : s.targets)
+          for (const auto& ix : t.indices) visit(*ix);
+        --indent_;
+        child(s.rhs.get());
+        return;
+      }
+      case NodeKind::ExprStmt:
+        line("ExprStmt");
+        child(static_cast<const ExprStmt&>(n).expr.get());
+        return;
+      case NodeKind::If: {
+        const auto& s = static_cast<const If&>(n);
+        line("If");
+        for (const auto& b : s.branches) {
+          ++indent_;
+          line("Branch");
+          child(b.cond.get());
+          children(b.body);
+          --indent_;
+        }
+        if (!s.elseBody.empty()) {
+          ++indent_;
+          line("Else");
+          children(s.elseBody);
+          --indent_;
+        }
+        return;
+      }
+      case NodeKind::For: {
+        const auto& s = static_cast<const For&>(n);
+        line("For " + s.var);
+        child(s.range.get());
+        children(s.body);
+        return;
+      }
+      case NodeKind::While: {
+        const auto& s = static_cast<const While&>(n);
+        line("While");
+        child(s.cond.get());
+        children(s.body);
+        return;
+      }
+      case NodeKind::Switch: {
+        const auto& s = static_cast<const Switch&>(n);
+        line("Switch");
+        child(s.subject.get());
+        for (const auto& c : s.cases) {
+          ++indent_;
+          line("Case");
+          child(c.value.get());
+          children(c.body);
+          --indent_;
+        }
+        if (!s.otherwise.empty()) {
+          ++indent_;
+          line("Otherwise");
+          children(s.otherwise);
+          --indent_;
+        }
+        return;
+      }
+      case NodeKind::Break: line("Break"); return;
+      case NodeKind::Continue: line("Continue"); return;
+      case NodeKind::Return: line("Return"); return;
+      case NodeKind::Function: {
+        const auto& f = static_cast<const Function&>(n);
+        line("Function " + f.name + "(" + join(f.params, ", ") + ") -> [" +
+             join(f.outs, ", ") + "]");
+        children(f.body);
+        return;
+      }
+      case NodeKind::Program: {
+        const auto& p = static_cast<const Program&>(n);
+        line("Program");
+        ++indent_;
+        for (const auto& f : p.functions) visit(*f);
+        --indent_;
+        children(p.scriptBody);
+        return;
+      }
+    }
+  }
+
+  std::ostringstream out_;
+  int indent_ = 0;
+};
+
+}  // namespace
+
+std::string dump(const Node& node) { return Printer().print(node); }
+
+}  // namespace mat2c::ast

@@ -1,0 +1,223 @@
+// Generates the runtime support header embedded in emitted C.
+//
+// Contains the complex value type, portable complex helpers, and a portable
+// fallback definition for every custom instruction the active ISA
+// description advertises (spelled with the description's intrinsic names).
+// An ASIP C compiler recognizes the intrinsic names; any other C compiler
+// just inlines the fallbacks — generated code runs everywhere.
+#include <set>
+#include <sstream>
+
+#include "codegen/cemit.hpp"
+
+namespace mat2c::codegen {
+
+namespace {
+
+void emitVectorTypes(std::ostringstream& os, int wF, int wC) {
+  os << "typedef struct { double v[" << wF << "]; } mat2c_v" << wF << "f64;\n";
+  if (wC > 1) {
+    os << "typedef struct { mat2c_c64 v[" << wC << "]; } mat2c_v" << wC << "c64;\n";
+    if (wC != wF) {
+      os << "typedef struct { double v[" << wC << "]; } mat2c_v" << wC << "f64;\n";
+    }
+  }
+}
+
+std::string vf(int w) { return "mat2c_v" + std::to_string(w) + "f64"; }
+std::string vc(int w) { return "mat2c_v" + std::to_string(w) + "c64"; }
+
+/// Intrinsic name for op at a given f64 width: the ISA's full-width name, or
+/// a _w<N> variant for the narrower f64 width used inside complex loops.
+std::string opName(const isa::IsaDescription& isa, isa::Op op, int w, int fullW) {
+  std::string n = isa.intrinsicName(op);
+  if (w != fullW) n += "_w" + std::to_string(w);
+  return n;
+}
+
+void emitF64VectorSet(std::ostringstream& os, const isa::IsaDescription& isa, int w) {
+  const int fullW = isa.lanesF64();
+  const std::string T = vf(w);
+  auto name = [&](isa::Op op) { return opName(isa, op, w, fullW); };
+  auto lanewise = [&](isa::Op op, const char* expr) {
+    os << "static inline " << T << " " << name(op) << "(" << T << " a, " << T << " b) {\n"
+       << "  " << T << " r; int i;\n"
+       << "  for (i = 0; i < " << w << "; ++i) r.v[i] = " << expr << ";\n"
+       << "  return r;\n}\n";
+  };
+  os << "static inline " << T << " " << name(isa::Op::VLoadF)
+     << "(const double* p) {\n  " << T << " r; int i;\n  for (i = 0; i < " << w
+     << "; ++i) r.v[i] = p[i];\n  return r;\n}\n";
+  os << "static inline void " << name(isa::Op::VStoreF) << "(double* p, " << T
+     << " a) {\n  int i;\n  for (i = 0; i < " << w << "; ++i) p[i] = a.v[i];\n}\n";
+  os << "static inline " << T << " " << name(isa::Op::VSplatF)
+     << "(double s) {\n  " << T << " r; int i;\n  for (i = 0; i < " << w
+     << "; ++i) r.v[i] = s;\n  return r;\n}\n";
+  lanewise(isa::Op::VAddF, "a.v[i] + b.v[i]");
+  lanewise(isa::Op::VSubF, "a.v[i] - b.v[i]");
+  lanewise(isa::Op::VMulF, "a.v[i] * b.v[i]");
+  lanewise(isa::Op::VDivF, "a.v[i] / b.v[i]");
+  lanewise(isa::Op::VMinF, "a.v[i] < b.v[i] ? a.v[i] : b.v[i]");
+  lanewise(isa::Op::VMaxF, "a.v[i] > b.v[i] ? a.v[i] : b.v[i]");
+  os << "static inline " << T << " " << name(isa::Op::VNegF) << "(" << T
+     << " a) {\n  " << T << " r; int i;\n  for (i = 0; i < " << w
+     << "; ++i) r.v[i] = -a.v[i];\n  return r;\n}\n";
+  os << "static inline " << T << " " << name(isa::Op::VAbsF) << "(" << T
+     << " a) {\n  " << T << " r; int i;\n  for (i = 0; i < " << w
+     << "; ++i) r.v[i] = fabs(a.v[i]);\n  return r;\n}\n";
+  if (isa.hasFma()) {
+    os << "static inline " << T << " " << name(isa::Op::VFmaF) << "(" << T << " a, " << T
+       << " b, " << T << " c) {\n  " << T << " r; int i;\n  for (i = 0; i < " << w
+       << "; ++i) r.v[i] = a.v[i] * b.v[i] + c.v[i];\n  return r;\n}\n";
+  }
+  os << "static inline double " << name(isa::Op::VReduceAddF) << "(" << T
+     << " a) {\n  double s = 0.0; int i;\n  for (i = 0; i < " << w
+     << "; ++i) s += a.v[i];\n  return s;\n}\n";
+  os << "static inline double " << name(isa::Op::VReduceMinF) << "(" << T
+     << " a) {\n  double s = a.v[0]; int i;\n  for (i = 1; i < " << w
+     << "; ++i) if (a.v[i] < s) s = a.v[i];\n  return s;\n}\n";
+  os << "static inline double " << name(isa::Op::VReduceMaxF) << "(" << T
+     << " a) {\n  double s = a.v[0]; int i;\n  for (i = 1; i < " << w
+     << "; ++i) if (a.v[i] > s) s = a.v[i];\n  return s;\n}\n";
+}
+
+void emitC64VectorSet(std::ostringstream& os, const isa::IsaDescription& isa) {
+  const int w = isa.lanesC64();
+  if (w <= 1) return;
+  const std::string T = vc(w);
+  const std::string TF = vf(w);
+  auto name = [&](isa::Op op) { return isa.intrinsicName(op); };
+  os << "static inline " << T << " " << name(isa::Op::VLoadC)
+     << "(const mat2c_c64* p) {\n  " << T << " r; int i;\n  for (i = 0; i < " << w
+     << "; ++i) r.v[i] = p[i];\n  return r;\n}\n";
+  os << "static inline void " << name(isa::Op::VStoreC) << "(mat2c_c64* p, " << T
+     << " a) {\n  int i;\n  for (i = 0; i < " << w << "; ++i) p[i] = a.v[i];\n}\n";
+  os << "static inline " << T << " " << name(isa::Op::VSplatC)
+     << "(mat2c_c64 s) {\n  " << T << " r; int i;\n  for (i = 0; i < " << w
+     << "; ++i) r.v[i] = s;\n  return r;\n}\n";
+  auto lanewise = [&](isa::Op op, const char* fn) {
+    os << "static inline " << T << " " << name(op) << "(" << T << " a, " << T << " b) {\n"
+       << "  " << T << " r; int i;\n  for (i = 0; i < " << w << "; ++i) r.v[i] = " << fn
+       << "(a.v[i], b.v[i]);\n  return r;\n}\n";
+  };
+  lanewise(isa::Op::VAddC, "mat2c_cadd");
+  lanewise(isa::Op::VSubC, "mat2c_csub");
+  os << "static inline " << T << " " << name(isa::Op::VNegC) << "(" << T << " a) {\n  " << T
+     << " r; int i;\n  for (i = 0; i < " << w
+     << "; ++i) r.v[i] = mat2c_cneg(a.v[i]);\n  return r;\n}\n";
+  if (isa.hasCmul()) {
+    lanewise(isa::Op::VMulC, "mat2c_cmul");
+    os << "static inline " << T << " " << name(isa::Op::VConjC) << "(" << T
+       << " a) {\n  " << T << " r; int i;\n  for (i = 0; i < " << w
+       << "; ++i) r.v[i] = mat2c_conj(a.v[i]);\n  return r;\n}\n";
+  }
+  if (isa.hasCmac()) {
+    os << "static inline " << T << " " << name(isa::Op::VFmaC) << "(" << T << " a, " << T
+       << " b, " << T << " c) {\n  " << T << " r; int i;\n  for (i = 0; i < " << w
+       << "; ++i) r.v[i] = mat2c_cadd(mat2c_cmul(a.v[i], b.v[i]), c.v[i]);\n  return r;\n}\n";
+  }
+  os << "static inline mat2c_c64 " << name(isa::Op::VReduceAddC) << "(" << T
+     << " a) {\n  mat2c_c64 s = a.v[0]; int i;\n  for (i = 1; i < " << w
+     << "; ++i) s = mat2c_cadd(s, a.v[i]);\n  return s;\n}\n";
+  // Lane-wise f64 -> c64 widen and complex construction at this width.
+  os << "static inline " << T << " mat2c_v" << w << "toc(" << TF << " a) {\n  " << T
+     << " r; int i;\n  for (i = 0; i < " << w
+     << "; ++i) { r.v[i].re = a.v[i]; r.v[i].im = 0.0; }\n  return r;\n}\n";
+  os << "static inline " << T << " mat2c_v" << w << "make(" << TF << " a, " << TF
+     << " b) {\n  " << T << " r; int i;\n  for (i = 0; i < " << w
+     << "; ++i) { r.v[i].re = a.v[i]; r.v[i].im = b.v[i]; }\n  return r;\n}\n";
+}
+
+}  // namespace
+
+std::string runtimeHeader(const isa::IsaDescription& isa) {
+  std::ostringstream os;
+  os << "/* mat2c runtime support — target: " << isa.name() << "\n"
+     << " * f64 SIMD lanes: " << isa.lanesF64() << ", c64 SIMD lanes: " << isa.lanesC64()
+     << ", fma: " << (isa.hasFma() ? "yes" : "no")
+     << ", cmul: " << (isa.hasCmul() ? "yes" : "no")
+     << ", cmac: " << (isa.hasCmac() ? "yes" : "no") << "\n"
+     << " * Intrinsics below are portable fallbacks; an ASIP toolchain maps the\n"
+     << " * same names onto custom instructions. */\n"
+     << "#include <math.h>\n"
+     << "#include <stdint.h>\n"
+     << "#include <stdio.h>\n"
+     << "#include <stdlib.h>\n"
+     << "#include <string.h>\n\n"
+     << "typedef struct { double re, im; } mat2c_c64;\n";
+  emitVectorTypes(os, isa.lanesF64(), isa.lanesC64());
+  os << "\n/* -- complex scalar helpers (portable) -- */\n"
+     << "static inline mat2c_c64 mat2c_make(double re, double im) {\n"
+     << "  mat2c_c64 r; r.re = re; r.im = im; return r;\n}\n"
+     << "static inline mat2c_c64 mat2c_cadd(mat2c_c64 a, mat2c_c64 b) {\n"
+     << "  return mat2c_make(a.re + b.re, a.im + b.im);\n}\n"
+     << "static inline mat2c_c64 mat2c_csub(mat2c_c64 a, mat2c_c64 b) {\n"
+     << "  return mat2c_make(a.re - b.re, a.im - b.im);\n}\n"
+     << "static inline mat2c_c64 mat2c_cmul(mat2c_c64 a, mat2c_c64 b) {\n"
+     << "  return mat2c_make(a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re);\n}\n"
+     << "static inline mat2c_c64 mat2c_cdiv(mat2c_c64 a, mat2c_c64 b) {\n"
+     << "  double d = b.re * b.re + b.im * b.im;\n"
+     << "  return mat2c_make((a.re * b.re + a.im * b.im) / d,\n"
+     << "                    (a.im * b.re - a.re * b.im) / d);\n}\n"
+     << "static inline mat2c_c64 mat2c_cneg(mat2c_c64 a) { return mat2c_make(-a.re, -a.im); }\n"
+     << "static inline mat2c_c64 mat2c_conj(mat2c_c64 a) { return mat2c_make(a.re, -a.im); }\n"
+     << "static inline double mat2c_cabs(mat2c_c64 a) { return hypot(a.re, a.im); }\n"
+     << "static inline double mat2c_carg(mat2c_c64 a) { return atan2(a.im, a.re); }\n"
+     << "static inline mat2c_c64 mat2c_cexp(mat2c_c64 a) {\n"
+     << "  double m = exp(a.re);\n"
+     << "  return mat2c_make(m * cos(a.im), m * sin(a.im));\n}\n"
+     << "static inline mat2c_c64 mat2c_clog(mat2c_c64 a) {\n"
+     << "  return mat2c_make(log(mat2c_cabs(a)), mat2c_carg(a));\n}\n"
+     << "static inline mat2c_c64 mat2c_csqrt_(mat2c_c64 a) {\n"
+     << "  double m = sqrt(mat2c_cabs(a));\n"
+     << "  double ph = 0.5 * mat2c_carg(a);\n"
+     << "  return mat2c_make(m * cos(ph), m * sin(ph));\n}\n"
+     << "static inline mat2c_c64 mat2c_cpow(mat2c_c64 a, mat2c_c64 b) {\n"
+     << "  return mat2c_cexp(mat2c_cmul(b, mat2c_clog(a)));\n}\n"
+     << "static inline int mat2c_ceq(mat2c_c64 a, mat2c_c64 b) {\n"
+     << "  return a.re == b.re && a.im == b.im;\n}\n"
+     << "static inline double mat2c_min(double a, double b) { return b < a ? b : a; }\n"
+     << "static inline double mat2c_max(double a, double b) { return a < b ? b : a; }\n"
+     << "static inline double mat2c_sign(double x) { return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0); }\n"
+     << "static inline double mat2c_mod(double x, double m) {\n"
+     << "  return m == 0.0 ? x : x - floor(x / m) * m;\n}\n"
+     << "static inline double mat2c_rem(double x, double m) {\n"
+     << "  return m == 0.0 ? x : fmod(x, m);\n}\n"
+     << "static inline void mat2c_check(int64_t idx, int64_t n, const char* what) {\n"
+     << "  if (idx < 0 || idx >= n) {\n"
+     << "    fprintf(stderr, \"mat2c: index %lld out of bounds for %s (%lld elements)\\n\",\n"
+     << "            (long long)idx, what, (long long)n);\n"
+     << "    abort();\n  }\n}\n";
+
+  if (isa.hasFma()) {
+    os << "\n/* -- scalar custom instructions -- */\n"
+       << "static inline double " << isa.intrinsicName(isa::Op::FmaF)
+       << "(double a, double b, double c) { return a * b + c; }\n";
+  }
+  if (isa.hasCmul()) {
+    os << "static inline mat2c_c64 " << isa.intrinsicName(isa::Op::MulC)
+       << "(mat2c_c64 a, mat2c_c64 b) { return mat2c_cmul(a, b); }\n";
+  }
+  if (isa.hasCmac()) {
+    os << "static inline mat2c_c64 " << isa.intrinsicName(isa::Op::FmaC)
+       << "(mat2c_c64 a, mat2c_c64 b, mat2c_c64 c) {\n"
+       << "  return mat2c_cadd(mat2c_cmul(a, b), c);\n}\n";
+  }
+
+  if (isa.lanesF64() > 1) {
+    os << "\n/* -- " << isa.lanesF64() << "-lane f64 SIMD intrinsics -- */\n";
+    emitF64VectorSet(os, isa, isa.lanesF64());
+    if (isa.lanesC64() > 1 && isa.lanesC64() != isa.lanesF64()) {
+      os << "\n/* -- " << isa.lanesC64() << "-lane f64 ops (complex-loop width) -- */\n";
+      emitF64VectorSet(os, isa, isa.lanesC64());
+    }
+  }
+  if (isa.lanesC64() > 1) {
+    os << "\n/* -- " << isa.lanesC64() << "-lane c64 SIMD intrinsics -- */\n";
+    emitC64VectorSet(os, isa);
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace mat2c::codegen

@@ -1,0 +1,73 @@
+#include "driver/compiler.hpp"
+
+#include <algorithm>
+
+#include "parser/parser.hpp"
+
+namespace mat2c {
+
+CompiledUnit Compiler::compileSource(const std::string& matlabSource, const std::string& entry,
+                                     const std::vector<sema::ArgSpec>& args,
+                                     const CompileOptions& options) {
+  diags_.clear();
+  ast::ProgramPtr program = parseSource(matlabSource, diags_);
+  if (diags_.hasErrors()) throw CompileError(diags_.renderAll());
+
+  lower::LowerOptions lowerOpts;
+  lowerOpts.style = options.style;
+  lowerOpts.fuseElementwise = options.fuseElementwise;
+  lowerOpts.boundsChecks = options.boundsChecks;
+  lir::Function fn = lower::lowerProgram(*program, entry, args, lowerOpts, diags_);
+  if (diags_.hasErrors()) throw CompileError(diags_.renderAll());
+
+  // CoderLike code models MathWorks-generated C: complex arithmetic arrives
+  // at the ASIP compiler as expanded re/im expressions and plain a*b+c, so
+  // the custom-instruction units are unreachable for it. Cost it (and emit
+  // its C) against the ISA with those features stripped; the datapath-
+  // independent features (SIMD width, hardware loops, AGUs) remain — the
+  // ASIP's C compiler applies those to any C code.
+  isa::IsaDescription unitIsa = options.isa;
+  if (options.style == lower::CodeStyle::CoderLike) {
+    unitIsa.setFeature("fma", false);
+    unitIsa.setFeature("cmul", false);
+    unitIsa.setFeature("cmac", false);
+  }
+
+  opt::PipelineOptions passOpts;
+  passOpts.constFold = options.constFold;
+  passOpts.idioms = options.idioms;
+  passOpts.vectorize = options.vectorize && options.style == lower::CodeStyle::Proposed;
+  passOpts.checkElim = options.checkElim;
+  opt::PipelineReport report = opt::runPipeline(fn, unitIsa, passOpts);
+
+  auto problems = lir::verify(fn);
+  if (!problems.empty()) {
+    throw CompileError("internal error after optimization: " + problems.front());
+  }
+  return CompiledUnit(std::make_shared<lir::Function>(std::move(fn)), unitIsa, report);
+}
+
+double validateAgainstInterpreter(const std::string& matlabSource, const std::string& entry,
+                                  const CompiledUnit& unit, const std::vector<Matrix>& args) {
+  DiagnosticEngine diags;
+  ast::ProgramPtr program = parseSource(matlabSource, diags);
+  if (diags.hasErrors()) throw CompileError(diags.renderAll());
+
+  Interpreter interp(*program);
+  std::size_t nOut = unit.fn().outs.size();
+  std::vector<Matrix> expected = interp.callFunction(entry, args, std::max<std::size_t>(nOut, 1));
+
+  vm::RunResult actual = unit.run(args);
+  if (actual.outputs.size() != expected.size()) {
+    throw RuntimeError("validate: output count mismatch (" +
+                       std::to_string(actual.outputs.size()) + " vs " +
+                       std::to_string(expected.size()) + ")");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    worst = std::max(worst, maxAbsDiff(expected[i], actual.outputs[i]));
+  }
+  return worst;
+}
+
+}  // namespace mat2c

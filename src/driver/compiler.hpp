@@ -1,0 +1,113 @@
+// mat2c public API.
+//
+// A Compiler turns MATLAB source into a CompiledUnit, which can
+//   * emit the ANSI-C-with-intrinsics translation unit (the paper's output),
+//   * execute on the cycle-model VM (the ASIP substitute) returning both
+//     numeric results and cycle counts,
+//   * be validated element-wise against the reference interpreter.
+//
+// Typical use:
+//   mat2c::Compiler compiler;
+//   mat2c::CompileOptions opts;                    // dspx, Proposed style
+//   auto unit = compiler.compileSource(src, "fir",
+//       {sema::ArgSpec::row(1024), sema::ArgSpec::row(64)}, opts);
+//   std::string c = unit.cCode();
+//   auto run = unit.run({xMatrix, hMatrix});       // outputs + cycles
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/cemit.hpp"
+#include "interp/interpreter.hpp"
+#include "isa/isa.hpp"
+#include "lower/lowering.hpp"
+#include "opt/passes.hpp"
+#include "vm/vm.hpp"
+
+namespace mat2c {
+
+struct CompileOptions {
+  isa::IsaDescription isa = isa::IsaDescription::preset("dspx");
+  lower::CodeStyle style = lower::CodeStyle::Proposed;
+  /// Pass toggles (defaults derive from style; override for ablations).
+  bool constFold = true;
+  bool idioms = true;
+  bool vectorize = true;
+  /// Lowering-mechanism overrides (ablation C): follow `style` when unset.
+  std::optional<bool> fuseElementwise;
+  std::optional<bool> boundsChecks;
+  /// Remove provably-safe bounds checks from checked code (static-shape
+  /// payoff; only meaningful together with boundsChecks).
+  bool checkElim = false;
+
+  static CompileOptions proposed(const std::string& isaPreset = "dspx") {
+    CompileOptions o;
+    o.isa = isa::IsaDescription::preset(isaPreset);
+    return o;
+  }
+  /// MATLAB-Coder-like baseline: per-op temporaries, bounds checks, no
+  /// vectorization, no custom-instruction idioms.
+  static CompileOptions coderLike(const std::string& isaPreset = "dspx") {
+    CompileOptions o;
+    o.isa = isa::IsaDescription::preset(isaPreset);
+    o.style = lower::CodeStyle::CoderLike;
+    o.idioms = false;
+    o.vectorize = false;
+    return o;
+  }
+};
+
+class CompiledUnit {
+ public:
+  CompiledUnit(std::shared_ptr<lir::Function> fn, isa::IsaDescription isa,
+               opt::PipelineReport report)
+      : fn_(std::move(fn)), isa_(std::move(isa)), report_(report) {}
+
+  const lir::Function& fn() const { return *fn_; }
+  const isa::IsaDescription& isa() const { return isa_; }
+  const opt::PipelineReport& optimizationReport() const { return report_; }
+
+  /// Emitted C translation unit (self-contained with the runtime header).
+  std::string cCode(const codegen::EmitOptions& options = {}) const {
+    return codegen::emitC(*fn_, isa_, options);
+  }
+  /// LIR dump (tests/debugging).
+  std::string lirDump() const { return lir::print(*fn_); }
+
+  /// Executes on the ASIP cycle-model VM.
+  vm::RunResult run(const std::vector<Matrix>& args) const {
+    vm::Machine machine(isa_);
+    return machine.run(*fn_, args);
+  }
+
+ private:
+  std::shared_ptr<lir::Function> fn_;
+  isa::IsaDescription isa_;
+  opt::PipelineReport report_;
+};
+
+class Compiler {
+ public:
+  /// Parse + type/shape-specialize + lower + optimize. Throws CompileError
+  /// (message includes the first diagnostic) on any front-end error.
+  CompiledUnit compileSource(const std::string& matlabSource, const std::string& entry,
+                             const std::vector<sema::ArgSpec>& args,
+                             const CompileOptions& options = {});
+
+  /// Diagnostics of the last compilation (also useful after success, for
+  /// warnings).
+  const DiagnosticEngine& diagnostics() const { return diags_; }
+
+ private:
+  DiagnosticEngine diags_;
+};
+
+/// Runs `entry` through the reference interpreter and through the compiled
+/// unit's VM, returning the maximum elementwise |difference| across all
+/// outputs. The correctness gate for every experiment.
+double validateAgainstInterpreter(const std::string& matlabSource, const std::string& entry,
+                                  const CompiledUnit& unit, const std::vector<Matrix>& args);
+
+}  // namespace mat2c

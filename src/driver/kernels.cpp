@@ -1,0 +1,423 @@
+#include "driver/kernels.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mat2c::kernels {
+
+double InputGen::next() {
+  // xorshift64*
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  std::uint64_t x = state_ * 2685821657736338717ull;
+  // Map the top 53 bits to [-1, 1].
+  double u = static_cast<double>(x >> 11) / static_cast<double>(1ull << 53);
+  return 2.0 * u - 1.0;
+}
+
+Matrix InputGen::rowVector(std::int64_t n) {
+  Matrix m = Matrix::zeros(1, static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) m.set(static_cast<std::size_t>(i), Complex{next(), 0});
+  return m;
+}
+
+Matrix InputGen::complexRowVector(std::int64_t n) {
+  Matrix m = Matrix::zeros(1, static_cast<std::size_t>(n), /*complex=*/true);
+  for (std::int64_t i = 0; i < n; ++i) {
+    m.set(static_cast<std::size_t>(i), Complex{next(), next()});
+  }
+  return m;
+}
+
+Matrix InputGen::matrix(std::int64_t rows, std::int64_t cols) {
+  Matrix m = Matrix::zeros(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  for (std::size_t i = 0; i < m.numel(); ++i) m.set(i, Complex{next(), 0});
+  return m;
+}
+
+void biquadCascade(std::int64_t sections, Matrix& b, Matrix& a) {
+  auto s = static_cast<std::size_t>(sections);
+  b = Matrix::zeros(s, 3);
+  a = Matrix::zeros(s, 3);
+  for (std::size_t j = 0; j < s; ++j) {
+    // RBJ low-pass biquad, cutoff spread across sections, Q = 0.707.
+    double fc = 0.05 + 0.35 * static_cast<double>(j) / static_cast<double>(std::max<std::size_t>(s - 1, 1));
+    double w0 = 2.0 * std::numbers::pi * fc;
+    double q = 0.7071;
+    double alpha = std::sin(w0) / (2.0 * q);
+    double cw = std::cos(w0);
+    double a0 = 1.0 + alpha;
+    b.set(j, 0, Complex{(1.0 - cw) / 2.0 / a0, 0});
+    b.set(j, 1, Complex{(1.0 - cw) / a0, 0});
+    b.set(j, 2, Complex{(1.0 - cw) / 2.0 / a0, 0});
+    a.set(j, 0, Complex{1.0, 0});
+    a.set(j, 1, Complex{-2.0 * cw / a0, 0});
+    a.set(j, 2, Complex{(1.0 - alpha) / a0, 0});
+  }
+}
+
+KernelSpec makeFir(std::int64_t n, std::int64_t taps, unsigned seed) {
+  KernelSpec k;
+  k.name = "fir";
+  k.title = "FIR filter (" + std::to_string(taps) + " taps, " + std::to_string(n) +
+            " samples)";
+  k.entry = "fir";
+  k.source = R"(
+function y = fir(x, h)
+% Direct-form FIR with a pre-reversed coefficient buffer so the inner
+% multiply-accumulate runs unit-stride over both operands.
+n = length(x);
+m = length(h);
+hr = zeros(1, m);
+for k = 1:m
+  hr(k) = h(m - k + 1);
+end
+y = zeros(1, n);
+for i = m:n
+  acc = 0;
+  for k = 1:m
+    acc = acc + hr(k) * x(i - m + k);
+  end
+  y(i) = acc;
+end
+end
+)";
+  k.argSpecs = {sema::ArgSpec::row(n), sema::ArgSpec::row(taps)};
+  InputGen gen(seed);
+  k.args = {gen.rowVector(n), gen.rowVector(taps)};
+  return k;
+}
+
+KernelSpec makeIir(std::int64_t n, std::int64_t sections, unsigned seed) {
+  KernelSpec k;
+  k.name = "iir";
+  k.title = "IIR cascaded biquads (" + std::to_string(sections) + " sections, " +
+            std::to_string(n) + " samples)";
+  k.entry = "iir";
+  k.source = R"(
+function y = iir(x, b, a)
+% Cascade of direct-form-II-transposed biquads; the recurrence over z1/z2
+% makes this kernel inherently sequential.
+n = length(x);
+s = size(b, 1);
+y = zeros(1, n);
+z1 = zeros(1, s);
+z2 = zeros(1, s);
+for i = 1:n
+  v = x(i);
+  for j = 1:s
+    w = b(j, 1) * v + z1(j);
+    z1(j) = b(j, 2) * v - a(j, 2) * w + z2(j);
+    z2(j) = b(j, 3) * v - a(j, 3) * w;
+    v = w;
+  end
+  y(i) = v;
+end
+end
+)";
+  k.argSpecs = {sema::ArgSpec::row(n), sema::ArgSpec::matrix(sections, 3),
+                sema::ArgSpec::matrix(sections, 3)};
+  InputGen gen(seed);
+  Matrix b;
+  Matrix a;
+  biquadCascade(sections, b, a);
+  k.args = {gen.rowVector(n), b, a};
+  return k;
+}
+
+KernelSpec makeMatmul(std::int64_t m, std::int64_t kk, std::int64_t n, unsigned seed) {
+  KernelSpec k;
+  k.name = "matmul";
+  k.title = "Matrix multiply (" + std::to_string(m) + "x" + std::to_string(kk) + " * " +
+            std::to_string(kk) + "x" + std::to_string(n) + ")";
+  k.entry = "mm";
+  k.source = R"(
+function c = mm(a, b)
+% Transpose the left operand once so the dot-product loop is unit-stride
+% in both operands (classic DSP-style blocking-free formulation).
+m = size(a, 1);
+k = size(a, 2);
+n = size(b, 2);
+at = a';
+c = zeros(m, n);
+for j = 1:n
+  for i = 1:m
+    acc = 0;
+    for p = 1:k
+      acc = acc + at(p, i) * b(p, j);
+    end
+    c(i, j) = acc;
+  end
+end
+end
+)";
+  k.argSpecs = {sema::ArgSpec::matrix(m, kk), sema::ArgSpec::matrix(kk, n)};
+  InputGen gen(seed);
+  k.args = {gen.matrix(m, kk), gen.matrix(kk, n)};
+  return k;
+}
+
+KernelSpec makeCdot(std::int64_t n, unsigned seed) {
+  KernelSpec k;
+  k.name = "cdot";
+  k.title = "Complex correlator dot product (" + std::to_string(n) + " samples)";
+  k.entry = "cdot";
+  k.source = R"(
+function acc = cdot(x, h)
+% Complex conjugate dot product - the inner kernel of correlators,
+% beamformers and matched filters. One cmac per sample on the ASIP.
+n = length(x);
+acc = 0;
+for k = 1:n
+  acc = acc + x(k) * conj(h(k));
+end
+end
+)";
+  k.argSpecs = {sema::ArgSpec::row(n, /*complex=*/true),
+                sema::ArgSpec::row(n, /*complex=*/true)};
+  InputGen gen(seed);
+  k.args = {gen.complexRowVector(n), gen.complexRowVector(n)};
+  return k;
+}
+
+KernelSpec makeFdeq(std::int64_t n, unsigned seed) {
+  KernelSpec k;
+  k.name = "fdeq";
+  k.title = "Frequency-domain equalizer (" + std::to_string(n) + " bins)";
+  k.entry = "fdeq";
+  k.source = R"(
+function y = fdeq(x, h)
+% One-tap-per-bin frequency-domain equalizer: elementwise complex multiply
+% by the conjugated channel estimate.
+y = x .* conj(h);
+end
+)";
+  k.argSpecs = {sema::ArgSpec::row(n, /*complex=*/true),
+                sema::ArgSpec::row(n, /*complex=*/true)};
+  InputGen gen(seed);
+  k.args = {gen.complexRowVector(n), gen.complexRowVector(n)};
+  return k;
+}
+
+KernelSpec makeFmdemod(std::int64_t n, unsigned seed) {
+  KernelSpec k;
+  k.name = "fmdemod";
+  k.title = "Quadrature FM demodulator (" + std::to_string(n) + " samples)";
+  k.entry = "fmdemod";
+  k.source = R"(
+function y = fmdemod(x)
+% Polar discriminator: differential complex product then phase extraction.
+% The product loop vectorizes onto the complex SIMD unit; the atan2 loop is
+% scalar on any target.
+n = length(x);
+d = zeros(1, n);
+for i = 2:n
+  di = x(i) * conj(x(i - 1));
+  d(i) = di;
+end
+y = zeros(1, n);
+for i = 2:n
+  y(i) = atan2(imag(d(i)), real(d(i)));
+end
+end
+)";
+  k.argSpecs = {sema::ArgSpec::row(n, /*complex=*/true)};
+  InputGen gen(seed);
+  // An FM-like signal: unit-magnitude rotating phasor with varying rate.
+  Matrix x = Matrix::zeros(1, static_cast<std::size_t>(n), /*complex=*/true);
+  double phase = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    phase += 0.2 + 0.15 * gen.next();
+    x.set(static_cast<std::size_t>(i), Complex{std::cos(phase), std::sin(phase)});
+  }
+  k.args = {std::move(x)};
+  return k;
+}
+
+KernelSpec makeXcorr(std::int64_t n, std::int64_t m, unsigned seed) {
+  KernelSpec k;
+  k.name = "xcorr";
+  k.title = "Sliding cross-correlation (" + std::to_string(n) + " samples, lag window " +
+            std::to_string(m) + ")";
+  k.entry = "xc";
+  k.source = R"(
+function r = xc(x, h)
+% Sliding-window cross-correlation: one windowed dot product per lag.
+n = length(x);
+m = length(h);
+r = zeros(1, n - m + 1);
+for k = 1:n - m + 1
+  r(k) = sum(x(k:k + m - 1) .* h);
+end
+end
+)";
+  k.argSpecs = {sema::ArgSpec::row(n), sema::ArgSpec::row(m)};
+  InputGen gen(seed);
+  k.args = {gen.rowVector(n), gen.rowVector(m)};
+  return k;
+}
+
+KernelSpec makeBlockDct(std::int64_t blocks, unsigned seed) {
+  KernelSpec k;
+  std::int64_t n = blocks * 8;
+  k.name = "blockdct";
+  k.title = "Blockwise 8-point DCT-II (" + std::to_string(blocks) + " blocks)";
+  k.entry = "bdct";
+  k.source = R"(
+function y = bdct(x, ct)
+% 8-point DCT-II applied block by block. ct is the transposed basis so the
+% inner dot product is unit-stride in both operands.
+n = length(x);
+b = n / 8;
+y = zeros(1, n);
+for j = 1:b
+  base = (j - 1) * 8;
+  for i = 1:8
+    acc = 0;
+    for k = 1:8
+      acc = acc + ct(k, i) * x(base + k);
+    end
+    y(base + i) = acc;
+  end
+end
+end
+)";
+  k.argSpecs = {sema::ArgSpec::row(n), sema::ArgSpec::matrix(8, 8)};
+  InputGen gen(seed);
+  Matrix ct = Matrix::zeros(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {      // basis index (column of ct)
+    double scale = i == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+    for (std::size_t kk = 0; kk < 8; ++kk) {  // sample index (row of ct)
+      ct.set(kk, i,
+             Complex{scale * std::cos((2.0 * static_cast<double>(kk) + 1.0) *
+                                      static_cast<double>(i) * std::numbers::pi / 16.0),
+                     0});
+    }
+  }
+  k.args = {gen.rowVector(n), std::move(ct)};
+  return k;
+}
+
+KernelSpec makeFramePow(std::int64_t frames, std::int64_t frameLen, unsigned seed) {
+  KernelSpec k;
+  std::int64_t n = frames * frameLen;
+  k.name = "framepow";
+  k.title = "Windowed frame power (" + std::to_string(frames) + " frames of " +
+            std::to_string(frameLen) + ")";
+  k.entry = "fpow";
+  k.source = R"(
+function p = fpow(x, w)
+% Mean power of windowed, non-overlapping frames.
+n = length(x);
+m = length(w);
+f = n / m;
+p = zeros(1, f);
+for j = 1:f
+  base = (j - 1) * m;
+  acc = 0;
+  for k = 1:m
+    t = x(base + k) * w(k);
+    acc = acc + t * t;
+  end
+  p(j) = acc / m;
+end
+end
+)";
+  k.argSpecs = {sema::ArgSpec::row(n), sema::ArgSpec::row(frameLen)};
+  InputGen gen(seed);
+  // Hann window.
+  Matrix w = Matrix::zeros(1, static_cast<std::size_t>(frameLen));
+  for (std::int64_t i = 0; i < frameLen; ++i) {
+    w.set(static_cast<std::size_t>(i),
+          Complex{0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                                       static_cast<double>(frameLen - 1)),
+                  0});
+  }
+  k.args = {gen.rowVector(n), std::move(w)};
+  return k;
+}
+
+KernelSpec makeFft(std::int64_t n, unsigned seed) {
+  KernelSpec k;
+  k.name = "fft";
+  k.title = "Radix-2 complex FFT (" + std::to_string(n) + " points)";
+  k.entry = "fftr2";
+  k.source = R"(
+function y = fftr2(x, tw)
+% In-place iterative radix-2 DIT FFT. tw holds the n/2 twiddle factors
+% tw(k) = exp(-2i*pi*(k-1)/n). Bit reversal uses the classic add-with-carry
+% while loop; butterfly stages double the span each pass.
+n = length(x);
+y = zeros(1, n);
+for i = 1:n
+  y(i) = x(i);
+end
+j = 1;
+for i = 1:n - 1
+  if i < j
+    t = y(j);
+    y(j) = y(i);
+    y(i) = t;
+  end
+  k = n / 2;
+  while k < j
+    j = j - k;
+    k = k / 2;
+  end
+  j = j + k;
+end
+len = 2;
+while len <= n
+  half = len / 2;
+  step = n / len;
+  for i = 1:len:n
+    for q = 1:half
+      p = i + q - 1;
+      w = tw((q - 1) * step + 1);
+      u = y(p);
+      v = y(p + half) * w;
+      y(p) = u + v;
+      y(p + half) = u - v;
+    end
+  end
+  len = len * 2;
+end
+end
+)";
+  k.argSpecs = {sema::ArgSpec::row(n, /*complex=*/true),
+                sema::ArgSpec::row(n / 2, /*complex=*/true)};
+  InputGen gen(seed);
+  Matrix tw = Matrix::zeros(1, static_cast<std::size_t>(n / 2), /*complex=*/true);
+  for (std::int64_t i = 0; i < n / 2; ++i) {
+    double ang = -2.0 * std::numbers::pi * static_cast<double>(i) / static_cast<double>(n);
+    tw.set(static_cast<std::size_t>(i), Complex{std::cos(ang), std::sin(ang)});
+  }
+  k.args = {gen.complexRowVector(n), std::move(tw)};
+  return k;
+}
+
+std::vector<KernelSpec> extendedKernelSuite() {
+  return {makeXcorr(), makeBlockDct(), makeFramePow(), makeFft()};
+}
+
+std::vector<KernelSpec> dspBenchmarkSuite() {
+  return {makeFir(), makeIir(), makeMatmul(), makeCdot(), makeFdeq(), makeFmdemod()};
+}
+
+KernelSpec kernelByName(const std::string& name) {
+  if (name == "fir") return makeFir();
+  if (name == "iir") return makeIir();
+  if (name == "matmul") return makeMatmul();
+  if (name == "cdot") return makeCdot();
+  if (name == "fdeq") return makeFdeq();
+  if (name == "fmdemod") return makeFmdemod();
+  if (name == "xcorr") return makeXcorr();
+  if (name == "blockdct") return makeBlockDct();
+  if (name == "framepow") return makeFramePow();
+  if (name == "fft") return makeFft();
+  throw std::invalid_argument("unknown kernel '" + name + "'");
+}
+
+}  // namespace mat2c::kernels

@@ -1,0 +1,72 @@
+// The DSP benchmark corpus.
+//
+// Six kernels matching the paper's evaluation domain ("an ASIP targeting DSP
+// applications", six DSP benchmarks, 2x-30x): they span unit-stride real MAC
+// loops (fir, matmul), recurrence-bound filters (iir), complex-arithmetic
+// kernels that exercise the cmul/cmac custom instructions (cdot, fdeq), and
+// a mixed kernel dominated by a scalar transcendental (fmdemod).
+// Every kernel is genuine MATLAB source compiled by the full pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interp/value.hpp"
+#include "sema/types.hpp"
+
+namespace mat2c::kernels {
+
+struct KernelSpec {
+  std::string name;         // short id: "fir"
+  std::string title;        // human description
+  std::string source;       // MATLAB source text
+  std::string entry;        // entry function name
+  std::vector<sema::ArgSpec> argSpecs;
+  std::vector<Matrix> args; // deterministic inputs matching argSpecs
+};
+
+/// Individual kernels with configurable problem sizes.
+KernelSpec makeFir(std::int64_t n = 1024, std::int64_t taps = 64, unsigned seed = 1);
+KernelSpec makeIir(std::int64_t n = 4096, std::int64_t sections = 8, unsigned seed = 2);
+KernelSpec makeMatmul(std::int64_t m = 48, std::int64_t k = 48, std::int64_t n = 48,
+                      unsigned seed = 3);
+KernelSpec makeCdot(std::int64_t n = 4096, unsigned seed = 4);
+KernelSpec makeFdeq(std::int64_t n = 4096, unsigned seed = 5);
+KernelSpec makeFmdemod(std::int64_t n = 4096, unsigned seed = 6);
+
+/// The paper-style benchmark suite (default sizes, fixed seeds).
+std::vector<KernelSpec> dspBenchmarkSuite();
+
+/// Extended corpus from the authors' journal follow-up: sliding-window
+/// cross-correlation, blockwise DCT-II, framed power estimation.
+KernelSpec makeXcorr(std::int64_t n = 2048, std::int64_t m = 64, unsigned seed = 7);
+KernelSpec makeBlockDct(std::int64_t blocks = 256, unsigned seed = 8);
+KernelSpec makeFramePow(std::int64_t frames = 128, std::int64_t frameLen = 32,
+                        unsigned seed = 9);
+KernelSpec makeFft(std::int64_t n = 1024, unsigned seed = 10);
+std::vector<KernelSpec> extendedKernelSuite();
+
+/// Kernel by name with default size ("fir", "iir", "matmul", "cdot",
+/// "fdeq", "fmdemod"); throws std::invalid_argument otherwise.
+KernelSpec kernelByName(const std::string& name);
+
+// -- deterministic input generators (shared with tests/benches) -------------
+
+/// xorshift-based uniform doubles in [-1, 1].
+class InputGen {
+ public:
+  explicit InputGen(unsigned seed) : state_(seed * 2654435761u + 1u) {}
+  double next();
+  Matrix rowVector(std::int64_t n);
+  Matrix complexRowVector(std::int64_t n);
+  Matrix matrix(std::int64_t rows, std::int64_t cols);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// S cascaded stable RBJ low-pass biquads: returns [b | a] as S x 3 each.
+void biquadCascade(std::int64_t sections, Matrix& b, Matrix& a);
+
+}  // namespace mat2c::kernels

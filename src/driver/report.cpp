@@ -1,0 +1,63 @@
+#include "driver/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mat2c::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::toString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto emitRow = [&](const std::vector<std::string>& row, std::ostringstream& os) {
+    os << "| ";
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      os << (i + 1 < headers_.size() ? " | " : " |");
+    }
+    os << '\n';
+  };
+  std::ostringstream os;
+  emitRow(headers_, os);
+  os << "|";
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    os << std::string(widths[i] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emitRow(row, os);
+  return os.str();
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::cycles(double v) {
+  auto raw = std::to_string(static_cast<long long>(v + 0.5));
+  std::string out;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count && count % 3 == 0 && *it != '-') out += ',';
+    out += *it;
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mat2c::report

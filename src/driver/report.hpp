@@ -1,0 +1,28 @@
+// Plain-text table rendering for benchmark harness output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mat2c::report {
+
+/// Monospace table with a header row, column alignment, and a rule line —
+/// matches the formatting of the paper-style result tables in
+/// EXPERIMENTS.md.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+  std::string toString() const;
+
+  /// Convenience formatting used across benches.
+  static std::string num(double v, int precision = 1);
+  static std::string cycles(double v);  // thousands separators
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mat2c::report

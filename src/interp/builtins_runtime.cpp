@@ -1,0 +1,642 @@
+// Builtin-function catalog for the reference interpreter.
+//
+// Implements the MATLAB builtins the DSP-kernel domain needs. FFT/IFFT are
+// direct radix-2 (power-of-two) with an O(n^2) DFT fallback, which keeps the
+// oracle simple and obviously correct.
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "interp/interpreter.hpp"
+
+namespace mat2c {
+namespace {
+
+void requireArgs(const std::vector<Matrix>& args, std::size_t lo, std::size_t hi,
+                 const char* name) {
+  if (args.size() < lo || args.size() > hi) {
+    throw RuntimeError(std::string(name) + ": wrong number of arguments");
+  }
+}
+
+std::vector<Matrix> one(Matrix m) {
+  std::vector<Matrix> out;
+  out.push_back(std::move(m));
+  return out;
+}
+
+Matrix mapC(const Matrix& a, Complex (*f)(Complex)) { return mapUnaryComplex(a, f); }
+
+// zeros/ones/eye share the size-argument convention: (), (n), (m, n).
+Matrix sized(const std::vector<Matrix>& args, const char* name, double fill) {
+  std::size_t m = 1;
+  std::size_t n = 1;
+  if (args.size() == 1) {
+    double v = args[0].scalarValue();
+    if (v < 0) v = 0;
+    m = n = static_cast<std::size_t>(v);
+  } else if (args.size() == 2) {
+    double mv = args[0].scalarValue();
+    double nv = args[1].scalarValue();
+    m = static_cast<std::size_t>(std::max(0.0, mv));
+    n = static_cast<std::size_t>(std::max(0.0, nv));
+  } else if (args.size() > 2) {
+    throw RuntimeError(std::string(name) + ": only 2-D arrays are supported");
+  }
+  Matrix out = Matrix::zeros(m, n);
+  if (fill != 0.0) {
+    for (std::size_t i = 0; i < out.numel(); ++i) out.set(i, Complex{fill, 0.0});
+  }
+  return out;
+}
+
+// Reduction over the "MATLAB default" dimension: columns of a matrix, the
+// vector itself for row/column vectors.
+template <typename Fold>
+Matrix reduce(const Matrix& a, Fold fold, Complex init, bool emptyIsInit) {
+  if (a.empty()) {
+    if (emptyIsInit) return Matrix::scalar(init);
+    return Matrix();
+  }
+  if (a.isVector()) {
+    Complex acc = init;
+    for (std::size_t i = 0; i < a.numel(); ++i) acc = fold(acc, a.at(i));
+    return Matrix::scalar(acc);
+  }
+  Matrix out = Matrix::zeros(1, a.cols(), a.isComplex());
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    Complex acc = init;
+    for (std::size_t r = 0; r < a.rows(); ++r) acc = fold(acc, a.at(r, c));
+    out.set(0, c, acc);
+  }
+  out.dropZeroImag();
+  return out;
+}
+
+// min/max: one-arg reduction (value + index) or two-arg elementwise.
+std::vector<Matrix> minmax(const std::vector<Matrix>& args, std::size_t nOut, bool isMax) {
+  const char* name = isMax ? "max" : "min";
+  requireArgs(args, 1, 2, name);
+  auto better = [isMax](double cand, double best) {
+    return isMax ? cand > best : cand < best;
+  };
+  if (args.size() == 2) {
+    const Matrix& a = args[0];
+    const Matrix& b = args[1];
+    if (a.isComplex() || b.isComplex())
+      throw RuntimeError(std::string(name) + ": complex two-arg form not supported");
+    const bool aS = a.isScalar();
+    const bool bS = b.isScalar();
+    if (!aS && !bS && (a.rows() != b.rows() || a.cols() != b.cols()))
+      throw RuntimeError(std::string(name) + ": dimension mismatch");
+    std::size_t rows = aS ? b.rows() : a.rows();
+    std::size_t cols = aS ? b.cols() : a.cols();
+    Matrix out = Matrix::zeros(rows, cols);
+    for (std::size_t i = 0; i < rows * cols; ++i) {
+      double av = aS ? a.real(0) : a.real(i);
+      double bv = bS ? b.real(0) : b.real(i);
+      out.set(i, Complex{better(av, bv) ? av : bv, 0.0});
+    }
+    return one(std::move(out));
+  }
+  const Matrix& a = args[0];
+  if (a.empty()) return one(Matrix());
+  auto key = [&](std::size_t i) {
+    // MATLAB compares complex values by magnitude for min/max.
+    return a.isComplex() ? std::abs(a.at(i)) : a.real(i);
+  };
+  if (a.isVector()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < a.numel(); ++i) {
+      if (better(key(i), key(best))) best = i;
+    }
+    std::vector<Matrix> out = one(Matrix::scalar(a.at(best)));
+    if (nOut >= 2) out.push_back(Matrix::scalar(static_cast<double>(best + 1)));
+    return out;
+  }
+  Matrix vals = Matrix::zeros(1, a.cols(), a.isComplex());
+  Matrix idxs = Matrix::zeros(1, a.cols());
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < a.rows(); ++r) {
+      if (better(a.isComplex() ? std::abs(a.at(r, c)) : a.real(r + c * a.rows()),
+                 a.isComplex() ? std::abs(a.at(best, c)) : a.real(best + c * a.rows())))
+        best = r;
+    }
+    vals.set(0, c, a.at(best, c));
+    idxs.set(0, c, Complex{static_cast<double>(best + 1), 0.0});
+  }
+  vals.dropZeroImag();
+  std::vector<Matrix> out = one(std::move(vals));
+  if (nOut >= 2) out.push_back(std::move(idxs));
+  return out;
+}
+
+// Radix-2 FFT on a length-n buffer; n must be a power of two.
+void fftRadix2(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    double ang = 2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    Complex wl(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        Complex u = a[i + k];
+        Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wl;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+Matrix fftImpl(const Matrix& in, bool inverse) {
+  if (!in.isVector() && !in.empty())
+    throw RuntimeError("fft: only vectors are supported");
+  const std::size_t n = in.numel();
+  std::vector<Complex> buf(n);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = in.at(i);
+  bool pow2 = n != 0 && (n & (n - 1)) == 0;
+  if (pow2) {
+    fftRadix2(buf, inverse);
+  } else {
+    // O(n^2) DFT fallback for non-power-of-two lengths.
+    std::vector<Complex> out(n);
+    double sign = inverse ? 1.0 : -1.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      Complex acc{0.0, 0.0};
+      for (std::size_t t = 0; t < n; ++t) {
+        double ang = sign * 2.0 * std::numbers::pi * static_cast<double>(k) *
+                     static_cast<double>(t) / static_cast<double>(n);
+        acc += buf[t] * Complex(std::cos(ang), std::sin(ang));
+      }
+      out[k] = inverse ? acc / static_cast<double>(n) : acc;
+    }
+    buf = std::move(out);
+  }
+  Matrix out = Matrix::zeros(in.isRow() ? 1 : n, in.isRow() ? n : (n ? 1 : 0),
+                             /*complex=*/true);
+  for (std::size_t i = 0; i < n; ++i) out.set(i, buf[i]);
+  out.dropZeroImag();
+  return out;
+}
+
+const std::map<std::string, BuiltinFn>& makeTable() {
+  static const std::map<std::string, BuiltinFn> table = [] {
+    std::map<std::string, BuiltinFn> t;
+
+    t["pi"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 0, 0, "pi");
+      return one(Matrix::scalar(std::numbers::pi));
+    };
+    t["eps"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 0, 0, "eps");
+      return one(Matrix::scalar(2.220446049250313e-16));
+    };
+    t["zeros"] = [](const std::vector<Matrix>& args, std::size_t) {
+      return one(sized(args, "zeros", 0.0));
+    };
+    t["ones"] = [](const std::vector<Matrix>& args, std::size_t) {
+      return one(sized(args, "ones", 1.0));
+    };
+    t["eye"] = [](const std::vector<Matrix>& args, std::size_t) {
+      Matrix m = sized(args, "eye", 0.0);
+      for (std::size_t i = 0; i < std::min(m.rows(), m.cols()); ++i)
+        m.set(i, i, Complex{1.0, 0.0});
+      return one(std::move(m));
+    };
+    t["length"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "length");
+      return one(Matrix::scalar(static_cast<double>(std::max(args[0].rows(), args[0].cols()))));
+    };
+    t["numel"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "numel");
+      return one(Matrix::scalar(static_cast<double>(args[0].numel())));
+    };
+    t["size"] = [](const std::vector<Matrix>& args, std::size_t nOut) {
+      requireArgs(args, 1, 2, "size");
+      double m = static_cast<double>(args[0].rows());
+      double n = static_cast<double>(args[0].cols());
+      if (args.size() == 2) {
+        double d = args[1].scalarValue();
+        return one(Matrix::scalar(d == 1.0 ? m : (d == 2.0 ? n : 1.0)));
+      }
+      if (nOut >= 2) {
+        std::vector<Matrix> out = one(Matrix::scalar(m));
+        out.push_back(Matrix::scalar(n));
+        return out;
+      }
+      Matrix both = Matrix::rowVector({m, n});
+      return one(std::move(both));
+    };
+    t["isempty"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "isempty");
+      return one(Matrix::logicalScalar(args[0].empty()));
+    };
+    t["isreal"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "isreal");
+      return one(Matrix::logicalScalar(!args[0].isComplex()));
+    };
+    t["reshape"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 3, 3, "reshape");
+      auto m = static_cast<std::size_t>(args[1].scalarValue());
+      auto n = static_cast<std::size_t>(args[2].scalarValue());
+      if (m * n != args[0].numel()) throw RuntimeError("reshape: element count mismatch");
+      Matrix out = Matrix::zeros(m, n, args[0].isComplex());
+      for (std::size_t i = 0; i < m * n; ++i) out.set(i, args[0].at(i));
+      return one(std::move(out));
+    };
+    t["linspace"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 2, 3, "linspace");
+      double a = args[0].scalarValue();
+      double b = args[1].scalarValue();
+      auto n = static_cast<std::size_t>(args.size() == 3 ? args[2].scalarValue() : 100);
+      Matrix out = Matrix::zeros(1, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        double frac = n > 1 ? static_cast<double>(i) / static_cast<double>(n - 1) : 1.0;
+        out.set(i, Complex{a + (b - a) * frac, 0.0});
+      }
+      return one(std::move(out));
+    };
+
+    // -- reductions ---------------------------------------------------------
+    t["sum"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "sum");
+      return one(reduce(args[0], [](Complex a, Complex b) { return a + b; }, Complex{},
+                        /*emptyIsInit=*/true));
+    };
+    t["prod"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "prod");
+      return one(reduce(args[0], [](Complex a, Complex b) { return a * b; }, Complex{1.0, 0.0},
+                        /*emptyIsInit=*/true));
+    };
+    t["mean"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "mean");
+      const Matrix& a = args[0];
+      Matrix s = reduce(a, [](Complex x, Complex y) { return x + y; }, Complex{}, true);
+      double n = static_cast<double>(a.isVector() ? a.numel() : a.rows());
+      return one(elementwise(ElemOp::Div, s, Matrix::scalar(n)));
+    };
+    t["min"] = [](const std::vector<Matrix>& args, std::size_t nOut) {
+      return minmax(args, nOut, /*isMax=*/false);
+    };
+    t["max"] = [](const std::vector<Matrix>& args, std::size_t nOut) {
+      return minmax(args, nOut, /*isMax=*/true);
+    };
+    t["any"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "any");
+      Matrix r = reduce(args[0],
+                        [](Complex a, Complex b) {
+                          return Complex{(a != Complex{} || b != Complex{}) ? 1.0 : 0.0, 0.0};
+                        },
+                        Complex{}, true);
+      r.setLogical(true);
+      return one(std::move(r));
+    };
+    t["all"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "all");
+      Matrix r = reduce(args[0],
+                        [](Complex a, Complex b) {
+                          return Complex{(a != Complex{} && b != Complex{}) ? 1.0 : 0.0, 0.0};
+                        },
+                        Complex{1.0, 0.0}, true);
+      r.setLogical(true);
+      return one(std::move(r));
+    };
+    t["norm"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "norm");
+      if (!args[0].isVector() && !args[0].empty())
+        throw RuntimeError("norm: only vectors supported");
+      double acc = 0.0;
+      for (std::size_t i = 0; i < args[0].numel(); ++i) acc += std::norm(args[0].at(i));
+      return one(Matrix::scalar(std::sqrt(acc)));
+    };
+    t["dot"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 2, 2, "dot");
+      const Matrix& a = args[0];
+      const Matrix& b = args[1];
+      if (a.numel() != b.numel()) throw RuntimeError("dot: length mismatch");
+      Complex acc{};
+      for (std::size_t i = 0; i < a.numel(); ++i) acc += std::conj(a.at(i)) * b.at(i);
+      return one(Matrix::scalar(acc));
+    };
+
+    // -- scalar math mapped elementwise --------------------------------------
+    t["abs"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "abs");
+      Matrix out = Matrix::zeros(args[0].rows(), args[0].cols());
+      for (std::size_t i = 0; i < args[0].numel(); ++i)
+        out.set(i, Complex{std::abs(args[0].at(i)), 0.0});
+      return one(std::move(out));
+    };
+    t["sqrt"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "sqrt");
+      const Matrix& a = args[0];
+      bool needComplex = a.isComplex();
+      if (!needComplex) {
+        for (std::size_t i = 0; i < a.numel(); ++i) {
+          if (a.real(i) < 0.0) {
+            needComplex = true;
+            break;
+          }
+        }
+      }
+      if (!needComplex) return one(mapUnary(a, [](double v) { return std::sqrt(v); }));
+      return one(mapC(a, [](Complex v) { return std::sqrt(v); }));
+    };
+    t["exp"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "exp");
+      if (!args[0].isComplex())
+        return one(mapUnary(args[0], [](double v) { return std::exp(v); }));
+      return one(mapC(args[0], [](Complex v) { return std::exp(v); }));
+    };
+    t["log"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "log");
+      if (!args[0].isComplex())
+        return one(mapUnary(args[0], [](double v) { return std::log(v); }));
+      return one(mapC(args[0], [](Complex v) { return std::log(v); }));
+    };
+    t["log2"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "log2");
+      return one(mapUnary(args[0], [](double v) { return std::log2(v); }));
+    };
+    t["log10"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "log10");
+      return one(mapUnary(args[0], [](double v) { return std::log10(v); }));
+    };
+    auto realFn = [](const char* name, double (*f)(double)) {
+      return [name, f](const std::vector<Matrix>& args, std::size_t) {
+        requireArgs(args, 1, 1, name);
+        return one(mapUnary(args[0], f));
+      };
+    };
+    t["sin"] = realFn("sin", [](double v) { return std::sin(v); });
+    t["cos"] = realFn("cos", [](double v) { return std::cos(v); });
+    t["tan"] = realFn("tan", [](double v) { return std::tan(v); });
+    t["asin"] = realFn("asin", [](double v) { return std::asin(v); });
+    t["acos"] = realFn("acos", [](double v) { return std::acos(v); });
+    t["atan"] = realFn("atan", [](double v) { return std::atan(v); });
+    t["floor"] = realFn("floor", [](double v) { return std::floor(v); });
+    t["ceil"] = realFn("ceil", [](double v) { return std::ceil(v); });
+    t["round"] = realFn("round", [](double v) { return std::round(v); });
+    t["fix"] = realFn("fix", [](double v) { return std::trunc(v); });
+    t["sign"] = realFn("sign", [](double v) { return v > 0 ? 1.0 : (v < 0 ? -1.0 : 0.0); });
+    t["atan2"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 2, 2, "atan2");
+      const Matrix& y = args[0];
+      const Matrix& x = args[1];
+      const bool yS = y.isScalar();
+      const bool xS = x.isScalar();
+      if (!yS && !xS && (y.rows() != x.rows() || y.cols() != x.cols()))
+        throw RuntimeError("atan2: dimension mismatch");
+      std::size_t rows = yS ? x.rows() : y.rows();
+      std::size_t cols = yS ? x.cols() : y.cols();
+      Matrix out = Matrix::zeros(rows, cols);
+      for (std::size_t i = 0; i < rows * cols; ++i) {
+        out.set(i, Complex{std::atan2(yS ? y.real(0) : y.real(i), xS ? x.real(0) : x.real(i)),
+                           0.0});
+      }
+      return one(std::move(out));
+    };
+    t["mod"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 2, 2, "mod");
+      const Matrix& a = args[0];
+      const Matrix& b = args[1];
+      const bool aS = a.isScalar();
+      const bool bS = b.isScalar();
+      std::size_t rows = aS ? b.rows() : a.rows();
+      std::size_t cols = aS ? b.cols() : a.cols();
+      Matrix out = Matrix::zeros(rows, cols);
+      for (std::size_t i = 0; i < rows * cols; ++i) {
+        double x = aS ? a.real(0) : a.real(i);
+        double m = bS ? b.real(0) : b.real(i);
+        double r = m == 0.0 ? x : x - std::floor(x / m) * m;
+        out.set(i, Complex{r, 0.0});
+      }
+      return one(std::move(out));
+    };
+    t["rem"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 2, 2, "rem");
+      const Matrix& a = args[0];
+      const Matrix& b = args[1];
+      const bool aS = a.isScalar();
+      const bool bS = b.isScalar();
+      std::size_t rows = aS ? b.rows() : a.rows();
+      std::size_t cols = aS ? b.cols() : a.cols();
+      Matrix out = Matrix::zeros(rows, cols);
+      for (std::size_t i = 0; i < rows * cols; ++i) {
+        double x = aS ? a.real(0) : a.real(i);
+        double m = bS ? b.real(0) : b.real(i);
+        out.set(i, Complex{m == 0.0 ? x : std::fmod(x, m), 0.0});
+      }
+      return one(std::move(out));
+    };
+
+    // -- complex support ------------------------------------------------------
+    t["real"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "real");
+      Matrix out = Matrix::zeros(args[0].rows(), args[0].cols());
+      for (std::size_t i = 0; i < args[0].numel(); ++i)
+        out.set(i, Complex{args[0].real(i), 0.0});
+      return one(std::move(out));
+    };
+    t["imag"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "imag");
+      Matrix out = Matrix::zeros(args[0].rows(), args[0].cols());
+      for (std::size_t i = 0; i < args[0].numel(); ++i)
+        out.set(i, Complex{args[0].imag(i), 0.0});
+      return one(std::move(out));
+    };
+    t["conj"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "conj");
+      return one(mapC(args[0], [](Complex v) { return std::conj(v); }));
+    };
+    t["angle"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "angle");
+      Matrix out = Matrix::zeros(args[0].rows(), args[0].cols());
+      for (std::size_t i = 0; i < args[0].numel(); ++i)
+        out.set(i, Complex{std::arg(args[0].at(i)), 0.0});
+      return one(std::move(out));
+    };
+    t["complex"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 2, 2, "complex");
+      const Matrix& re = args[0];
+      const Matrix& im = args[1];
+      const bool rS = re.isScalar();
+      const bool iS = im.isScalar();
+      std::size_t rows = rS ? im.rows() : re.rows();
+      std::size_t cols = rS ? im.cols() : re.cols();
+      Matrix out = Matrix::zeros(rows, cols, /*complex=*/true);
+      for (std::size_t i = 0; i < rows * cols; ++i) {
+        out.set(i, Complex{rS ? re.real(0) : re.real(i), iS ? im.real(0) : im.real(i)});
+      }
+      return one(std::move(out));
+    };
+
+    // -- transforms -----------------------------------------------------------
+    t["fft"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "fft");
+      return one(fftImpl(args[0], /*inverse=*/false));
+    };
+    t["ifft"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "ifft");
+      return one(fftImpl(args[0], /*inverse=*/true));
+    };
+
+    // -- ordering / accumulation ----------------------------------------------
+    t["sort"] = [](const std::vector<Matrix>& args, std::size_t nOut) {
+      requireArgs(args, 1, 2, "sort");
+      const Matrix& a = args[0];
+      if (!a.isVector() && !a.empty())
+        throw RuntimeError("sort: only vectors are supported");
+      bool descend = false;
+      if (args.size() == 2) {
+        if (!args[1].isString()) throw RuntimeError("sort: mode must be a string");
+        std::string mode = args[1].stringValue();
+        if (mode == "descend") {
+          descend = true;
+        } else if (mode != "ascend") {
+          throw RuntimeError("sort: unknown mode '" + mode + "'");
+        }
+      }
+      std::vector<std::size_t> order(a.numel());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      auto key = [&](std::size_t i) {
+        return a.isComplex() ? std::abs(a.at(i)) : a.real(i);
+      };
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return descend ? key(x) > key(y) : key(x) < key(y);
+      });
+      Matrix vals = Matrix::zeros(a.rows(), a.cols(), a.isComplex());
+      Matrix idxs = Matrix::zeros(a.rows(), a.cols());
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        vals.set(i, a.at(order[i]));
+        idxs.set(i, Complex{static_cast<double>(order[i] + 1), 0.0});
+      }
+      vals.dropZeroImag();
+      std::vector<Matrix> out = one(std::move(vals));
+      if (nOut >= 2) out.push_back(std::move(idxs));
+      return out;
+    };
+    t["cumsum"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "cumsum");
+      const Matrix& a = args[0];
+      if (!a.isVector() && !a.empty())
+        throw RuntimeError("cumsum: only vectors are supported");
+      Matrix out = Matrix::zeros(a.rows(), a.cols(), a.isComplex());
+      Complex acc{};
+      for (std::size_t i = 0; i < a.numel(); ++i) {
+        acc += a.at(i);
+        out.set(i, acc);
+      }
+      out.dropZeroImag();
+      return one(std::move(out));
+    };
+    t["cumprod"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "cumprod");
+      const Matrix& a = args[0];
+      if (!a.isVector() && !a.empty())
+        throw RuntimeError("cumprod: only vectors are supported");
+      Matrix out = Matrix::zeros(a.rows(), a.cols(), a.isComplex());
+      Complex acc{1.0, 0.0};
+      for (std::size_t i = 0; i < a.numel(); ++i) {
+        acc *= a.at(i);
+        out.set(i, acc);
+      }
+      out.dropZeroImag();
+      return one(std::move(out));
+    };
+    t["var"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "var");
+      const Matrix& a = args[0];
+      if (!a.isVector()) throw RuntimeError("var: only vectors are supported");
+      std::size_t n = a.numel();
+      if (n < 2) return one(Matrix::scalar(0.0));
+      Complex mean{};
+      for (std::size_t i = 0; i < n; ++i) mean += a.at(i);
+      mean /= static_cast<double>(n);
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += std::norm(a.at(i) - mean);
+      return one(Matrix::scalar(acc / static_cast<double>(n - 1)));
+    };
+    t["std"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "std");
+      const Matrix& a = args[0];
+      if (!a.isVector()) throw RuntimeError("std: only vectors are supported");
+      std::size_t n = a.numel();
+      if (n < 2) return one(Matrix::scalar(0.0));
+      Complex mean{};
+      for (std::size_t i = 0; i < n; ++i) mean += a.at(i);
+      mean /= static_cast<double>(n);
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += std::norm(a.at(i) - mean);
+      return one(Matrix::scalar(std::sqrt(acc / static_cast<double>(n - 1))));
+    };
+    t["repmat"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 3, 3, "repmat");
+      const Matrix& a = args[0];
+      auto rr = static_cast<std::size_t>(args[1].scalarValue());
+      auto cc = static_cast<std::size_t>(args[2].scalarValue());
+      Matrix out = Matrix::zeros(a.rows() * rr, a.cols() * cc, a.isComplex());
+      for (std::size_t bc = 0; bc < cc; ++bc) {
+        for (std::size_t br = 0; br < rr; ++br) {
+          for (std::size_t c = 0; c < a.cols(); ++c) {
+            for (std::size_t r = 0; r < a.rows(); ++r) {
+              out.set(br * a.rows() + r, bc * a.cols() + c, a.at(r, c));
+            }
+          }
+        }
+      }
+      out.dropZeroImag();
+      return one(std::move(out));
+    };
+
+    // -- misc -----------------------------------------------------------------
+    t["disp"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "disp");
+      return std::vector<Matrix>{};
+    };
+    t["error"] = [](const std::vector<Matrix>& args, std::size_t) -> std::vector<Matrix> {
+      std::string msg = "error";
+      if (!args.empty() && args[0].isString()) msg = args[0].stringValue();
+      throw RuntimeError(msg);
+    };
+    t["fliplr"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "fliplr");
+      const Matrix& a = args[0];
+      Matrix out = Matrix::zeros(a.rows(), a.cols(), a.isComplex());
+      for (std::size_t c = 0; c < a.cols(); ++c)
+        for (std::size_t r = 0; r < a.rows(); ++r) out.set(r, a.cols() - 1 - c, a.at(r, c));
+      return one(std::move(out));
+    };
+    t["flipud"] = [](const std::vector<Matrix>& args, std::size_t) {
+      requireArgs(args, 1, 1, "flipud");
+      const Matrix& a = args[0];
+      Matrix out = Matrix::zeros(a.rows(), a.cols(), a.isComplex());
+      for (std::size_t c = 0; c < a.cols(); ++c)
+        for (std::size_t r = 0; r < a.rows(); ++r) out.set(a.rows() - 1 - r, c, a.at(r, c));
+      return one(std::move(out));
+    };
+
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+const std::map<std::string, BuiltinFn>& builtinRuntime() { return makeTable(); }
+
+bool isRuntimeBuiltin(const std::string& name) { return builtinRuntime().count(name) != 0; }
+
+}  // namespace mat2c

@@ -1,0 +1,548 @@
+#include "interp/interpreter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mat2c {
+
+using namespace ast;
+
+Interpreter::Interpreter(const Program& program) : program_(program) {}
+
+void Interpreter::step() {
+  if (++steps_ > maxSteps_) throw RuntimeError("interpreter step budget exceeded");
+}
+
+std::vector<Matrix> Interpreter::callFunction(const std::string& name,
+                                              const std::vector<Matrix>& args,
+                                              std::size_t nOut) {
+  const Function* fn = program_.findFunction(name);
+  if (!fn) throw RuntimeError("undefined function '" + name + "'");
+  if (args.size() > fn->params.size())
+    throw RuntimeError("too many arguments to '" + name + "'");
+  if (nOut > fn->outs.size() && !(nOut == 1 && fn->outs.empty()))
+    throw RuntimeError("too many outputs requested from '" + name + "'");
+  if (++callDepth_ > 200) {
+    --callDepth_;
+    throw RuntimeError("recursion limit exceeded");
+  }
+
+  Env env;
+  for (std::size_t i = 0; i < args.size(); ++i) env.vars[fn->params[i]] = args[i];
+  try {
+    execBlock(fn->body, env);
+  } catch (const ReturnSignal&) {
+  }
+  --callDepth_;
+
+  std::vector<Matrix> outs;
+  for (std::size_t i = 0; i < std::max<std::size_t>(nOut, 1) && i < fn->outs.size(); ++i) {
+    auto it = env.vars.find(fn->outs[i]);
+    if (it == env.vars.end())
+      throw RuntimeError("output '" + fn->outs[i] + "' of '" + name + "' was never assigned");
+    outs.push_back(it->second);
+  }
+  return outs;
+}
+
+std::map<std::string, Matrix> Interpreter::runScript() {
+  Env env;
+  execBlock(program_.scriptBody, env);
+  return env.vars;
+}
+
+void Interpreter::execBlock(const std::vector<StmtPtr>& body, Env& env) {
+  for (const auto& s : body) execStmt(*s, env);
+}
+
+void Interpreter::execStmt(const Stmt& stmt, Env& env) {
+  step();
+  switch (stmt.kind) {
+    case NodeKind::Assign:
+      execAssign(static_cast<const Assign&>(stmt), env);
+      return;
+    case NodeKind::ExprStmt:
+      eval(*static_cast<const ExprStmt&>(stmt).expr, env);
+      return;
+    case NodeKind::If: {
+      const auto& s = static_cast<const If&>(stmt);
+      for (const auto& b : s.branches) {
+        if (eval(*b.cond, env).truthy()) {
+          execBlock(b.body, env);
+          return;
+        }
+      }
+      execBlock(s.elseBody, env);
+      return;
+    }
+    case NodeKind::For: {
+      const auto& s = static_cast<const For&>(stmt);
+      Matrix range = eval(*s.range, env);
+      // MATLAB iterates over the columns of the range value.
+      for (std::size_t c = 0; c < range.cols(); ++c) {
+        Matrix iter;
+        if (range.rows() == 1) {
+          iter = Matrix::scalar(range.at(0, c));
+        } else {
+          iter = Matrix::zeros(range.rows(), 1, range.isComplex());
+          for (std::size_t r = 0; r < range.rows(); ++r) iter.set(r, 0, range.at(r, c));
+        }
+        env.vars[s.var] = std::move(iter);
+        try {
+          execBlock(s.body, env);
+        } catch (const BreakSignal&) {
+          return;
+        } catch (const ContinueSignal&) {
+        }
+      }
+      return;
+    }
+    case NodeKind::While: {
+      const auto& s = static_cast<const While&>(stmt);
+      while (true) {
+        step();
+        if (!eval(*s.cond, env).truthy()) return;
+        try {
+          execBlock(s.body, env);
+        } catch (const BreakSignal&) {
+          return;
+        } catch (const ContinueSignal&) {
+        }
+      }
+    }
+    case NodeKind::Switch: {
+      const auto& s = static_cast<const Switch&>(stmt);
+      Matrix subject = eval(*s.subject, env);
+      auto matches = [&](const Matrix& v) {
+        if (subject.isString() && v.isString())
+          return subject.stringValue() == v.stringValue();
+        if (subject.isScalar() && v.isScalar())
+          return subject.at(0) == v.at(0);
+        return false;
+      };
+      for (const auto& c : s.cases) {
+        bool hit = false;
+        if (c.value->kind == NodeKind::MatrixLit) {
+          // case {a, b} alternative lists use cell arrays in MATLAB; we accept
+          // a bracketed list of scalars with the same meaning.
+          const auto& lit = static_cast<const MatrixLit&>(*c.value);
+          for (const auto& row : lit.rows) {
+            for (const auto& el : row) {
+              if (matches(eval(*el, env))) {
+                hit = true;
+                break;
+              }
+            }
+          }
+        } else {
+          hit = matches(eval(*c.value, env));
+        }
+        if (hit) {
+          execBlock(c.body, env);
+          return;
+        }
+      }
+      execBlock(s.otherwise, env);
+      return;
+    }
+    case NodeKind::Break: throw BreakSignal{};
+    case NodeKind::Continue: throw ContinueSignal{};
+    case NodeKind::Return: throw ReturnSignal{};
+    default:
+      throw RuntimeError(std::string("cannot execute node ") + toString(stmt.kind));
+  }
+}
+
+void Interpreter::execAssign(const Assign& stmt, Env& env) {
+  if (stmt.targets.size() == 1) {
+    assignInto(stmt.targets[0], eval(*stmt.rhs, env), env);
+    return;
+  }
+  std::vector<Matrix> values = evalMulti(*stmt.rhs, env, stmt.targets.size());
+  if (values.size() < stmt.targets.size())
+    throw RuntimeError("not enough output values for multi-assignment");
+  for (std::size_t i = 0; i < stmt.targets.size(); ++i) {
+    assignInto(stmt.targets[i], std::move(values[i]), env);
+  }
+}
+
+void Interpreter::assignInto(const LValue& target, Matrix value, Env& env) {
+  if (target.indices.empty()) {
+    env.vars[target.name] = std::move(value);
+    return;
+  }
+  Matrix& base = env.vars[target.name];  // default-constructs empty for growth
+  indexAssign(base, target.indices, value, env);
+}
+
+Matrix Interpreter::eval(const Expr& expr, Env& env) {
+  std::vector<Matrix> vals = evalMulti(expr, env, 1);
+  if (vals.empty()) throw RuntimeError("expression produced no value");
+  return std::move(vals[0]);
+}
+
+std::vector<Matrix> Interpreter::evalMulti(const Expr& expr, Env& env, std::size_t nOut) {
+  step();
+  switch (expr.kind) {
+    case NodeKind::NumberLit: {
+      const auto& e = static_cast<const NumberLit&>(expr);
+      if (e.imaginary) return {Matrix::scalar(Complex{0.0, e.value})};
+      return {Matrix::scalar(e.value)};
+    }
+    case NodeKind::StringLit:
+      return {Matrix::fromString(static_cast<const StringLit&>(expr).value)};
+    case NodeKind::Ident: {
+      const auto& e = static_cast<const Ident&>(expr);
+      auto it = env.vars.find(e.name);
+      if (it != env.vars.end()) return {it->second};
+      // Zero-argument call: user function or builtin constant.
+      if (program_.findFunction(e.name)) return callFunction(e.name, {}, nOut);
+      auto bit = builtinRuntime().find(e.name);
+      if (bit != builtinRuntime().end()) return bit->second({}, nOut);
+      throw RuntimeError("undefined variable or function '" + e.name + "'");
+    }
+    case NodeKind::Unary: {
+      const auto& e = static_cast<const Unary&>(expr);
+      Matrix v = eval(*e.operand, env);
+      switch (e.op) {
+        case UnaryOp::Neg: return {negate(v)};
+        case UnaryOp::Plus: return {std::move(v)};
+        case UnaryOp::Not: return {logicalNot(v)};
+      }
+      throw RuntimeError("bad unary op");
+    }
+    case NodeKind::Binary:
+      return {evalBinary(static_cast<const Binary&>(expr), env)};
+    case NodeKind::Transpose: {
+      const auto& e = static_cast<const Transpose&>(expr);
+      return {transpose(eval(*e.operand, env), e.conjugate)};
+    }
+    case NodeKind::Range:
+      return {evalRange(static_cast<const Range&>(expr), env)};
+    case NodeKind::MatrixLit:
+      return {evalMatrixLit(static_cast<const MatrixLit&>(expr), env)};
+    case NodeKind::CallIndex:
+      return evalCallIndex(static_cast<const CallIndex&>(expr), env, nOut);
+    case NodeKind::Colon:
+    case NodeKind::End:
+      throw RuntimeError("':'/'end' outside of an index expression");
+    default:
+      throw RuntimeError(std::string("cannot evaluate node ") + toString(expr.kind));
+  }
+}
+
+Matrix Interpreter::evalBinary(const Binary& expr, Env& env) {
+  // Short-circuit forms evaluate scalars lazily.
+  if (expr.op == BinaryOp::AndAnd) {
+    if (!eval(*expr.lhs, env).truthy()) return Matrix::logicalScalar(false);
+    return Matrix::logicalScalar(eval(*expr.rhs, env).truthy());
+  }
+  if (expr.op == BinaryOp::OrOr) {
+    if (eval(*expr.lhs, env).truthy()) return Matrix::logicalScalar(true);
+    return Matrix::logicalScalar(eval(*expr.rhs, env).truthy());
+  }
+
+  Matrix a = eval(*expr.lhs, env);
+  Matrix b = eval(*expr.rhs, env);
+  switch (expr.op) {
+    case BinaryOp::Add: return elementwise(ElemOp::Add, a, b);
+    case BinaryOp::Sub: return elementwise(ElemOp::Sub, a, b);
+    case BinaryOp::ElemMul: return elementwise(ElemOp::Mul, a, b);
+    case BinaryOp::ElemDiv: return elementwise(ElemOp::Div, a, b);
+    case BinaryOp::ElemLeftDiv: return elementwise(ElemOp::LeftDiv, a, b);
+    case BinaryOp::ElemPow: return elementwise(ElemOp::Pow, a, b);
+    case BinaryOp::MatMul: return matmul(a, b);
+    case BinaryOp::MatDiv:
+      if (b.isScalar()) return elementwise(ElemOp::Div, a, b);
+      throw RuntimeError("matrix right division is not supported (use ./ or a solver)");
+    case BinaryOp::MatLeftDiv:
+      if (a.isScalar()) return elementwise(ElemOp::LeftDiv, a, b);
+      throw RuntimeError("matrix left division is not supported");
+    case BinaryOp::MatPow:
+      if (a.isScalar() && b.isScalar()) return elementwise(ElemOp::Pow, a, b);
+      throw RuntimeError("matrix power is only supported for scalars");
+    case BinaryOp::Eq: return elementwise(ElemOp::Eq, a, b);
+    case BinaryOp::Ne: return elementwise(ElemOp::Ne, a, b);
+    case BinaryOp::Lt: return elementwise(ElemOp::Lt, a, b);
+    case BinaryOp::Le: return elementwise(ElemOp::Le, a, b);
+    case BinaryOp::Gt: return elementwise(ElemOp::Gt, a, b);
+    case BinaryOp::Ge: return elementwise(ElemOp::Ge, a, b);
+    case BinaryOp::And: return elementwise(ElemOp::And, a, b);
+    case BinaryOp::Or: return elementwise(ElemOp::Or, a, b);
+    default:
+      throw RuntimeError("bad binary op");
+  }
+}
+
+Matrix Interpreter::evalRange(const Range& expr, Env& env) {
+  double start = eval(*expr.start, env).scalarValue();
+  double step = expr.step ? eval(*expr.step, env).scalarValue() : 1.0;
+  double stop = eval(*expr.stop, env).scalarValue();
+  return Matrix::range(start, step, stop);
+}
+
+Matrix Interpreter::evalMatrixLit(const MatrixLit& expr, Env& env) {
+  // Evaluate all elements; concatenate rows horizontally then stack rows.
+  std::vector<std::vector<Matrix>> rows;
+  rows.reserve(expr.rows.size());
+  for (const auto& row : expr.rows) {
+    std::vector<Matrix> vals;
+    vals.reserve(row.size());
+    for (const auto& el : row) vals.push_back(eval(*el, env));
+    rows.push_back(std::move(vals));
+  }
+  // Horizontal concat per row.
+  std::vector<Matrix> rowMats;
+  for (auto& vals : rows) {
+    std::size_t height = 0;
+    std::size_t width = 0;
+    bool cplx = false;
+    for (auto& v : vals) {
+      if (v.empty()) continue;
+      if (height == 0) height = v.rows();
+      if (v.rows() != height)
+        throw RuntimeError("matrix literal: inconsistent row heights");
+      width += v.cols();
+      cplx = cplx || v.isComplex();
+    }
+    Matrix rowMat = Matrix::zeros(height, width, cplx);
+    std::size_t colAt = 0;
+    for (auto& v : vals) {
+      if (v.empty()) continue;
+      for (std::size_t c = 0; c < v.cols(); ++c)
+        for (std::size_t r = 0; r < v.rows(); ++r) rowMat.set(r, colAt + c, v.at(r, c));
+      colAt += v.cols();
+    }
+    if (width > 0) rowMats.push_back(std::move(rowMat));
+  }
+  // Vertical stack.
+  std::size_t width = 0;
+  std::size_t height = 0;
+  bool cplx = false;
+  for (auto& m : rowMats) {
+    if (width == 0) width = m.cols();
+    if (m.cols() != width) throw RuntimeError("matrix literal: inconsistent column widths");
+    height += m.rows();
+    cplx = cplx || m.isComplex();
+  }
+  Matrix out = Matrix::zeros(height, width, cplx);
+  std::size_t rowAt = 0;
+  for (auto& m : rowMats) {
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      for (std::size_t r = 0; r < m.rows(); ++r) out.set(rowAt + r, c, m.at(r, c));
+    rowAt += m.rows();
+  }
+  out.dropZeroImag();
+  return out;
+}
+
+namespace {
+
+/// True when the expression tree contains an `end` marker (a(end-1), ...).
+bool containsEnd(const Expr& e) {
+  switch (e.kind) {
+    case NodeKind::End:
+      return true;
+    case NodeKind::Binary: {
+      const auto& b = static_cast<const Binary&>(e);
+      return containsEnd(*b.lhs) || containsEnd(*b.rhs);
+    }
+    case NodeKind::Unary:
+      return containsEnd(*static_cast<const Unary&>(e).operand);
+    case NodeKind::Range: {
+      const auto& r = static_cast<const Range&>(e);
+      return containsEnd(*r.start) || (r.step && containsEnd(*r.step)) ||
+             containsEnd(*r.stop);
+    }
+    default:
+      // `end` inside nested CallIndex args refers to that inner base, which
+      // the inner indexing evaluation binds itself.
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> Interpreter::resolveIndex(const Expr& arg, Env& env,
+                                                   std::size_t extent) {
+  if (arg.kind == NodeKind::Colon) {
+    std::vector<std::size_t> all(extent);
+    for (std::size_t i = 0; i < extent; ++i) all[i] = i;
+    return all;
+  }
+  // `end` can appear inside arithmetic, e.g. a(end-1). Bind it by evaluating
+  // with a shadow variable that the End node reads.
+  struct EndBinder {
+    Interpreter& interp;
+    Env& env;
+    std::size_t extent;
+    Matrix evalWithEnd(const Expr& e) {
+      // Substitute End nodes during evaluation via a recursive re-dispatch.
+      switch (e.kind) {
+        case NodeKind::End:
+          return Matrix::scalar(static_cast<double>(extent));
+        case NodeKind::Binary: {
+          const auto& b = static_cast<const Binary&>(e);
+          // Rebuild a temporary Binary evaluation over resolved operands.
+          Matrix lhs = evalWithEnd(*b.lhs);
+          Matrix rhs = evalWithEnd(*b.rhs);
+          switch (b.op) {
+            case BinaryOp::Add: return elementwise(ElemOp::Add, lhs, rhs);
+            case BinaryOp::Sub: return elementwise(ElemOp::Sub, lhs, rhs);
+            case BinaryOp::ElemMul: return elementwise(ElemOp::Mul, lhs, rhs);
+            case BinaryOp::MatMul: return matmul(lhs, rhs);
+            case BinaryOp::ElemDiv: return elementwise(ElemOp::Div, lhs, rhs);
+            case BinaryOp::MatDiv:
+              if (rhs.isScalar()) return elementwise(ElemOp::Div, lhs, rhs);
+              throw RuntimeError("unsupported op on 'end' expression");
+            default:
+              throw RuntimeError("unsupported op on 'end' expression");
+          }
+        }
+        case NodeKind::Unary: {
+          const auto& u = static_cast<const Unary&>(e);
+          if (u.op == UnaryOp::Neg) return negate(evalWithEnd(*u.operand));
+          throw RuntimeError("unsupported unary op on 'end' expression");
+        }
+        case NodeKind::Range: {
+          const auto& r = static_cast<const Range&>(e);
+          double start = evalWithEnd(*r.start).scalarValue();
+          double step = r.step ? evalWithEnd(*r.step).scalarValue() : 1.0;
+          double stop = evalWithEnd(*r.stop).scalarValue();
+          return Matrix::range(start, step, stop);
+        }
+        default:
+          return interp.eval(e, env);
+      }
+    }
+  };
+  Matrix idx;
+  if (containsEnd(arg)) {
+    EndBinder binder{*this, env, extent};
+    idx = binder.evalWithEnd(arg);
+  } else {
+    idx = eval(arg, env);
+  }
+
+  std::vector<std::size_t> out;
+  if (idx.isLogical()) {
+    if (idx.numel() > extent) throw RuntimeError("logical index too long");
+    for (std::size_t i = 0; i < idx.numel(); ++i) {
+      if (idx.real(i) != 0.0) out.push_back(i);
+    }
+    return out;
+  }
+  out.reserve(idx.numel());
+  for (std::size_t i = 0; i < idx.numel(); ++i) {
+    double v = idx.real(i);
+    if (v < 1.0 || v != std::floor(v))
+      throw RuntimeError("index must be a positive integer, got " + std::to_string(v));
+    out.push_back(static_cast<std::size_t>(v) - 1);
+  }
+  return out;
+}
+
+Matrix Interpreter::indexMatrix(const Matrix& base, const std::vector<ExprPtr>& args, Env& env) {
+  if (args.empty()) return base;
+  if (args.size() == 1) {
+    bool isColon = args[0]->kind == NodeKind::Colon;
+    std::vector<std::size_t> idx = resolveIndex(*args[0], env, base.numel());
+    for (std::size_t i : idx) {
+      if (i >= base.numel())
+        throw RuntimeError("index " + std::to_string(i + 1) + " out of bounds for " +
+                           std::to_string(base.numel()) + " elements");
+    }
+    // Result orientation: A(:) is a column; otherwise follows the index shape
+    // for vectors (row base + row index -> row).
+    bool rowResult = !isColon && (base.isRow() || !base.isVector());
+    Matrix out = Matrix::zeros(rowResult ? 1 : idx.size(), rowResult ? idx.size() : 1,
+                               base.isComplex());
+    if (isColon) out = Matrix::zeros(idx.size(), idx.empty() ? 0 : 1, base.isComplex());
+    for (std::size_t i = 0; i < idx.size(); ++i) out.set(i, base.at(idx[i]));
+    out.dropZeroImag();
+    return out;
+  }
+  if (args.size() != 2) throw RuntimeError("only 1-D and 2-D indexing are supported");
+  std::vector<std::size_t> ri = resolveIndex(*args[0], env, base.rows());
+  std::vector<std::size_t> ci = resolveIndex(*args[1], env, base.cols());
+  for (std::size_t r : ri)
+    if (r >= base.rows()) throw RuntimeError("row index out of bounds");
+  for (std::size_t c : ci)
+    if (c >= base.cols()) throw RuntimeError("column index out of bounds");
+  Matrix out = Matrix::zeros(ri.size(), ci.size(), base.isComplex());
+  for (std::size_t c = 0; c < ci.size(); ++c)
+    for (std::size_t r = 0; r < ri.size(); ++r) out.set(r, c, base.at(ri[r], ci[c]));
+  out.dropZeroImag();
+  return out;
+}
+
+void Interpreter::indexAssign(Matrix& base, const std::vector<ExprPtr>& args,
+                              const Matrix& value, Env& env) {
+  if (args.size() == 1) {
+    std::vector<std::size_t> idx = resolveIndex(*args[0], env, base.numel());
+    // Growth: only vectors (or empty) may grow via linear indexing.
+    std::size_t needed = 0;
+    for (std::size_t i : idx) needed = std::max(needed, i + 1);
+    if (needed > base.numel()) {
+      if (base.empty()) {
+        base.resizePreserving(1, needed);
+      } else if (base.isRow()) {
+        base.resizePreserving(1, needed);
+      } else if (base.cols() == 1) {
+        base.resizePreserving(needed, 1);
+      } else {
+        throw RuntimeError("linear index out of bounds for matrix assignment");
+      }
+    }
+    if (!value.isScalar() && value.numel() != idx.size())
+      throw RuntimeError("assignment size mismatch");
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      base.set(idx[i], value.isScalar() ? value.at(0) : value.at(i));
+    }
+    return;
+  }
+  if (args.size() != 2) throw RuntimeError("only 1-D and 2-D indexing are supported");
+  std::vector<std::size_t> ri = resolveIndex(*args[0], env, base.rows());
+  std::vector<std::size_t> ci = resolveIndex(*args[1], env, base.cols());
+  std::size_t needR = base.rows();
+  std::size_t needC = base.cols();
+  for (std::size_t r : ri) needR = std::max(needR, r + 1);
+  for (std::size_t c : ci) needC = std::max(needC, c + 1);
+  if (needR > base.rows() || needC > base.cols()) base.resizePreserving(needR, needC);
+  if (!value.isScalar() && value.numel() != ri.size() * ci.size())
+    throw RuntimeError("assignment size mismatch");
+  for (std::size_t c = 0; c < ci.size(); ++c) {
+    for (std::size_t r = 0; r < ri.size(); ++r) {
+      Complex v = value.isScalar() ? value.at(0) : value.at(r + c * ri.size());
+      base.set(ri[r], ci[c], v);
+    }
+  }
+}
+
+std::vector<Matrix> Interpreter::evalCallIndex(const CallIndex& expr, Env& env,
+                                               std::size_t nOut) {
+  if (expr.base->kind != NodeKind::Ident) {
+    // Indexing an arbitrary expression: evaluate then index.
+    Matrix base = eval(*expr.base, env);
+    return {indexMatrix(base, expr.args, env)};
+  }
+  const std::string& name = static_cast<const Ident&>(*expr.base).name;
+
+  // Variables shadow functions (MATLAB resolution order).
+  auto it = env.vars.find(name);
+  if (it != env.vars.end()) return {indexMatrix(it->second, expr.args, env)};
+
+  std::vector<Matrix> argVals;
+  argVals.reserve(expr.args.size());
+  for (const auto& a : expr.args) {
+    if (a->kind == NodeKind::Colon || a->kind == NodeKind::End)
+      throw RuntimeError("':'/'end' used in a call to undefined variable '" + name + "'");
+    argVals.push_back(eval(*a, env));
+  }
+  if (program_.findFunction(name)) return callFunction(name, argVals, nOut);
+  auto bit = builtinRuntime().find(name);
+  if (bit != builtinRuntime().end()) return bit->second(argVals, nOut);
+  throw RuntimeError("undefined variable or function '" + name + "'");
+}
+
+}  // namespace mat2c

@@ -1,0 +1,75 @@
+// Reference MATLAB interpreter.
+//
+// Executes the AST directly with full MATLAB value semantics. This is the
+// oracle the compiled pipeline is validated against: every end-to-end test
+// compares VM results against interpreter results element-wise.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "interp/value.hpp"
+
+namespace mat2c {
+
+/// Builtin implementation: args in, nOut requested outputs out.
+using BuiltinFn = std::function<std::vector<Matrix>(const std::vector<Matrix>&, std::size_t)>;
+
+/// Name -> implementation for the interpreter's builtin catalog.
+const std::map<std::string, BuiltinFn>& builtinRuntime();
+bool isRuntimeBuiltin(const std::string& name);
+
+class Interpreter {
+ public:
+  /// The program must outlive the interpreter.
+  explicit Interpreter(const ast::Program& program);
+
+  /// Calls a user-defined function by name.
+  std::vector<Matrix> callFunction(const std::string& name, const std::vector<Matrix>& args,
+                                   std::size_t nOut = 1);
+
+  /// Runs the script body (loose statements); returns the final workspace.
+  std::map<std::string, Matrix> runScript();
+
+  /// Instruction budget guard: aborts runaway while-loops in tests.
+  void setMaxSteps(std::uint64_t steps) { maxSteps_ = steps; }
+
+ private:
+  struct Env {
+    std::map<std::string, Matrix> vars;
+  };
+  struct BreakSignal {};
+  struct ContinueSignal {};
+  struct ReturnSignal {};
+
+  void execBlock(const std::vector<ast::StmtPtr>& body, Env& env);
+  void execStmt(const ast::Stmt& stmt, Env& env);
+  void execAssign(const ast::Assign& stmt, Env& env);
+  void assignInto(const ast::LValue& target, Matrix value, Env& env);
+
+  Matrix eval(const ast::Expr& expr, Env& env);
+  std::vector<Matrix> evalMulti(const ast::Expr& expr, Env& env, std::size_t nOut);
+  Matrix evalBinary(const ast::Binary& expr, Env& env);
+  Matrix evalMatrixLit(const ast::MatrixLit& expr, Env& env);
+  Matrix evalRange(const ast::Range& expr, Env& env);
+  std::vector<Matrix> evalCallIndex(const ast::CallIndex& expr, Env& env, std::size_t nOut);
+
+  /// Resolves one index argument to 0-based positions. `extent` is the size
+  /// of the dimension being indexed (for `:` and `end`).
+  std::vector<std::size_t> resolveIndex(const ast::Expr& arg, Env& env, std::size_t extent);
+  Matrix indexMatrix(const Matrix& base, const std::vector<ast::ExprPtr>& args, Env& env);
+  void indexAssign(Matrix& base, const std::vector<ast::ExprPtr>& args, const Matrix& value,
+                   Env& env);
+
+  void step();
+
+  const ast::Program& program_;
+  std::uint64_t maxSteps_ = 500'000'000;
+  std::uint64_t steps_ = 0;
+  int callDepth_ = 0;
+};
+
+}  // namespace mat2c

@@ -1,0 +1,310 @@
+#include "interp/value.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/string_utils.hpp"
+
+namespace mat2c {
+
+Matrix Matrix::scalar(double v) {
+  Matrix m;
+  m.rows_ = m.cols_ = 1;
+  m.re_ = {v};
+  return m;
+}
+
+Matrix Matrix::scalar(Complex v) {
+  Matrix m;
+  m.rows_ = m.cols_ = 1;
+  m.re_ = {v.real()};
+  if (v.imag() != 0.0) {
+    m.complex_ = true;
+    m.im_ = {v.imag()};
+  }
+  return m;
+}
+
+Matrix Matrix::logicalScalar(bool v) {
+  Matrix m = scalar(v ? 1.0 : 0.0);
+  m.logical_ = true;
+  return m;
+}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols, bool complex) {
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.re_.assign(rows * cols, 0.0);
+  if (complex) {
+    m.complex_ = true;
+    m.im_.assign(rows * cols, 0.0);
+  }
+  return m;
+}
+
+Matrix Matrix::fromString(const std::string& s) {
+  Matrix m;
+  m.rows_ = s.empty() ? 0 : 1;
+  m.cols_ = s.size();
+  m.re_.reserve(s.size());
+  for (char c : s) m.re_.push_back(static_cast<double>(static_cast<unsigned char>(c)));
+  m.string_ = true;
+  return m;
+}
+
+Matrix Matrix::rowVector(const std::vector<double>& v) {
+  Matrix m;
+  m.rows_ = v.empty() ? 0 : 1;
+  m.cols_ = v.size();
+  m.re_ = v;
+  return m;
+}
+
+Matrix Matrix::colVector(const std::vector<double>& v) {
+  Matrix m = rowVector(v);
+  std::swap(m.rows_, m.cols_);
+  return m;
+}
+
+Matrix Matrix::range(double start, double step, double stop) {
+  Matrix m;
+  if (step == 0.0) return m;  // MATLAB: empty
+  double n = std::floor((stop - start) / step + 1e-10) + 1.0;
+  if (n <= 0.0) return m;
+  auto count = static_cast<std::size_t>(n);
+  m.rows_ = 1;
+  m.cols_ = count;
+  m.re_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) m.re_[i] = start + static_cast<double>(i) * step;
+  return m;
+}
+
+void Matrix::set(std::size_t i, Complex v) {
+  if (v.imag() != 0.0 && !complex_) makeComplex();
+  re_[i] = v.real();
+  if (complex_) im_[i] = v.imag();
+}
+
+double Matrix::scalarValue() const {
+  if (!isScalar()) throw RuntimeError("expected a scalar value, got " + std::to_string(rows_) +
+                                      "x" + std::to_string(cols_));
+  if (complex_ && im_[0] != 0.0)
+    throw RuntimeError("expected a real scalar, got a complex value");
+  return re_[0];
+}
+
+Complex Matrix::complexScalarValue() const {
+  if (!isScalar()) throw RuntimeError("expected a scalar value");
+  return at(0);
+}
+
+bool Matrix::truthy() const {
+  if (empty()) return false;
+  for (std::size_t i = 0; i < numel(); ++i) {
+    if (re_[i] == 0.0 && imag(i) == 0.0) return false;
+  }
+  return true;
+}
+
+void Matrix::makeComplex() {
+  if (complex_) return;
+  complex_ = true;
+  im_.assign(re_.size(), 0.0);
+}
+
+void Matrix::dropZeroImag() {
+  if (!complex_) return;
+  for (double v : im_) {
+    if (v != 0.0) return;
+  }
+  complex_ = false;
+  im_.clear();
+}
+
+std::string Matrix::stringValue() const {
+  if (!string_) throw RuntimeError("expected a string value");
+  std::string s;
+  s.reserve(numel());
+  for (double v : re_) s += static_cast<char>(static_cast<int>(v));
+  return s;
+}
+
+void Matrix::resizePreserving(std::size_t rows, std::size_t cols) {
+  Matrix out = zeros(rows, cols, complex_);
+  out.logical_ = logical_;
+  std::size_t rCopy = std::min(rows, rows_);
+  std::size_t cCopy = std::min(cols, cols_);
+  for (std::size_t c = 0; c < cCopy; ++c) {
+    for (std::size_t r = 0; r < rCopy; ++r) {
+      out.re_[r + c * rows] = re_[r + c * rows_];
+      if (complex_) out.im_[r + c * rows] = im_[r + c * rows_];
+    }
+  }
+  *this = std::move(out);
+}
+
+std::string Matrix::toString() const {
+  if (string_) return "'" + stringValue() + "'";
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << (complex_ ? " complex" : "") << (logical_ ? " logical" : "")
+     << " [";
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r) os << "; ";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c) os << ", ";
+      os << formatDouble(re_[r + c * rows_]);
+      if (complex_ && im_[r + c * rows_] != 0.0) {
+        double v = im_[r + c * rows_];
+        os << (v >= 0 ? "+" : "-") << formatDouble(std::abs(v)) << "i";
+      }
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+bool operator==(const Matrix& a, const Matrix& b) {
+  if (a.rows_ != b.rows_ || a.cols_ != b.cols_) return false;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    if (a.at(i) != b.at(i)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+Complex applyScalar(ElemOp op, Complex a, Complex b, bool& logicalOut) {
+  logicalOut = false;
+  switch (op) {
+    case ElemOp::Add: return a + b;
+    case ElemOp::Sub: return a - b;
+    case ElemOp::Mul: return a * b;
+    case ElemOp::Div: return a / b;
+    case ElemOp::LeftDiv: return b / a;
+    case ElemOp::Pow: {
+      if (a.imag() == 0.0 && b.imag() == 0.0) {
+        double base = a.real();
+        double expo = b.real();
+        if (base >= 0.0 || expo == std::floor(expo)) return {std::pow(base, expo), 0.0};
+      }
+      return std::pow(a, b);
+    }
+    case ElemOp::Eq: logicalOut = true; return {a == b ? 1.0 : 0.0, 0.0};
+    case ElemOp::Ne: logicalOut = true; return {a != b ? 1.0 : 0.0, 0.0};
+    // Relational ops compare real parts (MATLAB semantics).
+    case ElemOp::Lt: logicalOut = true; return {a.real() < b.real() ? 1.0 : 0.0, 0.0};
+    case ElemOp::Le: logicalOut = true; return {a.real() <= b.real() ? 1.0 : 0.0, 0.0};
+    case ElemOp::Gt: logicalOut = true; return {a.real() > b.real() ? 1.0 : 0.0, 0.0};
+    case ElemOp::Ge: logicalOut = true; return {a.real() >= b.real() ? 1.0 : 0.0, 0.0};
+    case ElemOp::And:
+      logicalOut = true;
+      return {(a != Complex{} && b != Complex{}) ? 1.0 : 0.0, 0.0};
+    case ElemOp::Or:
+      logicalOut = true;
+      return {(a != Complex{} || b != Complex{}) ? 1.0 : 0.0, 0.0};
+  }
+  throw RuntimeError("bad elementwise op");
+}
+
+}  // namespace
+
+Matrix elementwise(ElemOp op, const Matrix& a, const Matrix& b) {
+  const bool aScalar = a.isScalar();
+  const bool bScalar = b.isScalar();
+  if (!aScalar && !bScalar && (a.rows() != b.rows() || a.cols() != b.cols())) {
+    throw RuntimeError("matrix dimensions must agree: " + std::to_string(a.rows()) + "x" +
+                       std::to_string(a.cols()) + " vs " + std::to_string(b.rows()) + "x" +
+                       std::to_string(b.cols()));
+  }
+  std::size_t rows = aScalar ? b.rows() : a.rows();
+  std::size_t cols = aScalar ? b.cols() : a.cols();
+  Matrix out = Matrix::zeros(rows, cols);
+  bool anyLogical = false;
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    Complex av = aScalar ? a.at(0) : a.at(i);
+    Complex bv = bScalar ? b.at(0) : b.at(i);
+    bool logicalOut = false;
+    out.set(i, applyScalar(op, av, bv, logicalOut));
+    anyLogical = logicalOut;
+  }
+  out.setLogical(anyLogical);
+  out.dropZeroImag();
+  return out;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.isScalar() || b.isScalar()) return elementwise(ElemOp::Mul, a, b);
+  if (a.cols() != b.rows()) {
+    throw RuntimeError("inner matrix dimensions must agree: " + std::to_string(a.cols()) +
+                       " vs " + std::to_string(b.rows()));
+  }
+  bool cplx = a.isComplex() || b.isComplex();
+  Matrix out = Matrix::zeros(a.rows(), b.cols(), cplx);
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      Complex bkj = b.at(k, j);
+      if (bkj == Complex{}) continue;
+      for (std::size_t i = 0; i < a.rows(); ++i) {
+        out.set(i, j, out.at(i, j) + a.at(i, k) * bkj);
+      }
+    }
+  }
+  out.dropZeroImag();
+  return out;
+}
+
+Matrix transpose(const Matrix& a, bool conjugate) {
+  Matrix out = Matrix::zeros(a.cols(), a.rows(), a.isComplex());
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      Complex v = a.at(r, c);
+      out.set(c, r, conjugate ? std::conj(v) : v);
+    }
+  }
+  return out;
+}
+
+Matrix negate(const Matrix& a) {
+  Matrix out = Matrix::zeros(a.rows(), a.cols(), a.isComplex());
+  for (std::size_t i = 0; i < a.numel(); ++i) out.set(i, -a.at(i));
+  return out;
+}
+
+Matrix logicalNot(const Matrix& a) {
+  Matrix out = Matrix::zeros(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    out.set(i, Complex{a.at(i) == Complex{} ? 1.0 : 0.0, 0.0});
+  out.setLogical(true);
+  return out;
+}
+
+Matrix mapUnary(const Matrix& a, double (*f)(double)) {
+  if (a.isComplex()) throw RuntimeError("function not defined for complex arguments");
+  Matrix out = Matrix::zeros(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.numel(); ++i) out.set(i, Complex{f(a.real(i)), 0.0});
+  return out;
+}
+
+Matrix mapUnaryComplex(const Matrix& a, Complex (*f)(Complex)) {
+  Matrix out = Matrix::zeros(a.rows(), a.cols(), /*complex=*/true);
+  for (std::size_t i = 0; i < a.numel(); ++i) out.set(i, f(a.at(i)));
+  out.dropZeroImag();
+  return out;
+}
+
+double maxAbsDiff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw RuntimeError("maxAbsDiff: shape mismatch " + std::to_string(a.rows()) + "x" +
+                       std::to_string(a.cols()) + " vs " + std::to_string(b.rows()) + "x" +
+                       std::to_string(b.cols()));
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    worst = std::max(worst, std::abs(a.at(i) - b.at(i)));
+  }
+  return worst;
+}
+
+}  // namespace mat2c

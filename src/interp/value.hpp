@@ -1,0 +1,117 @@
+// MATLAB value semantics for the reference interpreter.
+//
+// A Matrix is a 2-D, column-major array of double or complex<double>
+// elements, with flags distinguishing logical results and char rows
+// (strings). Scalars are 1x1 matrices; the empty matrix is 0x0.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mat2c {
+
+using Complex = std::complex<double>;
+
+/// Thrown by interpreter/runtime operations on MATLAB-semantics errors
+/// (dimension mismatch, bad index, ...).
+class RuntimeError : public std::runtime_error {
+ public:
+  explicit RuntimeError(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+class Matrix {
+ public:
+  /// 0x0 empty real matrix.
+  Matrix() = default;
+
+  static Matrix scalar(double v);
+  static Matrix scalar(Complex v);
+  static Matrix logicalScalar(bool v);
+  static Matrix zeros(std::size_t rows, std::size_t cols, bool complex = false);
+  static Matrix fromString(const std::string& s);
+  /// Row vector from doubles.
+  static Matrix rowVector(const std::vector<double>& v);
+  static Matrix colVector(const std::vector<double>& v);
+  /// start:step:stop (MATLAB colon semantics, empty when the range is empty).
+  static Matrix range(double start, double step, double stop);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t numel() const { return rows_ * cols_; }
+  bool empty() const { return numel() == 0; }
+  bool isScalar() const { return rows_ == 1 && cols_ == 1; }
+  bool isVector() const { return rows_ == 1 || cols_ == 1; }
+  bool isRow() const { return rows_ == 1; }
+  bool isComplex() const { return complex_; }
+  bool isLogical() const { return logical_; }
+  bool isString() const { return string_; }
+
+  void setLogical(bool v) { logical_ = v; }
+  void setString(bool v) { string_ = v; }
+
+  /// Linear element access, 0-based internally.
+  double real(std::size_t i) const { return re_[i]; }
+  double imag(std::size_t i) const { return complex_ ? im_[i] : 0.0; }
+  Complex at(std::size_t i) const { return {re_[i], imag(i)}; }
+  Complex at(std::size_t r, std::size_t c) const { return at(r + c * rows_); }
+  void set(std::size_t i, Complex v);
+  void set(std::size_t r, std::size_t c, Complex v) { set(r + c * rows_, v); }
+
+  /// Scalar extraction; throws unless 1x1.
+  double scalarValue() const;
+  Complex complexScalarValue() const;
+  /// MATLAB truthiness: all elements nonzero and non-empty.
+  bool truthy() const;
+
+  /// Widens storage to complex in place.
+  void makeComplex();
+  /// Drops a zero imaginary part (used so `ifft(fft(x))` compares real).
+  void dropZeroImag();
+
+  /// String contents; throws unless isString().
+  std::string stringValue() const;
+
+  const std::vector<double>& realData() const { return re_; }
+  const std::vector<double>& imagData() const { return im_; }
+
+  /// Resizes preserving elements at their (row, col) positions; new cells 0.
+  void resizePreserving(std::size_t rows, std::size_t cols);
+
+  /// Rendered like a MATLAB value dump — used in tests/diagnostics.
+  std::string toString() const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  bool complex_ = false;
+  bool logical_ = false;
+  bool string_ = false;
+  std::vector<double> re_;
+  std::vector<double> im_;  // same length as re_ when complex_
+};
+
+// -- elementwise / structural operations used by interpreter & builtins ------
+
+enum class ElemOp { Add, Sub, Mul, Div, LeftDiv, Pow, Eq, Ne, Lt, Le, Gt, Ge, And, Or };
+
+/// Elementwise with MATLAB scalar expansion; throws on shape mismatch.
+Matrix elementwise(ElemOp op, const Matrix& a, const Matrix& b);
+Matrix matmul(const Matrix& a, const Matrix& b);
+Matrix transpose(const Matrix& a, bool conjugate);
+Matrix negate(const Matrix& a);
+Matrix logicalNot(const Matrix& a);
+
+/// Map a unary function over elements (complex-aware callers pass cf).
+Matrix mapUnary(const Matrix& a, double (*f)(double));
+Matrix mapUnaryComplex(const Matrix& a, Complex (*f)(Complex));
+
+/// Maximum absolute difference between two same-shaped values; used as the
+/// correctness gate when validating compiled code against the interpreter.
+double maxAbsDiff(const Matrix& a, const Matrix& b);
+
+}  // namespace mat2c

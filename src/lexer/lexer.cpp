@@ -1,0 +1,285 @@
+#include "lexer/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace mat2c {
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& keywordTable() {
+  static const std::unordered_map<std::string, TokenKind> table = {
+      {"function", TokenKind::KwFunction}, {"end", TokenKind::KwEnd},
+      {"if", TokenKind::KwIf},             {"elseif", TokenKind::KwElseif},
+      {"else", TokenKind::KwElse},         {"for", TokenKind::KwFor},
+      {"while", TokenKind::KwWhile},       {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue}, {"return", TokenKind::KwReturn},
+      {"switch", TokenKind::KwSwitch},     {"case", TokenKind::KwCase},
+      {"otherwise", TokenKind::KwOtherwise},
+  };
+  return table;
+}
+
+bool isIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool isIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool isDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+Lexer::Lexer(std::string source, DiagnosticEngine& diags)
+    : src_(std::move(source)), diags_(diags) {}
+
+char Lexer::peek(int ahead) const {
+  std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+  return p < src_.size() ? src_[p] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+Token Lexer::make(TokenKind kind, std::string text, SourceLoc loc) const {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.loc = loc;
+  return t;
+}
+
+bool Lexer::quoteIsTranspose() const {
+  switch (prevKind_) {
+    case TokenKind::Identifier:
+    case TokenKind::Number:
+    case TokenKind::RParen:
+    case TokenKind::RBracket:
+    case TokenKind::RBrace:
+    case TokenKind::Transpose:
+    case TokenKind::DotTranspose:
+    case TokenKind::KwEnd:  // `end` inside indexing is a value
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Lexer::skipBlockComment() {
+  // %{ ... %} — the markers must sit on their own lines in MATLAB; we are
+  // lenient and only require the %} pair.
+  int depth = 1;
+  while (!atEnd() && depth > 0) {
+    if (peek() == '%' && peek(1) == '{') {
+      advance();
+      advance();
+      ++depth;
+    } else if (peek() == '%' && peek(1) == '}') {
+      advance();
+      advance();
+      --depth;
+    } else {
+      advance();
+    }
+  }
+  if (depth > 0) diags_.error(here(), "unterminated block comment");
+}
+
+Token Lexer::lexNumber() {
+  SourceLoc loc = here();
+  std::string text;
+  while (isDigit(peek())) text += advance();
+  if (peek() == '.' && isDigit(peek(1))) {
+    text += advance();
+    while (isDigit(peek())) text += advance();
+  } else if (peek() == '.' && text.empty()) {
+    text += advance();
+    while (isDigit(peek())) text += advance();
+  } else if (peek() == '.' && !isIdentStart(peek(1)) && peek(1) != '\'' && peek(1) != '*' &&
+             peek(1) != '/' && peek(1) != '\\' && peek(1) != '^') {
+    // Trailing dot that is not the start of an elementwise operator: "3."
+    text += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    char sign = peek(1);
+    if (isDigit(sign) || ((sign == '+' || sign == '-') && isDigit(peek(2)))) {
+      text += advance();  // e
+      if (peek() == '+' || peek() == '-') text += advance();
+      while (isDigit(peek())) text += advance();
+    }
+  }
+  Token t = make(TokenKind::Number, text, loc);
+  t.numValue = std::strtod(text.c_str(), nullptr);
+  if (peek() == 'i' || peek() == 'j') {
+    // Imaginary suffix, but not the start of an identifier like `3if` (which
+    // MATLAB would reject anyway — treat greedily as suffix unless followed
+    // by an identifier character).
+    if (!isIdentChar(peek(1))) {
+      advance();
+      t.imaginary = true;
+    }
+  }
+  return t;
+}
+
+Token Lexer::lexIdentifier() {
+  SourceLoc loc = here();
+  std::string text;
+  while (isIdentChar(peek())) text += advance();
+  auto it = keywordTable().find(text);
+  if (it != keywordTable().end()) return make(it->second, text, loc);
+  return make(TokenKind::Identifier, text, loc);
+}
+
+Token Lexer::lexString() {
+  SourceLoc loc = here();
+  advance();  // opening '
+  std::string contents;
+  while (true) {
+    if (atEnd() || peek() == '\n') {
+      diags_.error(loc, "unterminated string literal");
+      break;
+    }
+    char c = advance();
+    if (c == '\'') {
+      if (peek() == '\'') {
+        contents += '\'';
+        advance();  // '' escape
+      } else {
+        break;
+      }
+    } else {
+      contents += c;
+    }
+  }
+  return make(TokenKind::String, contents, loc);
+}
+
+Token Lexer::next() {
+  spaceSeen_ = false;
+  Token t = nextImpl();
+  t.precededBySpace = spaceSeen_;
+  return t;
+}
+
+Token Lexer::nextImpl() {
+  while (!atEnd()) {
+    char c = peek();
+    // Continuation: `...` to end of line, no newline token emitted.
+    if (c == '.' && peek(1) == '.' && peek(2) == '.') {
+      while (!atEnd() && peek() != '\n') advance();
+      if (!atEnd()) advance();  // consume the newline itself
+      spaceSeen_ = true;
+      continue;
+    }
+    if (c == '%') {
+      if (peek(1) == '{') {
+        advance();
+        advance();
+        skipBlockComment();
+      } else {
+        while (!atEnd() && peek() != '\n') advance();
+      }
+      spaceSeen_ = true;
+      continue;
+    }
+    if (c == '\n') {
+      SourceLoc loc = here();
+      advance();
+      return make(TokenKind::Newline, "\n", loc);
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      advance();
+      spaceSeen_ = true;
+      continue;
+    }
+    if (isDigit(c) || (c == '.' && isDigit(peek(1)))) return lexNumber();
+    if (isIdentStart(c)) return lexIdentifier();
+
+    SourceLoc loc = here();
+    if (c == '\'') {
+      if (quoteIsTranspose()) {
+        advance();
+        return make(TokenKind::Transpose, "'", loc);
+      }
+      return lexString();
+    }
+
+    advance();
+    switch (c) {
+      case '+': return make(TokenKind::Plus, "+", loc);
+      case '-': return make(TokenKind::Minus, "-", loc);
+      case '*': return make(TokenKind::Star, "*", loc);
+      case '/': return make(TokenKind::Slash, "/", loc);
+      case '\\': return make(TokenKind::Backslash, "\\", loc);
+      case '^': return make(TokenKind::Caret, "^", loc);
+      case '(': return make(TokenKind::LParen, "(", loc);
+      case ')': return make(TokenKind::RParen, ")", loc);
+      case '[': return make(TokenKind::LBracket, "[", loc);
+      case ']': return make(TokenKind::RBracket, "]", loc);
+      case '{': return make(TokenKind::LBrace, "{", loc);
+      case '}': return make(TokenKind::RBrace, "}", loc);
+      case ':': return make(TokenKind::Colon, ":", loc);
+      case ',': return make(TokenKind::Comma, ",", loc);
+      case ';': return make(TokenKind::Semicolon, ";", loc);
+      case '@': return make(TokenKind::At, "@", loc);
+      case '.':
+        if (match('*')) return make(TokenKind::DotStar, ".*", loc);
+        if (match('/')) return make(TokenKind::DotSlash, "./", loc);
+        if (match('\\')) return make(TokenKind::DotBackslash, ".\\", loc);
+        if (match('^')) return make(TokenKind::DotCaret, ".^", loc);
+        if (match('\'')) return make(TokenKind::DotTranspose, ".'", loc);
+        return make(TokenKind::Dot, ".", loc);
+      case '=':
+        if (match('=')) return make(TokenKind::Eq, "==", loc);
+        return make(TokenKind::Assign, "=", loc);
+      case '~':
+        if (match('=')) return make(TokenKind::Ne, "~=", loc);
+        return make(TokenKind::Not, "~", loc);
+      case '<':
+        if (match('=')) return make(TokenKind::Le, "<=", loc);
+        return make(TokenKind::Lt, "<", loc);
+      case '>':
+        if (match('=')) return make(TokenKind::Ge, ">=", loc);
+        return make(TokenKind::Gt, ">", loc);
+      case '&':
+        if (match('&')) return make(TokenKind::AndAnd, "&&", loc);
+        return make(TokenKind::And, "&", loc);
+      case '|':
+        if (match('|')) return make(TokenKind::OrOr, "||", loc);
+        return make(TokenKind::Or, "|", loc);
+      default:
+        diags_.error(loc, std::string("unexpected character '") + c + "'");
+        continue;  // skip and keep lexing
+    }
+  }
+  return make(TokenKind::Eof, "", here());
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  while (true) {
+    Token t = next();
+    if (t.kind == TokenKind::Newline && (out.empty() || out.back().kind == TokenKind::Newline)) {
+      prevKind_ = t.kind;
+      continue;  // collapse blank lines
+    }
+    prevKind_ = t.kind;
+    bool done = t.kind == TokenKind::Eof;
+    out.push_back(std::move(t));
+    if (done) break;
+  }
+  return out;
+}
+
+}  // namespace mat2c

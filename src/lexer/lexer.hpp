@@ -1,0 +1,54 @@
+// MATLAB tokenizer.
+//
+// Handles the context-sensitive parts of MATLAB's surface syntax:
+//  * `'` is transpose after a value-ending token (identifier, number, `)`,
+//    `]`, `}`, `'`), and a string quote otherwise;
+//  * `...` swallows the rest of the line and continues the statement;
+//  * `%` line comments and `%{ ... %}` block comments;
+//  * numeric literals with an `i`/`j` imaginary suffix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace mat2c {
+
+class Lexer {
+ public:
+  Lexer(std::string source, DiagnosticEngine& diags);
+
+  /// Tokenizes the whole buffer. Consecutive newlines collapse into one
+  /// Newline token; the stream always ends with Eof.
+  std::vector<Token> tokenize();
+
+ private:
+  Token next();
+  Token nextImpl();
+  Token lexNumber();
+  Token lexIdentifier();
+  Token lexString();
+
+  char peek(int ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  void skipBlockComment();
+  bool atEnd() const { return pos_ >= src_.size(); }
+  SourceLoc here() const { return {line_, col_}; }
+  Token make(TokenKind kind, std::string text, SourceLoc loc) const;
+
+  /// True when a `'` at the current position means transpose.
+  bool quoteIsTranspose() const;
+
+  std::string src_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+  TokenKind prevKind_ = TokenKind::Newline;
+  bool spaceSeen_ = false;  // whitespace skipped before the token being lexed
+};
+
+}  // namespace mat2c

@@ -1,0 +1,64 @@
+#include "lexer/token.hpp"
+
+namespace mat2c {
+
+const char* toString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::Number: return "number";
+    case TokenKind::String: return "string";
+    case TokenKind::KwFunction: return "'function'";
+    case TokenKind::KwEnd: return "'end'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwElseif: return "'elseif'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::KwWhile: return "'while'";
+    case TokenKind::KwBreak: return "'break'";
+    case TokenKind::KwContinue: return "'continue'";
+    case TokenKind::KwReturn: return "'return'";
+    case TokenKind::KwSwitch: return "'switch'";
+    case TokenKind::KwCase: return "'case'";
+    case TokenKind::KwOtherwise: return "'otherwise'";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Backslash: return "'\\'";
+    case TokenKind::Caret: return "'^'";
+    case TokenKind::DotStar: return "'.*'";
+    case TokenKind::DotSlash: return "'./'";
+    case TokenKind::DotBackslash: return "'.\\'";
+    case TokenKind::DotCaret: return "'.^'";
+    case TokenKind::Transpose: return "'''";
+    case TokenKind::DotTranspose: return "'.''";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Eq: return "'=='";
+    case TokenKind::Ne: return "'~='";
+    case TokenKind::Lt: return "'<'";
+    case TokenKind::Le: return "'<='";
+    case TokenKind::Gt: return "'>'";
+    case TokenKind::Ge: return "'>='";
+    case TokenKind::And: return "'&'";
+    case TokenKind::Or: return "'|'";
+    case TokenKind::AndAnd: return "'&&'";
+    case TokenKind::OrOr: return "'||'";
+    case TokenKind::Not: return "'~'";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::At: return "'@'";
+    case TokenKind::Newline: return "newline";
+    case TokenKind::Eof: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace mat2c

@@ -1,0 +1,49 @@
+// Token definitions for the MATLAB front end.
+#pragma once
+
+#include <string>
+
+#include "support/source_location.hpp"
+
+namespace mat2c {
+
+enum class TokenKind {
+  // Literals / identifiers
+  Identifier,
+  Number,      // numeric literal, possibly imaginary (3i, 2.5e-3j)
+  String,      // 'text' with '' escapes
+
+  // Keywords
+  KwFunction, KwEnd, KwIf, KwElseif, KwElse, KwFor, KwWhile,
+  KwBreak, KwContinue, KwReturn, KwSwitch, KwCase, KwOtherwise,
+
+  // Punctuation / operators
+  Plus, Minus, Star, Slash, Backslash, Caret,
+  DotStar, DotSlash, DotBackslash, DotCaret,
+  Transpose,      // ' (complex-conjugate transpose)
+  DotTranspose,   // .'
+  Assign,         // =
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or, AndAnd, OrOr, Not,
+  Colon, Comma, Semicolon,
+  LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+  Dot, At,
+  Newline,        // statement-terminating line break
+  Eof,
+};
+
+const char* toString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::Eof;
+  std::string text;          // raw spelling (string contents for String)
+  double numValue = 0.0;     // for Number
+  bool imaginary = false;    // Number carried an i/j suffix
+  bool precededBySpace = false;  // whitespace (or line start) before this token;
+                                 // drives `[1 -2]` vs `[1 - 2]` disambiguation
+  SourceLoc loc;
+
+  bool is(TokenKind k) const { return kind == k; }
+};
+
+}  // namespace mat2c

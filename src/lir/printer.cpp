@@ -1,0 +1,203 @@
+// Textual LIR dump: one statement per line, C-like expressions.
+#include <sstream>
+
+#include "lir/lir.hpp"
+#include "support/string_utils.hpp"
+
+namespace mat2c::lir {
+namespace {
+
+void printExprInto(const Expr& e, std::ostringstream& os) {
+  switch (e.kind) {
+    case ExprKind::ConstF:
+      os << formatDouble(e.fval);
+      return;
+    case ExprKind::ConstI:
+      os << e.ival;
+      return;
+    case ExprKind::VarRef:
+      os << e.name;
+      return;
+    case ExprKind::Load:
+      os << e.name << '[';
+      printExprInto(*e.index, os);
+      os << ']';
+      if (e.type.isVector()) os << ":" << e.type.lanes;
+      return;
+    case ExprKind::Unary:
+      os << toString(e.unOp) << '(';
+      printExprInto(*e.a, os);
+      os << ')';
+      return;
+    case ExprKind::Binary: {
+      const char* op = toString(e.binOp);
+      // Named binaries print as calls, symbolic ones infix.
+      bool call = isalpha(static_cast<unsigned char>(op[0]));
+      if (call) {
+        os << op << '(';
+        printExprInto(*e.a, os);
+        os << ", ";
+        printExprInto(*e.b, os);
+        os << ')';
+      } else {
+        os << '(';
+        printExprInto(*e.a, os);
+        os << ' ' << op << ' ';
+        printExprInto(*e.b, os);
+        os << ')';
+      }
+      return;
+    }
+    case ExprKind::Fma:
+      os << "fma(";
+      printExprInto(*e.a, os);
+      os << ", ";
+      printExprInto(*e.b, os);
+      os << ", ";
+      printExprInto(*e.c, os);
+      os << ')';
+      return;
+    case ExprKind::Splat:
+      os << "splat<" << e.type.lanes << ">(";
+      printExprInto(*e.a, os);
+      os << ')';
+      return;
+    case ExprKind::Reduce:
+      os << toString(e.reduceOp) << '(';
+      printExprInto(*e.a, os);
+      os << ')';
+      return;
+  }
+}
+
+void printStmtInto(const Stmt& s, int indent, std::ostringstream& os) {
+  auto pad = [&] {
+    for (int i = 0; i < indent; ++i) os << "  ";
+  };
+  switch (s.kind) {
+    case StmtKind::DeclScalar:
+      pad();
+      os << toString(s.declType) << ' ' << s.name;
+      if (s.value) {
+        os << " = ";
+        printExprInto(*s.value, os);
+      }
+      os << '\n';
+      return;
+    case StmtKind::Assign:
+      pad();
+      os << s.name << " = ";
+      printExprInto(*s.value, os);
+      os << '\n';
+      return;
+    case StmtKind::Store:
+      pad();
+      os << s.name << '[';
+      printExprInto(*s.index, os);
+      os << ']';
+      if (s.value->type.isVector()) os << ":" << s.value->type.lanes;
+      os << " = ";
+      printExprInto(*s.value, os);
+      os << '\n';
+      return;
+    case StmtKind::For:
+      pad();
+      os << "for " << s.name << " = ";
+      printExprInto(*s.lo, os);
+      os << " .. ";
+      printExprInto(*s.hi, os);
+      if (s.step != 1) os << " step " << s.step;
+      os << " {\n";
+      for (const auto& st : s.body) printStmtInto(*st, indent + 1, os);
+      pad();
+      os << "}\n";
+      return;
+    case StmtKind::If:
+      pad();
+      os << "if ";
+      printExprInto(*s.cond, os);
+      os << " {\n";
+      for (const auto& st : s.body) printStmtInto(*st, indent + 1, os);
+      if (!s.elseBody.empty()) {
+        pad();
+        os << "} else {\n";
+        for (const auto& st : s.elseBody) printStmtInto(*st, indent + 1, os);
+      }
+      pad();
+      os << "}\n";
+      return;
+    case StmtKind::While:
+      pad();
+      os << "while ";
+      printExprInto(*s.cond, os);
+      os << " {\n";
+      for (const auto& st : s.body) printStmtInto(*st, indent + 1, os);
+      pad();
+      os << "}\n";
+      return;
+    case StmtKind::Break:
+      pad();
+      os << "break\n";
+      return;
+    case StmtKind::Continue:
+      pad();
+      os << "continue\n";
+      return;
+    case StmtKind::BoundsCheck:
+      pad();
+      os << "boundscheck " << s.name << '[';
+      printExprInto(*s.index, os);
+      os << "]\n";
+      return;
+    case StmtKind::AllocMark:
+      pad();
+      os << "alloc " << s.name << '\n';
+      return;
+    case StmtKind::Comment:
+      pad();
+      os << "; " << s.name << '\n';
+      return;
+  }
+}
+
+}  // namespace
+
+std::string print(const Expr& expr) {
+  std::ostringstream os;
+  printExprInto(expr, os);
+  return os.str();
+}
+
+std::string print(const Stmt& stmt, int indent) {
+  std::ostringstream os;
+  printStmtInto(stmt, indent, os);
+  return os.str();
+}
+
+std::string print(const Function& fn) {
+  std::ostringstream os;
+  os << "func " << fn.name << "(";
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    const Param& p = fn.params[i];
+    if (i) os << ", ";
+    os << toString(p.elem) << ' ' << p.name;
+    if (p.isArray) os << '[' << p.rows << 'x' << p.cols << ']';
+  }
+  os << ") -> (";
+  for (std::size_t i = 0; i < fn.outs.size(); ++i) {
+    const Param& p = fn.outs[i];
+    if (i) os << ", ";
+    os << toString(p.elem) << ' ' << p.name;
+    if (p.isArray) os << '[' << p.rows << 'x' << p.cols << ']';
+  }
+  os << ") {\n";
+  for (const auto& a : fn.arrays) {
+    os << "  local " << toString(a.elem) << ' ' << a.name << '[' << a.rows << 'x' << a.cols
+       << "]\n";
+  }
+  for (const auto& s : fn.body) printStmtInto(*s, 1, os);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mat2c::lir

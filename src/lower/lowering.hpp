@@ -1,0 +1,52 @@
+// AST -> LIR lowering.
+//
+// Lowering is a *specializing* translation: the entry function's argument
+// types pin every array shape, user-function calls are inlined (the paper's
+// compiler whole-programs small DSP kernels the same way), and each MATLAB
+// statement becomes straight-line scalar code plus loop nests.
+//
+// Two code styles, matching the paper's comparison:
+//  * Proposed  — elementwise expression trees fuse into a single loop per
+//    statement; no runtime checks. This is the form the vectorizer and the
+//    intrinsic mapper consume.
+//  * CoderLike — models the MathWorks MATLAB-Coder output the paper compares
+//    against for dynamically-shaped code: one loop and one materialized
+//    temporary per vector operation (AllocMark), plus per-access bounds
+//    checks (BoundsCheck).
+#pragma once
+
+#include <optional>
+
+#include "ast/ast.hpp"
+#include "lir/lir.hpp"
+#include "sema/sema.hpp"
+#include "support/diagnostics.hpp"
+
+namespace mat2c::lower {
+
+enum class CodeStyle { Proposed, CoderLike };
+
+struct LowerOptions {
+  CodeStyle style = CodeStyle::Proposed;
+  /// Fine-grained overrides (for ablation studies). By default they follow
+  /// `style`: Proposed = fused + unchecked; CoderLike = per-op temporaries +
+  /// bounds checks.
+  std::optional<bool> fuseElementwise;
+  std::optional<bool> boundsChecks;
+
+  bool fuse() const {
+    return fuseElementwise.value_or(style == CodeStyle::Proposed);
+  }
+  bool checks() const {
+    return boundsChecks.value_or(style == CodeStyle::CoderLike);
+  }
+};
+
+/// Lowers `entry` (specialized to `args`) into a LIR function. Throws
+/// CompileError (after reporting into `diags`) on anything outside the
+/// compiled subset.
+lir::Function lowerProgram(const ast::Program& program, const std::string& entry,
+                           const std::vector<sema::ArgSpec>& args, const LowerOptions& options,
+                           DiagnosticEngine& diags);
+
+}  // namespace mat2c::lower

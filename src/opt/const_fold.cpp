@@ -1,0 +1,179 @@
+#include <cmath>
+
+#include "opt/passes.hpp"
+
+namespace mat2c::opt {
+
+using namespace lir;
+
+namespace {
+
+bool isConstI(const Expr& e, std::int64_t v) {
+  return e.kind == ExprKind::ConstI && e.ival == v;
+}
+bool isConstF(const Expr& e, double v) { return e.kind == ExprKind::ConstF && e.fval == v; }
+
+/// Rebuilds a canonical expression from an affine form: c + sum(coeff*var).
+ExprPtr rebuildAffine(const Affine& a) {
+  ExprPtr acc;
+  for (const auto& [name, coeff] : a.coeffs) {
+    if (coeff == 0) continue;
+    ExprPtr term = varRef(name, VType::i64());
+    if (coeff != 1) term = binary(BinOp::Mul, std::move(term), constI(coeff), VType::i64());
+    acc = acc ? binary(BinOp::Add, std::move(acc), std::move(term), VType::i64())
+              : std::move(term);
+  }
+  if (!acc) return constI(a.constant);
+  if (a.constant > 0)
+    return binary(BinOp::Add, std::move(acc), constI(a.constant), VType::i64());
+  if (a.constant < 0)
+    return binary(BinOp::Sub, std::move(acc), constI(-a.constant), VType::i64());
+  return acc;
+}
+
+std::size_t exprSize(const Expr& e) {
+  std::size_t n = 1;
+  if (e.index) n += exprSize(*e.index);
+  if (e.a) n += exprSize(*e.a);
+  if (e.b) n += exprSize(*e.b);
+  if (e.c) n += exprSize(*e.c);
+  return n;
+}
+
+void foldExpr(ExprPtr& e);
+
+void foldChildren(Expr& e) {
+  if (e.index) foldExpr(e.index);
+  if (e.a) foldExpr(e.a);
+  if (e.b) foldExpr(e.b);
+  if (e.c) foldExpr(e.c);
+}
+
+void foldExpr(ExprPtr& e) {
+  foldChildren(*e);
+
+  // Canonicalize i64 affine expressions when it shrinks them.
+  if (e->type == VType::i64() && e->kind == ExprKind::Binary) {
+    Affine a = affineOf(*e);
+    if (a.ok) {
+      ExprPtr canon = rebuildAffine(a);
+      if (exprSize(*canon) <= exprSize(*e)) {
+        e = std::move(canon);
+        return;
+      }
+    }
+  }
+
+  if (e->kind == ExprKind::Unary) {
+    if (e->unOp == UnOp::ToF64 && e->a->kind == ExprKind::ConstI) {
+      e = constF(static_cast<double>(e->a->ival));
+      return;
+    }
+    if (e->unOp == UnOp::ToI64 && e->a->kind == ExprKind::ConstF &&
+        e->a->fval == std::floor(e->a->fval)) {
+      e = constI(static_cast<std::int64_t>(e->a->fval));
+      return;
+    }
+    if (e->unOp == UnOp::Neg && e->a->kind == ExprKind::ConstF) {
+      e = constF(-e->a->fval);
+      return;
+    }
+    // tof64(toi64(x)) where x is already integral cannot be simplified safely;
+    // leave conversions otherwise untouched.
+    return;
+  }
+
+  if (e->kind != ExprKind::Binary) return;
+
+  Expr& a = *e->a;
+  Expr& b = *e->b;
+
+  // f64 constant folding.
+  if (e->type == VType::f64() && a.kind == ExprKind::ConstF && b.kind == ExprKind::ConstF) {
+    double r = 0;
+    switch (e->binOp) {
+      case BinOp::Add: r = a.fval + b.fval; break;
+      case BinOp::Sub: r = a.fval - b.fval; break;
+      case BinOp::Mul: r = a.fval * b.fval; break;
+      case BinOp::Div: r = a.fval / b.fval; break;
+      case BinOp::Min: r = std::min(a.fval, b.fval); break;
+      case BinOp::Max: r = std::max(a.fval, b.fval); break;
+      case BinOp::Pow: r = std::pow(a.fval, b.fval); break;
+      default: return;
+    }
+    e = constF(r);
+    return;
+  }
+
+  // Identities (kept NaN-safe: no x*0 folding).
+  if (e->type == VType::f64()) {
+    switch (e->binOp) {
+      case BinOp::Add:
+        if (isConstF(a, 0.0)) { e = std::move(e->b); return; }
+        if (isConstF(b, 0.0)) { e = std::move(e->a); return; }
+        break;
+      case BinOp::Sub:
+        if (isConstF(b, 0.0)) { e = std::move(e->a); return; }
+        break;
+      case BinOp::Mul:
+        if (isConstF(a, 1.0)) { e = std::move(e->b); return; }
+        if (isConstF(b, 1.0)) { e = std::move(e->a); return; }
+        break;
+      case BinOp::Div:
+        if (isConstF(b, 1.0)) { e = std::move(e->a); return; }
+        break;
+      default:
+        break;
+    }
+  }
+  if (e->type == VType::i64()) {
+    switch (e->binOp) {
+      case BinOp::Add:
+        if (isConstI(a, 0)) { e = std::move(e->b); return; }
+        if (isConstI(b, 0)) { e = std::move(e->a); return; }
+        break;
+      case BinOp::Sub:
+        if (isConstI(b, 0)) { e = std::move(e->a); return; }
+        break;
+      case BinOp::Mul:
+        if (isConstI(a, 1)) { e = std::move(e->b); return; }
+        if (isConstI(b, 1)) { e = std::move(e->a); return; }
+        break;
+      default:
+        break;
+    }
+    if (a.kind == ExprKind::ConstI && b.kind == ExprKind::ConstI) {
+      switch (e->binOp) {
+        case BinOp::Add: e = constI(a.ival + b.ival); return;
+        case BinOp::Sub: e = constI(a.ival - b.ival); return;
+        case BinOp::Mul: e = constI(a.ival * b.ival); return;
+        case BinOp::Div:
+          // Fold only exact divisions: (37/8)*8 must stay a strip-mine bound.
+          if (b.ival != 0 && a.ival % b.ival == 0) {
+            e = constI(a.ival / b.ival);
+            return;
+          }
+          break;
+        default: break;
+      }
+    }
+  }
+}
+
+void foldStmt(Stmt& s) {
+  if (s.value) foldExpr(s.value);
+  if (s.index) foldExpr(s.index);
+  if (s.lo) foldExpr(s.lo);
+  if (s.hi) foldExpr(s.hi);
+  if (s.cond) foldExpr(s.cond);
+  for (auto& st : s.body) foldStmt(*st);
+  for (auto& st : s.elseBody) foldStmt(*st);
+}
+
+}  // namespace
+
+void constFold(lir::Function& fn) {
+  for (auto& s : fn.body) foldStmt(*s);
+}
+
+}  // namespace mat2c::opt

@@ -1,0 +1,81 @@
+// Dead scalar elimination.
+//
+// The lowerer materializes every MATLAB variable (loop-variable mirrors,
+// shape-query temps) whether or not anything reads it. All LIR right-hand
+// sides are pure (loads have no side effects), so any Assign/DeclScalar whose
+// target is never read — and is not a function output — can be dropped.
+// Iterates to a fixpoint since removing an assignment removes its operand
+// reads.
+#include <map>
+#include <set>
+#include <string>
+
+#include "opt/passes.hpp"
+
+namespace mat2c::opt {
+
+using namespace lir;
+
+namespace {
+
+void countReadsExpr(const Expr& e, std::map<std::string, int>& reads) {
+  if (e.kind == ExprKind::VarRef) reads[e.name]++;
+  if (e.index) countReadsExpr(*e.index, reads);
+  if (e.a) countReadsExpr(*e.a, reads);
+  if (e.b) countReadsExpr(*e.b, reads);
+  if (e.c) countReadsExpr(*e.c, reads);
+}
+
+void countReadsStmt(const Stmt& s, std::map<std::string, int>& reads) {
+  if (s.value) countReadsExpr(*s.value, reads);
+  if (s.index) countReadsExpr(*s.index, reads);
+  if (s.cond) countReadsExpr(*s.cond, reads);
+  if (s.lo) countReadsExpr(*s.lo, reads);
+  if (s.hi) countReadsExpr(*s.hi, reads);
+  for (const auto& st : s.body) countReadsStmt(*st, reads);
+  for (const auto& st : s.elseBody) countReadsStmt(*st, reads);
+}
+
+bool sweepBlock(std::vector<StmtPtr>& block, const std::map<std::string, int>& reads,
+                const std::set<std::string>& keep) {
+  bool changed = false;
+  std::vector<StmtPtr> out;
+  out.reserve(block.size());
+  for (auto& sp : block) {
+    changed |= sweepBlock(sp->body, reads, keep);
+    changed |= sweepBlock(sp->elseBody, reads, keep);
+    bool dead = false;
+    if (sp->kind == StmtKind::Assign || sp->kind == StmtKind::DeclScalar) {
+      const std::string& name = sp->name;
+      if (!keep.count(name)) {
+        auto it = reads.find(name);
+        dead = it == reads.end() || it->second == 0;
+      }
+    }
+    if (dead) {
+      changed = true;
+    } else {
+      out.push_back(std::move(sp));
+    }
+  }
+  block = std::move(out);
+  return changed;
+}
+
+}  // namespace
+
+int eliminateDeadScalars(lir::Function& fn) {
+  std::set<std::string> keep;
+  for (const auto& o : fn.outs) {
+    if (!o.isArray) keep.insert(o.name);
+  }
+  int rounds = 0;
+  for (; rounds < 32; ++rounds) {
+    std::map<std::string, int> reads;
+    for (const auto& s : fn.body) countReadsStmt(*s, reads);
+    if (!sweepBlock(fn.body, reads, keep)) break;
+  }
+  return rounds;
+}
+
+}  // namespace mat2c::opt

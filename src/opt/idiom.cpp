@@ -1,0 +1,74 @@
+// Idiom recognition: maps multiply-accumulate patterns onto the target's
+// fused MAC instructions (fma.f64, cmac.c64). These are exactly the "custom
+// instructions" the paper's ASIP exposes for DSP inner loops.
+#include "opt/passes.hpp"
+
+namespace mat2c::opt {
+
+using namespace lir;
+
+namespace {
+
+bool fmaSupported(const isa::IsaDescription& isa, const VType& t) {
+  if (t.scalar == Scalar::F64) return isa.hasFma();
+  if (t.scalar == Scalar::C64) return isa.hasCmac();
+  return false;
+}
+
+int rewriteExpr(ExprPtr& e, const isa::IsaDescription& isa);
+
+int rewriteChildren(Expr& e, const isa::IsaDescription& isa) {
+  int n = 0;
+  if (e.index) n += rewriteExpr(e.index, isa);
+  if (e.a) n += rewriteExpr(e.a, isa);
+  if (e.b) n += rewriteExpr(e.b, isa);
+  if (e.c) n += rewriteExpr(e.c, isa);
+  return n;
+}
+
+int rewriteExpr(ExprPtr& e, const isa::IsaDescription& isa) {
+  int n = rewriteChildren(*e, isa);
+  if (e->kind != ExprKind::Binary || e->binOp != BinOp::Add) return n;
+  if (!(e->type.scalar == Scalar::F64 || e->type.scalar == Scalar::C64)) return n;
+  if (!fmaSupported(isa, e->type)) return n;
+
+  // a*b + c  or  c + a*b   ->  fma(a, b, c)
+  auto isMul = [](const ExprPtr& x) {
+    return x->kind == ExprKind::Binary && x->binOp == BinOp::Mul;
+  };
+  ExprPtr mul;
+  ExprPtr addend;
+  if (isMul(e->a)) {
+    mul = std::move(e->a);
+    addend = std::move(e->b);
+  } else if (isMul(e->b)) {
+    mul = std::move(e->b);
+    addend = std::move(e->a);
+  } else {
+    return n;
+  }
+  e = fma(std::move(mul->a), std::move(mul->b), std::move(addend), e->type);
+  return n + 1;
+}
+
+int rewriteStmt(Stmt& s, const isa::IsaDescription& isa) {
+  int n = 0;
+  if (s.value) n += rewriteExpr(s.value, isa);
+  if (s.index) n += rewriteExpr(s.index, isa);
+  if (s.cond) n += rewriteExpr(s.cond, isa);
+  if (s.lo) n += rewriteExpr(s.lo, isa);
+  if (s.hi) n += rewriteExpr(s.hi, isa);
+  for (auto& st : s.body) n += rewriteStmt(*st, isa);
+  for (auto& st : s.elseBody) n += rewriteStmt(*st, isa);
+  return n;
+}
+
+}  // namespace
+
+int recognizeIdioms(lir::Function& fn, const isa::IsaDescription& isa) {
+  int n = 0;
+  for (auto& s : fn.body) n += rewriteStmt(*s, isa);
+  return n;
+}
+
+}  // namespace mat2c::opt

@@ -1,0 +1,21 @@
+#include "opt/passes.hpp"
+
+namespace mat2c::opt {
+
+PipelineReport runPipeline(lir::Function& fn, const isa::IsaDescription& isa,
+                           const PipelineOptions& options) {
+  PipelineReport report;
+  if (options.constFold) constFold(fn);
+  if (options.deadCode) eliminateDeadScalars(fn);
+  if (options.checkElim) report.checksRemoved = eliminateProvableChecks(fn);
+  if (options.vectorize) sinkDecls(fn);
+  if (options.idioms) report.idiomRewrites = recognizeIdioms(fn, isa);
+  if (options.vectorize) report.vec = vectorize(fn, isa);
+  // Vectorization introduces fresh index arithmetic; fold once more so the
+  // emitted C and the VM trace stay clean.
+  if (options.constFold) constFold(fn);
+  if (options.deadCode) eliminateDeadScalars(fn);
+  return report;
+}
+
+}  // namespace mat2c::opt

@@ -1,0 +1,76 @@
+// Optimization passes over LIR.
+//
+// The pipeline mirrors the paper's compiler flow: constant folding
+// normalizes index arithmetic, idiom recognition maps multiply-accumulate
+// and complex-arithmetic patterns onto the ASIP's custom scalar
+// instructions, and the vectorizer strip-mines innermost loops onto the SIMD
+// lane width the active ISA description advertises (with a scalar remainder
+// loop). Every transformation is gated on IsaDescription::supports, so
+// retargeting is purely a matter of swapping the description.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "lir/lir.hpp"
+
+namespace mat2c::opt {
+
+/// Folds constant scalar arithmetic and canonicalizes affine i64 index
+/// expressions ((k - 1) + 1 -> k).
+void constFold(lir::Function& fn);
+
+/// Sinks frame-level declarations of loop-local temporaries into the loop
+/// body that owns them, exposing per-iteration privatization to the
+/// vectorizer.
+void sinkDecls(lir::Function& fn);
+
+/// Rewrites a*b + c into fused multiply-accumulate expressions when the
+/// target has the corresponding instruction (fma.f64 / cmac.c64).
+/// Returns the number of rewrites.
+int recognizeIdioms(lir::Function& fn, const isa::IsaDescription& isa);
+
+struct VectorizeStats {
+  int loopsConsidered = 0;
+  int loopsVectorized = 0;
+  int reductionsVectorized = 0;
+  /// One human-readable note per rejected innermost loop — the compiler's
+  /// "-Rpass-missed" channel, surfaced by the CLI.
+  std::vector<std::string> missed;
+};
+
+/// SIMD-vectorizes innermost loops: stride-1 loads/stores, reduction
+/// accumulators, splat of loop invariants; emits a scalar remainder loop.
+VectorizeStats vectorize(lir::Function& fn, const isa::IsaDescription& isa);
+
+/// Removes Assign/DeclScalar statements whose target is never read (pure
+/// right-hand sides make this always safe). Returns sweep rounds.
+int eliminateDeadScalars(lir::Function& fn);
+
+/// Removes BoundsCheck statements whose affine index provably stays inside
+/// the (static) array extent. Returns the number of checks removed.
+int eliminateProvableChecks(lir::Function& fn);
+
+struct PipelineOptions {
+  bool constFold = true;
+  bool idioms = true;
+  bool vectorize = true;
+  bool deadCode = true;
+  /// Remove provably-safe bounds checks (meaningful for CoderLike code; the
+  /// Proposed style emits none). Off by default so the baseline faithfully
+  /// models a dynamic-shape runtime; ablations switch it on.
+  bool checkElim = false;
+};
+
+struct PipelineReport {
+  int idiomRewrites = 0;
+  int checksRemoved = 0;
+  VectorizeStats vec;
+};
+
+/// Runs the standard pass order: fold -> idioms -> vectorize -> fold.
+PipelineReport runPipeline(lir::Function& fn, const isa::IsaDescription& isa,
+                           const PipelineOptions& options);
+
+}  // namespace mat2c::opt

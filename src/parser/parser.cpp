@@ -1,0 +1,576 @@
+#include "parser/parser.hpp"
+
+#include <utility>
+
+#include "lexer/lexer.hpp"
+
+namespace mat2c {
+
+using namespace ast;
+
+namespace {
+
+/// Tokens that can begin an expression (used for matrix element boundaries).
+bool canStartExpr(TokenKind k) {
+  switch (k) {
+    case TokenKind::Number:
+    case TokenKind::String:
+    case TokenKind::Identifier:
+    case TokenKind::LParen:
+    case TokenKind::LBracket:
+    case TokenKind::Not:
+    case TokenKind::Plus:
+    case TokenKind::Minus:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+    : toks_(std::move(tokens)), diags_(diags) {}
+
+const Token& Parser::peek(int ahead) const {
+  std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+  if (p >= toks_.size()) return toks_.back();  // Eof sentinel
+  return toks_[p];
+}
+
+const Token& Parser::advance() {
+  const Token& t = peek();
+  if (pos_ + 1 < toks_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::accept(TokenKind k) {
+  if (!check(k)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind k, const char* context) {
+  if (!check(k)) {
+    diags_.fatal(peek().loc, std::string("expected ") + toString(k) + " " + context +
+                                 ", found " + toString(peek().kind));
+  }
+  return advance();
+}
+
+void Parser::skipNewlines() {
+  while (check(TokenKind::Newline)) advance();
+}
+
+void Parser::skipStatementSeparators() {
+  while (check(TokenKind::Newline) || check(TokenKind::Semicolon) || check(TokenKind::Comma))
+    advance();
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+ProgramPtr Parser::parseProgram() {
+  SourceLoc loc = peek().loc;
+  std::vector<FunctionPtr> functions;
+  std::vector<StmtPtr> script;
+  skipStatementSeparators();
+  while (!check(TokenKind::Eof)) {
+    if (check(TokenKind::KwFunction)) {
+      functions.push_back(parseFunction());
+    } else {
+      script.push_back(parseStatement());
+    }
+    skipStatementSeparators();
+  }
+  return std::make_unique<Program>(std::move(functions), std::move(script), loc);
+}
+
+FunctionPtr Parser::parseFunction() {
+  SourceLoc loc = expect(TokenKind::KwFunction, "to start function").loc;
+  std::vector<std::string> outs;
+  std::string name;
+
+  if (accept(TokenKind::LBracket)) {
+    while (!check(TokenKind::RBracket)) {
+      outs.push_back(expect(TokenKind::Identifier, "in output list").text);
+      if (!accept(TokenKind::Comma)) break;
+    }
+    expect(TokenKind::RBracket, "after output list");
+    expect(TokenKind::Assign, "after output list");
+    name = expect(TokenKind::Identifier, "as function name").text;
+  } else {
+    std::string first = expect(TokenKind::Identifier, "as function name").text;
+    if (accept(TokenKind::Assign)) {
+      outs.push_back(first);
+      name = expect(TokenKind::Identifier, "as function name").text;
+    } else {
+      name = std::move(first);
+    }
+  }
+
+  std::vector<std::string> params;
+  if (accept(TokenKind::LParen)) {
+    while (!check(TokenKind::RParen)) {
+      params.push_back(expect(TokenKind::Identifier, "in parameter list").text);
+      if (!accept(TokenKind::Comma)) break;
+    }
+    expect(TokenKind::RParen, "after parameter list");
+  }
+
+  std::vector<StmtPtr> body = parseBlock();
+  accept(TokenKind::KwEnd);  // functions may be end-terminated or not
+  return std::make_unique<Function>(std::move(name), std::move(params), std::move(outs),
+                                    std::move(body), loc);
+}
+
+bool Parser::startsBlockTerminator() const {
+  switch (peek().kind) {
+    case TokenKind::KwEnd:
+    case TokenKind::KwElse:
+    case TokenKind::KwElseif:
+    case TokenKind::KwCase:
+    case TokenKind::KwOtherwise:
+    case TokenKind::KwFunction:
+    case TokenKind::Eof:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<StmtPtr> Parser::parseBlock() {
+  std::vector<StmtPtr> body;
+  skipStatementSeparators();
+  while (!startsBlockTerminator()) {
+    body.push_back(parseStatement());
+    skipStatementSeparators();
+  }
+  return body;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+StmtPtr Parser::parseStatement() {
+  switch (peek().kind) {
+    case TokenKind::KwIf: return parseIf();
+    case TokenKind::KwFor: return parseFor();
+    case TokenKind::KwWhile: return parseWhile();
+    case TokenKind::KwSwitch: return parseSwitch();
+    case TokenKind::KwBreak:
+      return std::make_unique<Break>(advance().loc);
+    case TokenKind::KwContinue:
+      return std::make_unique<Continue>(advance().loc);
+    case TokenKind::KwReturn:
+      return std::make_unique<Return>(advance().loc);
+    default:
+      return parseAssignOrExpr();
+  }
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc loc = expect(TokenKind::KwIf, "").loc;
+  std::vector<If::Branch> branches;
+  {
+    If::Branch b;
+    b.cond = parseExpr();
+    b.body = parseBlock();
+    branches.push_back(std::move(b));
+  }
+  while (check(TokenKind::KwElseif)) {
+    advance();
+    If::Branch b;
+    b.cond = parseExpr();
+    b.body = parseBlock();
+    branches.push_back(std::move(b));
+  }
+  std::vector<StmtPtr> elseBody;
+  if (accept(TokenKind::KwElse)) elseBody = parseBlock();
+  expect(TokenKind::KwEnd, "to close 'if'");
+  return std::make_unique<If>(std::move(branches), std::move(elseBody), loc);
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc loc = expect(TokenKind::KwFor, "").loc;
+  std::string var = expect(TokenKind::Identifier, "as loop variable").text;
+  expect(TokenKind::Assign, "after loop variable");
+  ExprPtr range = parseExpr();
+  std::vector<StmtPtr> body = parseBlock();
+  expect(TokenKind::KwEnd, "to close 'for'");
+  return std::make_unique<For>(std::move(var), std::move(range), std::move(body), loc);
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc loc = expect(TokenKind::KwWhile, "").loc;
+  ExprPtr cond = parseExpr();
+  std::vector<StmtPtr> body = parseBlock();
+  expect(TokenKind::KwEnd, "to close 'while'");
+  return std::make_unique<While>(std::move(cond), std::move(body), loc);
+}
+
+StmtPtr Parser::parseSwitch() {
+  SourceLoc loc = expect(TokenKind::KwSwitch, "").loc;
+  ExprPtr subject = parseExpr();
+  skipStatementSeparators();
+  std::vector<Switch::Case> cases;
+  std::vector<StmtPtr> otherwise;
+  while (check(TokenKind::KwCase)) {
+    advance();
+    Switch::Case c;
+    c.value = parseExpr();
+    c.body = parseBlock();
+    cases.push_back(std::move(c));
+  }
+  if (accept(TokenKind::KwOtherwise)) otherwise = parseBlock();
+  expect(TokenKind::KwEnd, "to close 'switch'");
+  return std::make_unique<Switch>(std::move(subject), std::move(cases), std::move(otherwise),
+                                  loc);
+}
+
+LValue Parser::parseLValue() {
+  LValue lv;
+  lv.loc = peek().loc;
+  lv.name = expect(TokenKind::Identifier, "as assignment target").text;
+  if (check(TokenKind::LParen)) lv.indices = parseIndexArgs();
+  return lv;
+}
+
+bool Parser::tryParseMultiAssignTargets(std::vector<LValue>& out) {
+  std::size_t save = pos_;
+  if (!accept(TokenKind::LBracket)) return false;
+  std::vector<LValue> targets;
+  while (check(TokenKind::Identifier)) {
+    // Restrict to simple/indexed names; anything else means this `[` opened a
+    // matrix literal, not a target list.
+    try {
+      targets.push_back(parseLValue());
+    } catch (const CompileError&) {
+      pos_ = save;
+      return false;
+    }
+    if (!accept(TokenKind::Comma)) break;
+  }
+  if (targets.empty() || !accept(TokenKind::RBracket) || !check(TokenKind::Assign)) {
+    pos_ = save;
+    return false;
+  }
+  advance();  // '='
+  out = std::move(targets);
+  return true;
+}
+
+StmtPtr Parser::finishAssign(std::vector<LValue> targets, SourceLoc loc) {
+  ExprPtr rhs = parseExpr();
+  return std::make_unique<Assign>(std::move(targets), std::move(rhs), loc);
+}
+
+StmtPtr Parser::parseAssignOrExpr() {
+  SourceLoc loc = peek().loc;
+
+  if (check(TokenKind::LBracket)) {
+    std::vector<LValue> targets;
+    if (tryParseMultiAssignTargets(targets)) return finishAssign(std::move(targets), loc);
+    ExprPtr e = parseExpr();
+    return std::make_unique<ExprStmt>(std::move(e), loc);
+  }
+
+  ExprPtr e = parseExpr();
+  if (check(TokenKind::Assign)) {
+    advance();
+    LValue lv;
+    lv.loc = e->loc;
+    if (e->kind == NodeKind::Ident) {
+      lv.name = static_cast<Ident&>(*e).name;
+    } else if (e->kind == NodeKind::CallIndex) {
+      auto& ci = static_cast<CallIndex&>(*e);
+      if (ci.base->kind != NodeKind::Ident) {
+        diags_.fatal(e->loc, "invalid assignment target");
+      }
+      lv.name = static_cast<Ident&>(*ci.base).name;
+      lv.indices = std::move(ci.args);
+    } else {
+      diags_.fatal(e->loc, "invalid assignment target");
+    }
+    std::vector<LValue> targets;
+    targets.push_back(std::move(lv));
+    return finishAssign(std::move(targets), loc);
+  }
+  return std::make_unique<ExprStmt>(std::move(e), loc);
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parseExpr() { return parseOrOr(); }
+
+ExprPtr Parser::parseOrOr() {
+  ExprPtr lhs = parseAndAnd();
+  while (check(TokenKind::OrOr)) {
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = parseAndAnd();
+    lhs = std::make_unique<Binary>(BinaryOp::OrOr, std::move(lhs), std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseAndAnd() {
+  ExprPtr lhs = parseOr();
+  while (check(TokenKind::AndAnd)) {
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = parseOr();
+    lhs = std::make_unique<Binary>(BinaryOp::AndAnd, std::move(lhs), std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseOr() {
+  ExprPtr lhs = parseAnd();
+  while (check(TokenKind::Or)) {
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = parseAnd();
+    lhs = std::make_unique<Binary>(BinaryOp::Or, std::move(lhs), std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr lhs = parseComparison();
+  while (check(TokenKind::And)) {
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = parseComparison();
+    lhs = std::make_unique<Binary>(BinaryOp::And, std::move(lhs), std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseComparison() {
+  ExprPtr lhs = parseRange();
+  while (true) {
+    BinaryOp op;
+    switch (peek().kind) {
+      case TokenKind::Eq: op = BinaryOp::Eq; break;
+      case TokenKind::Ne: op = BinaryOp::Ne; break;
+      case TokenKind::Lt: op = BinaryOp::Lt; break;
+      case TokenKind::Le: op = BinaryOp::Le; break;
+      case TokenKind::Gt: op = BinaryOp::Gt; break;
+      case TokenKind::Ge: op = BinaryOp::Ge; break;
+      default: return lhs;
+    }
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = parseRange();
+    lhs = std::make_unique<Binary>(op, std::move(lhs), std::move(rhs), loc);
+  }
+}
+
+ExprPtr Parser::parseRange() {
+  ExprPtr first = parseAdditive();
+  if (!check(TokenKind::Colon)) return first;
+  SourceLoc loc = advance().loc;
+  ExprPtr second = parseAdditive();
+  if (!check(TokenKind::Colon)) {
+    return std::make_unique<Range>(std::move(first), nullptr, std::move(second), loc);
+  }
+  advance();
+  ExprPtr third = parseAdditive();
+  return std::make_unique<Range>(std::move(first), std::move(second), std::move(third), loc);
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr lhs = parseMultiplicative();
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    // In `[1 -2]` the minus starts a new element; in `[1 - 2]` it is binary.
+    if (matrixDepth_ > 0 && parenDepth_ == 0 && peek().precededBySpace &&
+        !peek(1).precededBySpace && canStartExpr(peek(1).kind)) {
+      return lhs;
+    }
+    BinaryOp op = check(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = parseMultiplicative();
+    lhs = std::make_unique<Binary>(op, std::move(lhs), std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr lhs = parseUnary();
+  while (true) {
+    BinaryOp op;
+    switch (peek().kind) {
+      case TokenKind::Star: op = BinaryOp::MatMul; break;
+      case TokenKind::DotStar: op = BinaryOp::ElemMul; break;
+      case TokenKind::Slash: op = BinaryOp::MatDiv; break;
+      case TokenKind::DotSlash: op = BinaryOp::ElemDiv; break;
+      case TokenKind::Backslash: op = BinaryOp::MatLeftDiv; break;
+      case TokenKind::DotBackslash: op = BinaryOp::ElemLeftDiv; break;
+      default: return lhs;
+    }
+    SourceLoc loc = advance().loc;
+    ExprPtr rhs = parseUnary();
+    lhs = std::make_unique<Binary>(op, std::move(lhs), std::move(rhs), loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  switch (peek().kind) {
+    case TokenKind::Minus: {
+      SourceLoc loc = advance().loc;
+      return std::make_unique<Unary>(UnaryOp::Neg, parseUnary(), loc);
+    }
+    case TokenKind::Plus: {
+      SourceLoc loc = advance().loc;
+      return std::make_unique<Unary>(UnaryOp::Plus, parseUnary(), loc);
+    }
+    case TokenKind::Not: {
+      SourceLoc loc = advance().loc;
+      return std::make_unique<Unary>(UnaryOp::Not, parseUnary(), loc);
+    }
+    default:
+      return parsePower();
+  }
+}
+
+ExprPtr Parser::parsePower() {
+  ExprPtr lhs = parsePostfix();
+  while (check(TokenKind::Caret) || check(TokenKind::DotCaret)) {
+    BinaryOp op = check(TokenKind::Caret) ? BinaryOp::MatPow : BinaryOp::ElemPow;
+    SourceLoc loc = advance().loc;
+    // The right operand may carry a sign (2^-3) but must not swallow a
+    // following '^' — power is left-associative in MATLAB.
+    ExprPtr rhs;
+    if (check(TokenKind::Minus) || check(TokenKind::Plus) || check(TokenKind::Not)) {
+      UnaryOp uop = check(TokenKind::Minus) ? UnaryOp::Neg
+                    : check(TokenKind::Plus) ? UnaryOp::Plus
+                                             : UnaryOp::Not;
+      SourceLoc uloc = advance().loc;
+      rhs = std::make_unique<Unary>(uop, parsePostfix(), uloc);
+    } else {
+      rhs = parsePostfix();
+    }
+    lhs = std::make_unique<Binary>(op, std::move(lhs), std::move(rhs), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr e = parsePrimary();
+  while (true) {
+    if (check(TokenKind::LParen)) {
+      // `[a (1)]` is two elements; `[a(1)]` is indexing.
+      if (matrixDepth_ > 0 && parenDepth_ == 0 && peek().precededBySpace) return e;
+      SourceLoc loc = peek().loc;
+      std::vector<ExprPtr> args = parseIndexArgs();
+      e = std::make_unique<CallIndex>(std::move(e), std::move(args), loc);
+    } else if (check(TokenKind::Transpose)) {
+      SourceLoc loc = advance().loc;
+      e = std::make_unique<Transpose>(std::move(e), /*conj=*/true, loc);
+    } else if (check(TokenKind::DotTranspose)) {
+      SourceLoc loc = advance().loc;
+      e = std::make_unique<Transpose>(std::move(e), /*conj=*/false, loc);
+    } else if (check(TokenKind::Dot)) {
+      diags_.fatal(peek().loc, "struct field access is not supported");
+    } else {
+      return e;
+    }
+  }
+}
+
+std::vector<ExprPtr> Parser::parseIndexArgs() {
+  expect(TokenKind::LParen, "to open index/call arguments");
+  ++indexDepth_;
+  ++parenDepth_;
+  std::vector<ExprPtr> args;
+  skipNewlines();
+  while (!check(TokenKind::RParen)) {
+    if (check(TokenKind::Colon) &&
+        (peek(1).kind == TokenKind::Comma || peek(1).kind == TokenKind::RParen)) {
+      args.push_back(std::make_unique<Colon>(advance().loc));
+    } else {
+      args.push_back(parseExpr());
+    }
+    skipNewlines();
+    if (!accept(TokenKind::Comma)) break;
+    skipNewlines();
+  }
+  expect(TokenKind::RParen, "to close index/call arguments");
+  --indexDepth_;
+  --parenDepth_;
+  return args;
+}
+
+ExprPtr Parser::parseMatrixLit() {
+  SourceLoc loc = expect(TokenKind::LBracket, "to open matrix literal").loc;
+  ++matrixDepth_;
+  std::vector<std::vector<ExprPtr>> rows;
+  std::vector<ExprPtr> row;
+  auto flushRow = [&] {
+    if (!row.empty()) rows.push_back(std::move(row));
+    row.clear();
+  };
+  while (!check(TokenKind::RBracket)) {
+    if (check(TokenKind::Eof)) diags_.fatal(loc, "unterminated matrix literal");
+    if (accept(TokenKind::Semicolon) || accept(TokenKind::Newline)) {
+      flushRow();
+      continue;
+    }
+    if (accept(TokenKind::Comma)) continue;
+    row.push_back(parseExpr());
+  }
+  expect(TokenKind::RBracket, "to close matrix literal");
+  flushRow();
+  --matrixDepth_;
+  return std::make_unique<MatrixLit>(std::move(rows), loc);
+}
+
+ExprPtr Parser::parsePrimary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case TokenKind::Number: {
+      advance();
+      return std::make_unique<NumberLit>(t.numValue, t.imaginary, t.loc);
+    }
+    case TokenKind::String: {
+      advance();
+      return std::make_unique<StringLit>(t.text, t.loc);
+    }
+    case TokenKind::Identifier: {
+      advance();
+      return std::make_unique<Ident>(t.text, t.loc);
+    }
+    case TokenKind::KwEnd:
+      if (indexDepth_ > 0) {
+        advance();
+        return std::make_unique<End>(t.loc);
+      }
+      diags_.fatal(t.loc, "'end' is only valid inside an index expression");
+    case TokenKind::LParen: {
+      advance();
+      ++parenDepth_;
+      skipNewlines();
+      ExprPtr e = parseExpr();
+      skipNewlines();
+      expect(TokenKind::RParen, "to close parenthesized expression");
+      --parenDepth_;
+      return e;
+    }
+    case TokenKind::LBracket:
+      return parseMatrixLit();
+    case TokenKind::LBrace:
+      diags_.fatal(t.loc, "cell arrays are not supported");
+    case TokenKind::At:
+      diags_.fatal(t.loc, "function handles are not supported");
+    default:
+      diags_.fatal(t.loc, std::string("unexpected ") + toString(t.kind) + " in expression");
+  }
+}
+
+ProgramPtr parseSource(const std::string& source, DiagnosticEngine& diags) {
+  Lexer lexer(source, diags);
+  Parser parser(lexer.tokenize(), diags);
+  return parser.parseProgram();
+}
+
+}  // namespace mat2c

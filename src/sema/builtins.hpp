@@ -1,0 +1,36 @@
+// Classification of the builtin catalog for the *compiled* subset.
+//
+// The reference interpreter supports a superset (see interp/builtins_runtime);
+// this table describes what the code generator can lower and how. Builtins
+// not listed here (fft, ...) remain interpreter-only: kernels that want them
+// compiled must spell them as MATLAB loops, which is exactly what the paper's
+// DSP benchmarks do.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace mat2c::sema {
+
+enum class BuiltinKind {
+  Constant,     // pi, eps — scalar constants
+  ElemUnary,    // abs, sqrt, exp, log, sin, cos, ... applied elementwise
+  ElemBinary,   // atan2, mod, rem, power-like two-operand elementwise
+  MinMax,       // min/max — reduction (1 arg) or elementwise (2 args)
+  Reduction,    // sum, mean, prod, dot, norm
+  Query,        // length, numel, size, isreal, isempty
+  Constructor,  // zeros, ones, eye, linspace
+  ComplexPart,  // real, imag, conj, angle, complex
+};
+
+struct BuiltinInfo {
+  BuiltinKind kind;
+  /// For Constant: its value.
+  double constantValue = 0.0;
+};
+
+/// Lookup in the compilable catalog; nullopt when the name is not a
+/// compilable builtin (it may still be a runtime builtin or a user function).
+std::optional<BuiltinInfo> findCompilableBuiltin(const std::string& name);
+
+}  // namespace mat2c::sema

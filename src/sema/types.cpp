@@ -1,0 +1,42 @@
+#include "sema/types.hpp"
+
+namespace mat2c::sema {
+
+const char* toString(Elem e) {
+  switch (e) {
+    case Elem::Real: return "real";
+    case Elem::Complex: return "complex";
+    case Elem::Bool: return "bool";
+  }
+  return "?";
+}
+
+Elem joinElem(Elem a, Elem b) {
+  if (a == Elem::Complex || b == Elem::Complex) return Elem::Complex;
+  if (a == Elem::Real || b == Elem::Real) return Elem::Real;
+  return Elem::Bool;
+}
+
+namespace {
+Dim joinDim(Dim a, Dim b) { return a == b ? a : Dim::dynamic(); }
+}  // namespace
+
+Shape joinShape(const Shape& a, const Shape& b) {
+  return {joinDim(a.rows, b.rows), joinDim(a.cols, b.cols)};
+}
+
+Type joinType(const Type& a, const Type& b) {
+  return {joinElem(a.elem, b.elem), joinShape(a.shape, b.shape)};
+}
+
+std::string Type::toString() const {
+  std::string s = sema::toString(elem);
+  s += '[';
+  s += shape.rows.isKnown() ? std::to_string(shape.rows.extent()) : std::string("?");
+  s += 'x';
+  s += shape.cols.isKnown() ? std::to_string(shape.cols.extent()) : std::string("?");
+  s += ']';
+  return s;
+}
+
+}  // namespace mat2c::sema

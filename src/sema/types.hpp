@@ -1,0 +1,107 @@
+// Static types for the compiled MATLAB subset.
+//
+// The compiler (unlike the reference interpreter) is a *specializing*
+// compiler in the MATLAB-Coder mould: the caller supplies the entry
+// function's argument types/shapes and inference propagates static shapes
+// through the body. Dimensions it cannot pin down become Dim::dynamic(),
+// which later stages reject with a diagnostic pointing at the argument spec.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mat2c::sema {
+
+/// Element domain of a value. Everything is double-precision at runtime;
+/// Bool tracks logical results, Complex tracks a re/im pair.
+enum class Elem { Real, Complex, Bool };
+
+const char* toString(Elem e);
+
+/// Join for control-flow merges and arithmetic promotion.
+Elem joinElem(Elem a, Elem b);
+
+/// One static dimension: a known extent or dynamic.
+class Dim {
+ public:
+  constexpr Dim() = default;
+  static constexpr Dim of(std::int64_t n) {
+    Dim d;
+    d.extent_ = n;
+    return d;
+  }
+  static constexpr Dim dynamic() { return Dim{}; }
+
+  constexpr bool isKnown() const { return extent_ >= 0; }
+  constexpr std::int64_t extent() const { return extent_; }
+
+  friend constexpr bool operator==(Dim, Dim) = default;
+
+ private:
+  std::int64_t extent_ = -1;
+};
+
+struct Shape {
+  Dim rows = Dim::of(1);
+  Dim cols = Dim::of(1);
+
+  static Shape scalar() { return {Dim::of(1), Dim::of(1)}; }
+  static Shape row(std::int64_t n) { return {Dim::of(1), Dim::of(n)}; }
+  static Shape col(std::int64_t n) { return {Dim::of(n), Dim::of(1)}; }
+  static Shape matrix(std::int64_t r, std::int64_t c) { return {Dim::of(r), Dim::of(c)}; }
+  static Shape dynamic() { return {Dim::dynamic(), Dim::dynamic()}; }
+
+  bool isKnown() const { return rows.isKnown() && cols.isKnown(); }
+  bool isScalar() const { return rows == Dim::of(1) && cols == Dim::of(1); }
+  bool isRow() const { return rows == Dim::of(1); }
+  bool isCol() const { return cols == Dim::of(1); }
+  bool isVector() const { return isRow() || isCol(); }
+  /// Known total element count (requires isKnown()).
+  std::int64_t numel() const { return rows.extent() * cols.extent(); }
+
+  friend bool operator==(const Shape&, const Shape&) = default;
+};
+
+/// Merge at control-flow joins: differing extents become dynamic.
+Shape joinShape(const Shape& a, const Shape& b);
+
+struct Type {
+  Elem elem = Elem::Real;
+  Shape shape = Shape::scalar();
+
+  static Type realScalar() { return {Elem::Real, Shape::scalar()}; }
+  static Type complexScalar() { return {Elem::Complex, Shape::scalar()}; }
+  static Type boolScalar() { return {Elem::Bool, Shape::scalar()}; }
+  static Type real(Shape s) { return {Elem::Real, s}; }
+  static Type complex(Shape s) { return {Elem::Complex, s}; }
+
+  bool isScalar() const { return shape.isScalar(); }
+  bool isComplex() const { return elem == Elem::Complex; }
+
+  /// "complex[4x1]" — used in diagnostics and DESIGN docs.
+  std::string toString() const;
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+Type joinType(const Type& a, const Type& b);
+
+/// Entry-argument specification (the `-args` of MATLAB Coder).
+struct ArgSpec {
+  Type type;
+
+  static ArgSpec scalar() { return {Type::realScalar()}; }
+  static ArgSpec complexScalar() { return {Type::complexScalar()}; }
+  static ArgSpec row(std::int64_t n, bool complex = false) {
+    return {{complex ? Elem::Complex : Elem::Real, Shape::row(n)}};
+  }
+  static ArgSpec col(std::int64_t n, bool complex = false) {
+    return {{complex ? Elem::Complex : Elem::Real, Shape::col(n)}};
+  }
+  static ArgSpec matrix(std::int64_t r, std::int64_t c, bool complex = false) {
+    return {{complex ? Elem::Complex : Elem::Real, Shape::matrix(r, c)}};
+  }
+};
+
+}  // namespace mat2c::sema

@@ -1,0 +1,53 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace mat2c {
+
+std::string toString(SourceLoc loc) {
+  if (!loc.valid()) return "<unknown>";
+  return std::to_string(loc.line) + ":" + std::to_string(loc.col);
+}
+
+const char* toString(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::render() const {
+  std::ostringstream os;
+  os << toString(severity) << " at " << toString(loc) << ": " << message;
+  return os.str();
+}
+
+void DiagnosticEngine::report(Severity severity, SourceLoc loc, std::string message) {
+  if (severity == Severity::Error) ++errorCount_;
+  diags_.push_back(Diagnostic{severity, loc, std::move(message)});
+}
+
+void DiagnosticEngine::fatal(SourceLoc loc, std::string message) {
+  std::string rendered =
+      std::string(toString(Severity::Error)) + " at " + toString(loc) + ": " + message;
+  report(Severity::Error, loc, std::move(message));
+  throw CompileError(rendered);
+}
+
+std::string DiagnosticEngine::renderAll() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += d.render();
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  errorCount_ = 0;
+}
+
+}  // namespace mat2c

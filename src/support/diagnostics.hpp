@@ -1,0 +1,69 @@
+// Diagnostics engine shared by all compiler stages.
+//
+// Stages report through a DiagnosticEngine; the driver decides whether to
+// print, collect, or abort. Fatal front-end errors additionally throw
+// CompileError so deep recursive code can unwind without threading error
+// state through every return value.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace mat2c {
+
+enum class Severity { Note, Warning, Error };
+
+const char* toString(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  /// "error at 3:7: ..." rendering used by tests and the CLI driver.
+  std::string render() const;
+};
+
+/// Thrown for unrecoverable compile errors after the diagnostic has been
+/// recorded in the engine.
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// Collects diagnostics for one compilation. Not thread-safe by design:
+/// one engine per compilation unit.
+class DiagnosticEngine {
+ public:
+  void report(Severity severity, SourceLoc loc, std::string message);
+
+  void note(SourceLoc loc, std::string message) { report(Severity::Note, loc, std::move(message)); }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+
+  /// Records an error diagnostic and throws CompileError.
+  [[noreturn]] void fatal(SourceLoc loc, std::string message);
+
+  bool hasErrors() const { return errorCount_ > 0; }
+  std::size_t errorCount() const { return errorCount_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// All diagnostics rendered one per line (empty string when clean).
+  std::string renderAll() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t errorCount_ = 0;
+};
+
+}  // namespace mat2c

@@ -1,0 +1,31 @@
+// Source positions and ranges used by every compiler stage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mat2c {
+
+/// A position in a source buffer. Lines and columns are 1-based; a
+/// default-constructed location (line 0) means "unknown / synthesized".
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+
+  constexpr bool valid() const { return line != 0; }
+  friend constexpr bool operator==(SourceLoc, SourceLoc) = default;
+};
+
+/// Half-open range [begin, end) over source positions.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  constexpr bool valid() const { return begin.valid(); }
+  friend constexpr bool operator==(SourceRange, SourceRange) = default;
+};
+
+/// "line:col" (or "<unknown>") — used in diagnostics and IR dumps.
+std::string toString(SourceLoc loc);
+
+}  // namespace mat2c

@@ -1,0 +1,28 @@
+// Small string helpers shared across the compiler.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mat2c {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a double the way the C emitter and dumps need it: round-trippable,
+/// always containing '.', 'e', "inf" or "nan" so it reads as floating point.
+std::string formatDouble(double v);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// True if `name` is a valid C/MATLAB identifier.
+bool isIdentifier(std::string_view name);
+
+}  // namespace mat2c

@@ -1,0 +1,57 @@
+// LIR virtual machine with an ASIP cycle model.
+//
+// This is the substitute for the paper's proprietary ASIP toolchain and
+// board: it executes the exact operations the emitted C expresses (each
+// custom instruction = one VM op) and charges each op the cycle cost the
+// active IsaDescription assigns it. Numeric results are bit-identical to
+// what the portable C fallbacks compute, so outputs can be validated against
+// the reference interpreter while cycles are being counted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "interp/value.hpp"
+#include "isa/isa.hpp"
+#include "lir/lir.hpp"
+
+namespace mat2c::vm {
+
+/// Where cycles went — used by the baseline-anatomy ablation.
+enum class CostCategory { Arith, Memory, Loop, Check, Alloc };
+const char* toString(CostCategory c);
+
+struct CycleStats {
+  double total = 0.0;
+  std::map<std::string, double> byCategory;
+  std::map<std::string, double> byOp;        // mnemonic -> cycles
+  std::uint64_t opsExecuted = 0;
+  std::uint64_t intrinsicOpsExecuted = 0;    // ops that map to custom instructions
+
+  void charge(const isa::IsaDescription& isa, isa::Op op, CostCategory cat,
+              double count = 1.0);
+};
+
+struct RunResult {
+  std::vector<Matrix> outputs;  // in Function::outs order
+  CycleStats cycles;
+};
+
+class Machine {
+ public:
+  explicit Machine(const isa::IsaDescription& isa) : isa_(isa) {}
+
+  /// Executes `fn` with MATLAB-value arguments (shapes must match the
+  /// parameter declarations). Throws RuntimeError on numeric/shape faults.
+  RunResult run(const lir::Function& fn, const std::vector<Matrix>& args);
+
+  void setMaxOps(std::uint64_t maxOps) { maxOps_ = maxOps; }
+
+ private:
+  const isa::IsaDescription& isa_;
+  std::uint64_t maxOps_ = 2'000'000'000;
+};
+
+}  // namespace mat2c::vm

@@ -1,0 +1,118 @@
+// Public-API tests: Compiler/CompiledUnit surface, diagnostics, reports.
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hpp"
+#include "driver/kernels.hpp"
+#include "driver/report.hpp"
+
+namespace mat2c {
+namespace {
+
+using sema::ArgSpec;
+
+TEST(Driver, CompileErrorCarriesLocationAndMessage) {
+  Compiler compiler;
+  try {
+    compiler.compileSource("function y = f(x)\ny = nosuch + 1;\nend\n", "f",
+                           {ArgSpec::scalar()}, CompileOptions::proposed());
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("nosuch"), std::string::npos);
+    EXPECT_NE(what.find("2:"), std::string::npos);  // line number
+  }
+  EXPECT_TRUE(compiler.diagnostics().hasErrors());
+}
+
+TEST(Driver, DiagnosticsResetBetweenCompilations) {
+  Compiler compiler;
+  EXPECT_THROW(compiler.compileSource("function y = f(x)\ny = qq;\nend\n", "f",
+                                      {ArgSpec::scalar()}, CompileOptions::proposed()),
+               CompileError);
+  auto unit = compiler.compileSource("function y = f(x)\ny = x;\nend\n", "f",
+                                     {ArgSpec::scalar()}, CompileOptions::proposed());
+  EXPECT_FALSE(compiler.diagnostics().hasErrors());
+  EXPECT_DOUBLE_EQ(unit.run({Matrix::scalar(5)}).outputs[0].scalarValue(), 5.0);
+}
+
+TEST(Driver, ParseErrorSurfaceviaCompileError) {
+  Compiler compiler;
+  EXPECT_THROW(compiler.compileSource("function y = f(x\ny = 1;\nend\n", "f",
+                                      {ArgSpec::scalar()}, CompileOptions::proposed()),
+               CompileError);
+}
+
+TEST(Driver, MissingEntryFunction) {
+  Compiler compiler;
+  EXPECT_THROW(compiler.compileSource("function y = g(x)\ny = x;\nend\n", "f",
+                                      {ArgSpec::scalar()}, CompileOptions::proposed()),
+               CompileError);
+}
+
+TEST(Driver, WrongArgumentCount) {
+  Compiler compiler;
+  EXPECT_THROW(compiler.compileSource("function y = f(a, b)\ny = a + b;\nend\n", "f",
+                                      {ArgSpec::scalar()}, CompileOptions::proposed()),
+               CompileError);
+}
+
+TEST(Driver, UnitExposesFunctionAndIsa) {
+  Compiler compiler;
+  auto unit = compiler.compileSource("function [y, n] = f(x)\ny = x * 2;\nn = sum(x);\nend\n",
+                                     "f", {ArgSpec::row(4)}, CompileOptions::proposed());
+  EXPECT_EQ(unit.fn().name, "f");
+  ASSERT_EQ(unit.fn().outs.size(), 2u);
+  EXPECT_TRUE(unit.fn().outs[0].isArray);
+  EXPECT_FALSE(unit.fn().outs[1].isArray);
+  EXPECT_EQ(unit.isa().name(), "dspx");
+  EXPECT_FALSE(unit.lirDump().empty());
+}
+
+TEST(Driver, CoderLikeStripsCustomInstructionFeatures) {
+  Compiler compiler;
+  auto unit = compiler.compileSource("function y = f(x)\ny = x;\nend\n", "f",
+                                     {ArgSpec::row(4)}, CompileOptions::coderLike());
+  EXPECT_FALSE(unit.isa().hasCmul());
+  EXPECT_FALSE(unit.isa().hasFma());
+  EXPECT_TRUE(unit.isa().hasZol());  // datapath-independent features remain
+  EXPECT_EQ(unit.isa().lanesF64(), 8);
+}
+
+TEST(Driver, MultiOutputValidation) {
+  const char* src =
+      "function [lo, hi] = f(x)\nlo = min(x);\nhi = max(x);\nend\n";
+  Compiler compiler;
+  auto unit = compiler.compileSource(src, "f", {ArgSpec::row(8)},
+                                     CompileOptions::proposed());
+  kernels::InputGen gen(71);
+  EXPECT_LE(validateAgainstInterpreter(src, "f", unit, {gen.rowVector(8)}), 0.0);
+}
+
+TEST(Driver, UnitIsCopyable) {
+  Compiler compiler;
+  auto unit = compiler.compileSource("function y = f(x)\ny = x + 1;\nend\n", "f",
+                                     {ArgSpec::scalar()}, CompileOptions::proposed());
+  CompiledUnit copy = unit;  // shared LIR
+  EXPECT_DOUBLE_EQ(copy.run({Matrix::scalar(1)}).outputs[0].scalarValue(), 2.0);
+  EXPECT_DOUBLE_EQ(unit.run({Matrix::scalar(1)}).outputs[0].scalarValue(), 2.0);
+}
+
+TEST(Report, TableFormatsAndAligns) {
+  report::Table t({"a", "long header"});
+  t.addRow({"x", "1"});
+  t.addRow({"longer cell", "2"});
+  std::string s = t.toString();
+  EXPECT_NE(s.find("| a           | long header |"), std::string::npos);
+  EXPECT_NE(s.find("|-"), std::string::npos);
+  EXPECT_EQ(report::Table::cycles(1234567), "1,234,567");
+  EXPECT_EQ(report::Table::num(3.14159, 2), "3.14");
+}
+
+TEST(Report, ShortRowsPad) {
+  report::Table t({"a", "b", "c"});
+  t.addRow({"only"});
+  EXPECT_NE(t.toString().find("| only |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mat2c

@@ -1,0 +1,267 @@
+// Interpreter semantics tests: statements, control flow, indexing, functions.
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.hpp"
+#include "parser/parser.hpp"
+
+namespace mat2c {
+namespace {
+
+/// Runs `src` as a script and returns variable `name` from the workspace.
+Matrix runVar(const std::string& src, const std::string& name) {
+  DiagnosticEngine diags;
+  auto prog = parseSource(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.renderAll();
+  Interpreter interp(*prog);
+  auto vars = interp.runScript();
+  auto it = vars.find(name);
+  if (it == vars.end()) throw RuntimeError("variable '" + name + "' not set");
+  return it->second;
+}
+
+double runScalar(const std::string& src, const std::string& name = "x") {
+  return runVar(src, name).scalarValue();
+}
+
+TEST(Interp, Arithmetic) {
+  EXPECT_DOUBLE_EQ(runScalar("x = 1 + 2 * 3;"), 7.0);
+  EXPECT_DOUBLE_EQ(runScalar("x = (1 + 2) * 3;"), 9.0);
+  EXPECT_DOUBLE_EQ(runScalar("x = 7 / 2;"), 3.5);
+  EXPECT_DOUBLE_EQ(runScalar("x = 2^10;"), 1024.0);
+  EXPECT_DOUBLE_EQ(runScalar("x = -2^2;"), -4.0);
+}
+
+TEST(Interp, ComplexArithmetic) {
+  Matrix z = runVar("x = (1 + 2i) * (3 - 1i);", "x");
+  EXPECT_EQ(z.at(0), (Complex{5.0, 5.0}));
+}
+
+TEST(Interp, ImaginaryLiteralUnit) {
+  Matrix z = runVar("x = 1i * 1i;", "x");
+  EXPECT_DOUBLE_EQ(z.real(0), -1.0);
+}
+
+TEST(Interp, RangeAndSum) {
+  EXPECT_DOUBLE_EQ(runScalar("x = sum(1:100);"), 5050.0);
+  EXPECT_DOUBLE_EQ(runScalar("x = sum(1:2:9);"), 25.0);
+}
+
+TEST(Interp, MatrixLiteralAndIndexing) {
+  EXPECT_DOUBLE_EQ(runScalar("m = [1 2; 3 4]; x = m(2, 1);"), 3.0);
+  EXPECT_DOUBLE_EQ(runScalar("m = [1 2; 3 4]; x = m(3);"), 2.0);  // column-major
+  EXPECT_DOUBLE_EQ(runScalar("v = [10 20 30]; x = v(end);"), 30.0);
+  EXPECT_DOUBLE_EQ(runScalar("v = [10 20 30]; x = v(end-1);"), 20.0);
+}
+
+TEST(Interp, SliceIndexing) {
+  Matrix v = runVar("a = 1:10; x = a(2:4);", "x");
+  ASSERT_EQ(v.numel(), 3u);
+  EXPECT_DOUBLE_EQ(v.real(0), 2.0);
+  EXPECT_TRUE(v.isRow());
+}
+
+TEST(Interp, ColonFlattensToColumn) {
+  Matrix v = runVar("m = [1 2; 3 4]; x = m(:);", "x");
+  EXPECT_EQ(v.rows(), 4u);
+  EXPECT_EQ(v.cols(), 1u);
+  EXPECT_DOUBLE_EQ(v.real(1), 3.0);
+}
+
+TEST(Interp, TwoDimSliceWithColon) {
+  Matrix v = runVar("m = [1 2 3; 4 5 6]; x = m(2, :);", "x");
+  EXPECT_EQ(v.rows(), 1u);
+  EXPECT_EQ(v.cols(), 3u);
+  EXPECT_DOUBLE_EQ(v.real(2), 6.0);
+}
+
+TEST(Interp, LogicalIndexing) {
+  Matrix v = runVar("a = [5 -3 8 -1]; x = a(a > 0);", "x");
+  ASSERT_EQ(v.numel(), 2u);
+  EXPECT_DOUBLE_EQ(v.real(1), 8.0);
+}
+
+TEST(Interp, LogicalIndexAssignment) {
+  Matrix v = runVar("a = [5 -3 8 -1]; a(a < 0) = 0; x = a;", "x");
+  EXPECT_DOUBLE_EQ(v.real(1), 0.0);
+  EXPECT_DOUBLE_EQ(v.real(3), 0.0);
+  EXPECT_DOUBLE_EQ(v.real(2), 8.0);
+}
+
+TEST(Interp, VectorIndexAssignment) {
+  Matrix v = runVar("a = zeros(1, 5); a([1 3 5]) = [10 30 50]; x = a;", "x");
+  EXPECT_DOUBLE_EQ(v.real(0), 10.0);
+  EXPECT_DOUBLE_EQ(v.real(2), 30.0);
+  EXPECT_DOUBLE_EQ(v.real(1), 0.0);
+}
+
+TEST(Interp, VectorGrowthOnAssign) {
+  Matrix v = runVar("a = []; a(3) = 7; x = a;", "x");
+  EXPECT_EQ(v.numel(), 3u);
+  EXPECT_DOUBLE_EQ(v.real(0), 0.0);
+  EXPECT_DOUBLE_EQ(v.real(2), 7.0);
+}
+
+TEST(Interp, MatrixGrowthOnTwoDimAssign) {
+  Matrix v = runVar("a = zeros(2,2); a(3, 4) = 9; x = a;", "x");
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_EQ(v.cols(), 4u);
+  EXPECT_DOUBLE_EQ(v.at(2, 3).real(), 9.0);
+}
+
+TEST(Interp, SliceAssignment) {
+  Matrix v = runVar("a = zeros(1,5); a(2:3) = [7 8]; x = a;", "x");
+  EXPECT_DOUBLE_EQ(v.real(1), 7.0);
+  EXPECT_DOUBLE_EQ(v.real(2), 8.0);
+}
+
+TEST(Interp, ScalarBroadcastAssignment) {
+  Matrix v = runVar("a = ones(1,4); a(2:3) = 0; x = a;", "x");
+  EXPECT_DOUBLE_EQ(v.real(1), 0.0);
+  EXPECT_DOUBLE_EQ(v.real(3), 1.0);
+}
+
+TEST(Interp, IfElse) {
+  EXPECT_DOUBLE_EQ(runScalar("a = 5; if a > 3\nx = 1;\nelse\nx = 2;\nend"), 1.0);
+  EXPECT_DOUBLE_EQ(runScalar("a = 1; if a > 3\nx = 1;\nelse\nx = 2;\nend"), 2.0);
+  EXPECT_DOUBLE_EQ(
+      runScalar("a = 2; if a == 1\nx = 1;\nelseif a == 2\nx = 22;\nelse\nx = 3;\nend"), 22.0);
+}
+
+TEST(Interp, ForLoopAccumulates) {
+  EXPECT_DOUBLE_EQ(runScalar("x = 0; for i = 1:10\nx = x + i;\nend"), 55.0);
+}
+
+TEST(Interp, ForLoopOverVector) {
+  EXPECT_DOUBLE_EQ(runScalar("x = 0; for v = [2 4 6]\nx = x + v;\nend"), 12.0);
+}
+
+TEST(Interp, ForLoopBreakContinue) {
+  EXPECT_DOUBLE_EQ(
+      runScalar("x = 0; for i = 1:10\nif i == 4\nbreak\nend\nx = x + i;\nend"), 6.0);
+  EXPECT_DOUBLE_EQ(
+      runScalar("x = 0; for i = 1:5\nif mod(i,2) == 0\ncontinue\nend\nx = x + i;\nend"), 9.0);
+}
+
+TEST(Interp, WhileLoop) {
+  EXPECT_DOUBLE_EQ(runScalar("x = 1; while x < 100\nx = x * 2;\nend"), 128.0);
+}
+
+TEST(Interp, SwitchOnNumberAndString) {
+  EXPECT_DOUBLE_EQ(runScalar("m = 2; switch m\ncase 1\nx = 10;\ncase 2\nx = 20;\nend"), 20.0);
+  EXPECT_DOUBLE_EQ(
+      runScalar("m = 'b'; switch m\ncase 'a'\nx = 1;\ncase 'b'\nx = 2;\notherwise\nx = 3;\nend"),
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      runScalar("m = 9; switch m\ncase 1\nx = 1;\notherwise\nx = 42;\nend"), 42.0);
+}
+
+TEST(Interp, FunctionCall) {
+  const char* src =
+      "x = twice(21);\n"
+      "function y = twice(a)\n"
+      "y = 2 * a;\n"
+      "end\n";
+  EXPECT_DOUBLE_EQ(runScalar(src), 42.0);
+}
+
+TEST(Interp, FunctionMultipleOutputs) {
+  const char* src =
+      "[lo, hi] = bounds([3 1 4 1 5]);\n"
+      "function [mn, mx] = bounds(v)\n"
+      "mn = min(v);\n"
+      "mx = max(v);\n"
+      "end\n";
+  EXPECT_DOUBLE_EQ(runScalar(src, "lo"), 1.0);
+  EXPECT_DOUBLE_EQ(runScalar(src, "hi"), 5.0);
+}
+
+TEST(Interp, RecursiveFunction) {
+  const char* src =
+      "x = fact(6);\n"
+      "function y = fact(n)\n"
+      "if n <= 1\n y = 1;\nelse\n y = n * fact(n - 1);\nend\n"
+      "end\n";
+  EXPECT_DOUBLE_EQ(runScalar(src), 720.0);
+}
+
+TEST(Interp, FunctionEarlyReturn) {
+  const char* src =
+      "x = f(5);\n"
+      "function y = f(a)\n"
+      "y = 1;\n"
+      "if a > 3\n return\nend\n"
+      "y = 2;\n"
+      "end\n";
+  EXPECT_DOUBLE_EQ(runScalar(src), 1.0);
+}
+
+TEST(Interp, VariableShadowsFunction) {
+  // `sum` used as a variable should shadow the builtin.
+  EXPECT_DOUBLE_EQ(runScalar("sum = [1 2 3]; x = sum(2);"), 2.0);
+}
+
+TEST(Interp, TransposeAndMatMul) {
+  EXPECT_DOUBLE_EQ(runScalar("v = [1 2 3]; x = v * v';"), 14.0);
+}
+
+TEST(Interp, ConjugateTranspose) {
+  Matrix z = runVar("v = [1+2i]; x = v';", "x");
+  EXPECT_EQ(z.at(0), (Complex{1.0, -2.0}));
+}
+
+TEST(Interp, ShortCircuitAvoidsEvaluation) {
+  // Division by zero on the rhs must not be evaluated.
+  EXPECT_DOUBLE_EQ(runScalar("a = 0; x = 0; if a ~= 0 && 1/a > 1\nx = 1;\nend\nx = x + 1;"),
+                   1.0);
+}
+
+TEST(Interp, UndefinedVariableThrows) {
+  EXPECT_THROW(runScalar("x = nope + 1;"), RuntimeError);
+}
+
+TEST(Interp, OutOfBoundsReadThrows) {
+  EXPECT_THROW(runScalar("a = [1 2]; x = a(5);"), RuntimeError);
+}
+
+TEST(Interp, DimensionMismatchThrows) {
+  EXPECT_THROW(runScalar("x = [1 2] + [1 2 3];"), RuntimeError);
+}
+
+TEST(Interp, StepBudgetGuardsInfiniteLoop) {
+  DiagnosticEngine diags;
+  auto prog = parseSource("x = 1; while 1\nx = x + 1;\nend", diags);
+  Interpreter interp(*prog);
+  interp.setMaxSteps(10'000);
+  EXPECT_THROW(interp.runScript(), RuntimeError);
+}
+
+TEST(Interp, StringComparisonInSwitchOnly) {
+  Matrix s = runVar("x = 'abc';", "x");
+  EXPECT_TRUE(s.isString());
+  EXPECT_EQ(s.stringValue(), "abc");
+}
+
+TEST(Interp, CallFunctionApi) {
+  DiagnosticEngine diags;
+  auto prog = parseSource("function y = addone(x)\ny = x + 1;\nend", diags);
+  Interpreter interp(*prog);
+  auto outs = interp.callFunction("addone", {Matrix::scalar(41.0)});
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_DOUBLE_EQ(outs[0].scalarValue(), 42.0);
+  EXPECT_THROW(interp.callFunction("nosuch", {}), RuntimeError);
+}
+
+TEST(Interp, NestedLoops) {
+  const char* src =
+      "x = 0;\n"
+      "for i = 1:3\n"
+      "  for j = 1:3\n"
+      "    if j > i\n continue\n end\n"
+      "    x = x + 1;\n"
+      "  end\n"
+      "end\n";
+  EXPECT_DOUBLE_EQ(runScalar(src), 6.0);
+}
+
+}  // namespace
+}  // namespace mat2c

@@ -1,0 +1,182 @@
+// ISA description tests: presets, parsing, serialization, cost model.
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+
+namespace mat2c::isa {
+namespace {
+
+TEST(Isa, ScalarPresetHasNoCustomInstructions) {
+  auto d = IsaDescription::preset("scalar");
+  EXPECT_EQ(d.lanesF64(), 1);
+  EXPECT_EQ(d.lanesC64(), 1);
+  EXPECT_FALSE(d.hasFma());
+  EXPECT_FALSE(d.hasCmul());
+  EXPECT_FALSE(d.supports(Op::VAddF));
+  EXPECT_FALSE(d.supports(Op::MulC));
+  EXPECT_TRUE(d.supports(Op::AddF));
+  EXPECT_TRUE(d.supports(Op::LoadC));
+}
+
+TEST(Isa, DspxPreset) {
+  auto d = IsaDescription::preset("dspx");
+  EXPECT_EQ(d.lanesF64(), 8);
+  EXPECT_EQ(d.lanesC64(), 4);
+  EXPECT_TRUE(d.hasFma());
+  EXPECT_TRUE(d.hasCmul());
+  EXPECT_TRUE(d.hasCmac());
+  EXPECT_TRUE(d.hasZol());
+  EXPECT_TRUE(d.hasAgu());
+  EXPECT_TRUE(d.supports(Op::VFmaF));
+  EXPECT_TRUE(d.supports(Op::VMulC));
+  EXPECT_TRUE(d.supports(Op::VFmaC));
+}
+
+TEST(Isa, WidthVariants) {
+  EXPECT_EQ(IsaDescription::preset("dspx_w2").lanesF64(), 2);
+  EXPECT_EQ(IsaDescription::preset("dspx_w4").lanesF64(), 4);
+  EXPECT_EQ(IsaDescription::preset("dspx_w16").lanesF64(), 16);
+  EXPECT_EQ(IsaDescription::preset("dspx_novec").lanesF64(), 1);
+}
+
+TEST(Isa, NoComplexVariantDisablesComplexUnit) {
+  auto d = IsaDescription::preset("dspx_nocomplex");
+  EXPECT_FALSE(d.hasCmul());
+  EXPECT_FALSE(d.supports(Op::VMulC));
+  EXPECT_FALSE(d.supports(Op::MulC));
+  EXPECT_TRUE(d.supports(Op::VAddF));  // plain SIMD remains
+}
+
+TEST(Isa, UnknownPresetThrows) {
+  EXPECT_THROW(IsaDescription::preset("nope"), std::invalid_argument);
+}
+
+TEST(Isa, PresetNamesAllConstructible) {
+  for (const auto& name : IsaDescription::presetNames()) {
+    EXPECT_NO_THROW(IsaDescription::preset(name));
+  }
+}
+
+TEST(Isa, CmulDecomposition) {
+  auto scalar = IsaDescription::preset("scalar");
+  // 4 multiplies + 2 adds when there is no complex unit.
+  EXPECT_DOUBLE_EQ(scalar.cost(Op::MulC),
+                   4 * scalar.cost(Op::MulF) + 2 * scalar.cost(Op::AddF));
+  auto dspx = IsaDescription::preset("dspx");
+  EXPECT_DOUBLE_EQ(dspx.cost(Op::MulC), 1.0);
+}
+
+TEST(Isa, FmaDecomposition) {
+  auto scalar = IsaDescription::preset("scalar");
+  EXPECT_DOUBLE_EQ(scalar.cost(Op::FmaF), scalar.cost(Op::MulF) + scalar.cost(Op::AddF));
+}
+
+TEST(Isa, UnsupportedVectorOpCostThrows) {
+  auto scalar = IsaDescription::preset("scalar");
+  EXPECT_THROW(scalar.cost(Op::VMulC), std::logic_error);
+}
+
+TEST(Isa, ZolAndAguZeroOutOverheads) {
+  auto dspx = IsaDescription::preset("dspx");
+  EXPECT_DOUBLE_EQ(dspx.cost(Op::LoopOverhead), 0.0);
+  EXPECT_DOUBLE_EQ(dspx.cost(Op::AddI), 0.0);
+  auto scalar = IsaDescription::preset("scalar");
+  EXPECT_GT(scalar.cost(Op::LoopOverhead), 0.0);
+  EXPECT_GT(scalar.cost(Op::AddI), 0.0);
+}
+
+TEST(Isa, MemoryPortLimitsWideVectors) {
+  auto w8 = IsaDescription::preset("dspx");
+  auto w16 = IsaDescription::preset("dspx_w16");
+  // 16 lanes through an 8-lane port = twice the issues.
+  EXPECT_DOUBLE_EQ(w16.cost(Op::VLoadF), 2 * w8.cost(Op::VLoadF));
+}
+
+TEST(Isa, ReductionCostScalesWithWidth) {
+  auto w4 = IsaDescription::preset("dspx_w4");
+  auto w16 = IsaDescription::preset("dspx_w16");
+  EXPECT_LT(w4.cost(Op::VReduceAddF), w16.cost(Op::VReduceAddF));
+}
+
+TEST(Isa, IntrinsicNamesDeriveFromTargetName) {
+  auto d = IsaDescription::preset("dspx");
+  EXPECT_EQ(d.intrinsicName(Op::VFmaF), "dspx_vfma_f64");
+  EXPECT_EQ(d.intrinsicName(Op::MulC), "dspx_cmul_c64");
+}
+
+TEST(Isa, UsesIntrinsicOnlyForCustomOps) {
+  auto d = IsaDescription::preset("dspx");
+  EXPECT_TRUE(d.usesIntrinsic(Op::VAddF));
+  EXPECT_TRUE(d.usesIntrinsic(Op::MulC));
+  EXPECT_TRUE(d.usesIntrinsic(Op::FmaF));
+  EXPECT_FALSE(d.usesIntrinsic(Op::AddF));   // plain C operator
+  EXPECT_FALSE(d.usesIntrinsic(Op::LoadF));  // plain array access
+  auto scalar = IsaDescription::preset("scalar");
+  EXPECT_FALSE(scalar.usesIntrinsic(Op::MulC));
+}
+
+TEST(Isa, MnemonicRoundTrip) {
+  for (Op op : {Op::AddF, Op::MulC, Op::VFmaC, Op::BoundsCheck, Op::VLoadF}) {
+    auto back = opFromMnemonic(mnemonic(op));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, op);
+  }
+  EXPECT_FALSE(opFromMnemonic("not.an.op").has_value());
+}
+
+TEST(Isa, ParseDescription) {
+  DiagnosticEngine diags;
+  auto d = IsaDescription::parse(R"(
+# my custom DSP
+name mydsp
+simd f64 4
+simd c64 2
+memlanes 4
+feature fma
+feature cmul
+cost cmul.c64 2
+intrinsic vfma.f64 mydsp_fused_mac
+)",
+                                 diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.renderAll();
+  EXPECT_EQ(d.name(), "mydsp");
+  EXPECT_EQ(d.lanesF64(), 4);
+  EXPECT_EQ(d.lanesC64(), 2);
+  EXPECT_TRUE(d.hasFma());
+  EXPECT_TRUE(d.hasCmul());
+  EXPECT_FALSE(d.hasCmac());
+  EXPECT_DOUBLE_EQ(d.cost(Op::MulC), 2.0);
+  EXPECT_EQ(d.intrinsicName(Op::VFmaF), "mydsp_fused_mac");
+}
+
+TEST(Isa, ParseDiagnosesUnknownDirectives) {
+  DiagnosticEngine diags;
+  IsaDescription::parse("bogus directive\nfeature warp\ncost nop.x 1\n", diags);
+  EXPECT_GE(diags.errorCount(), 3u);
+}
+
+TEST(Isa, SerializeRoundTrip) {
+  auto d = IsaDescription::preset("dspx");
+  d.setCost(Op::SinF, 11);
+  d.setIntrinsicName(Op::VAddF, "dspx_wide_add");
+  DiagnosticEngine diags;
+  auto d2 = IsaDescription::parse(d.serialize(), diags);
+  EXPECT_FALSE(diags.hasErrors());
+  EXPECT_EQ(d2.name(), d.name());
+  EXPECT_EQ(d2.lanesF64(), d.lanesF64());
+  EXPECT_EQ(d2.lanesC64(), d.lanesC64());
+  EXPECT_EQ(d2.hasCmac(), d.hasCmac());
+  EXPECT_DOUBLE_EQ(d2.cost(Op::SinF), 11.0);
+  EXPECT_EQ(d2.intrinsicName(Op::VAddF), "dspx_wide_add");
+}
+
+TEST(Isa, VectorAndComplexClassifiers) {
+  EXPECT_TRUE(isVectorOp(Op::VAddF));
+  EXPECT_FALSE(isVectorOp(Op::AddF));
+  EXPECT_TRUE(isComplexOp(Op::MulC));
+  EXPECT_TRUE(isComplexOp(Op::VLoadC));
+  EXPECT_FALSE(isComplexOp(Op::VLoadF));
+}
+
+}  // namespace
+}  // namespace mat2c::isa

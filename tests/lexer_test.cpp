@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "lexer/lexer.hpp"
+
+namespace mat2c {
+namespace {
+
+std::vector<Token> lex(const std::string& src) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  auto toks = lexer.tokenize();
+  EXPECT_FALSE(diags.hasErrors()) << diags.renderAll();
+  return toks;
+}
+
+std::vector<TokenKind> kinds(const std::string& src) {
+  std::vector<TokenKind> out;
+  for (const auto& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInput) {
+  auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::Eof);
+}
+
+TEST(Lexer, Numbers) {
+  auto toks = lex("1 2.5 .5 1e3 2.5e-3 3.");
+  ASSERT_GE(toks.size(), 6u);
+  EXPECT_DOUBLE_EQ(toks[0].numValue, 1.0);
+  EXPECT_DOUBLE_EQ(toks[1].numValue, 2.5);
+  EXPECT_DOUBLE_EQ(toks[2].numValue, 0.5);
+  EXPECT_DOUBLE_EQ(toks[3].numValue, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[4].numValue, 0.0025);
+  EXPECT_DOUBLE_EQ(toks[5].numValue, 3.0);
+}
+
+TEST(Lexer, ImaginaryLiterals) {
+  auto toks = lex("3i 2.5j");
+  EXPECT_TRUE(toks[0].imaginary);
+  EXPECT_DOUBLE_EQ(toks[0].numValue, 3.0);
+  EXPECT_TRUE(toks[1].imaginary);
+  EXPECT_DOUBLE_EQ(toks[1].numValue, 2.5);
+}
+
+TEST(Lexer, NumberDotStarIsNotPartOfNumber) {
+  auto k = kinds("2.*x");
+  ASSERT_GE(k.size(), 3u);
+  EXPECT_EQ(k[0], TokenKind::Number);
+  EXPECT_EQ(k[1], TokenKind::DotStar);
+  EXPECT_EQ(k[2], TokenKind::Identifier);
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  auto toks = lex("for forx end endx");
+  EXPECT_EQ(toks[0].kind, TokenKind::KwFor);
+  EXPECT_EQ(toks[1].kind, TokenKind::Identifier);
+  EXPECT_EQ(toks[2].kind, TokenKind::KwEnd);
+  EXPECT_EQ(toks[3].kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, ElementwiseOperators) {
+  auto k = kinds("a .* b ./ c .\\ d .^ e");
+  EXPECT_EQ(k[1], TokenKind::DotStar);
+  EXPECT_EQ(k[3], TokenKind::DotSlash);
+  EXPECT_EQ(k[5], TokenKind::DotBackslash);
+  EXPECT_EQ(k[7], TokenKind::DotCaret);
+}
+
+TEST(Lexer, ComparisonOperators) {
+  auto k = kinds("a == b ~= c <= d >= e < f > g");
+  EXPECT_EQ(k[1], TokenKind::Eq);
+  EXPECT_EQ(k[3], TokenKind::Ne);
+  EXPECT_EQ(k[5], TokenKind::Le);
+  EXPECT_EQ(k[7], TokenKind::Ge);
+  EXPECT_EQ(k[9], TokenKind::Lt);
+  EXPECT_EQ(k[11], TokenKind::Gt);
+}
+
+TEST(Lexer, LogicalOperators) {
+  auto k = kinds("a && b || c & d | e ~f");
+  EXPECT_EQ(k[1], TokenKind::AndAnd);
+  EXPECT_EQ(k[3], TokenKind::OrOr);
+  EXPECT_EQ(k[5], TokenKind::And);
+  EXPECT_EQ(k[7], TokenKind::Or);
+  EXPECT_EQ(k[9], TokenKind::Not);
+}
+
+TEST(Lexer, TransposeAfterValue) {
+  auto k = kinds("a' + (b)' + [1]' + x.'");
+  EXPECT_EQ(k[1], TokenKind::Transpose);
+  std::size_t count = 0;
+  for (auto kk : k)
+    if (kk == TokenKind::Transpose) ++count;
+  EXPECT_EQ(count, 3u);
+  EXPECT_NE(std::find(k.begin(), k.end(), TokenKind::DotTranspose), k.end());
+}
+
+TEST(Lexer, StringAfterOperatorIsString) {
+  auto toks = lex("x = 'hello'");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[2].kind, TokenKind::String);
+  EXPECT_EQ(toks[2].text, "hello");
+}
+
+TEST(Lexer, StringWithEscapedQuote) {
+  auto toks = lex("x = 'it''s'");
+  EXPECT_EQ(toks[2].text, "it's");
+}
+
+TEST(Lexer, LineCommentSkipped) {
+  auto k = kinds("a % comment with ' and stuff\nb");
+  EXPECT_EQ(k[0], TokenKind::Identifier);
+  EXPECT_EQ(k[1], TokenKind::Newline);
+  EXPECT_EQ(k[2], TokenKind::Identifier);
+}
+
+TEST(Lexer, BlockCommentSkipped) {
+  auto k = kinds("a\n%{\nanything\n%}\nb");
+  // a, newline, b, eof (blank lines collapse)
+  EXPECT_EQ(k[0], TokenKind::Identifier);
+  EXPECT_EQ(k[2], TokenKind::Identifier);
+}
+
+TEST(Lexer, ContinuationJoinsLines) {
+  auto k = kinds("a + ...\nb");
+  EXPECT_EQ(k[0], TokenKind::Identifier);
+  EXPECT_EQ(k[1], TokenKind::Plus);
+  EXPECT_EQ(k[2], TokenKind::Identifier);
+  EXPECT_EQ(k[3], TokenKind::Eof);
+}
+
+TEST(Lexer, BlankLinesCollapse) {
+  auto k = kinds("a\n\n\nb");
+  ASSERT_EQ(k.size(), 4u);
+  EXPECT_EQ(k[1], TokenKind::Newline);
+}
+
+TEST(Lexer, TracksLocations) {
+  auto toks = lex("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.col, 1u);
+  EXPECT_EQ(toks[2].loc.line, 2u);
+  EXPECT_EQ(toks[2].loc.col, 3u);
+}
+
+TEST(Lexer, PrecededBySpaceFlag) {
+  auto toks = lex("[1 -2]");
+  // tokens: [ 1 - 2 ] eof
+  EXPECT_FALSE(toks[1].precededBySpace);  // 1
+  EXPECT_TRUE(toks[2].precededBySpace);   // -
+  EXPECT_FALSE(toks[3].precededBySpace);  // 2
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("x = 'oops\n", diags);
+  lexer.tokenize();
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, UnexpectedCharacterIsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("a # b", diags);
+  auto toks = lexer.tokenize();
+  EXPECT_TRUE(diags.hasErrors());
+  // Lexing continues past the bad character.
+  EXPECT_EQ(toks[1].kind, TokenKind::Identifier);
+}
+
+}  // namespace
+}  // namespace mat2c

@@ -1,0 +1,158 @@
+// LIR structure tests: builders, printing, verification, affine analysis.
+#include <gtest/gtest.h>
+
+#include "lir/lir.hpp"
+
+namespace mat2c::lir {
+namespace {
+
+Function makeSaxpy() {
+  // y[i] = a * x[i] + y[i]
+  Function fn;
+  fn.name = "saxpy";
+  fn.params.push_back({"a", Scalar::F64, false, 1, 1});
+  fn.params.push_back({"x", Scalar::F64, true, 1, 8});
+  fn.outs.push_back({"y", Scalar::F64, true, 1, 8});
+  std::vector<StmtPtr> body;
+  ExprPtr val = fma(varRef("a", VType::f64()),
+                    load("x", varRef("i", VType::i64()), VType::f64()),
+                    load("y", varRef("i", VType::i64()), VType::f64()), VType::f64());
+  body.push_back(store("y", varRef("i", VType::i64()), std::move(val)));
+  fn.body.push_back(forLoop("i", constI(0), constI(8), 1, std::move(body)));
+  return fn;
+}
+
+TEST(Lir, VerifyAcceptsWellFormed) {
+  Function fn = makeSaxpy();
+  EXPECT_TRUE(verify(fn).empty());
+}
+
+TEST(Lir, PrintContainsStructure) {
+  Function fn = makeSaxpy();
+  std::string text = print(fn);
+  EXPECT_NE(text.find("func saxpy"), std::string::npos);
+  EXPECT_NE(text.find("for i = 0 .. 8"), std::string::npos);
+  EXPECT_NE(text.find("fma(a, x[i], y[i])"), std::string::npos);
+}
+
+TEST(Lir, VerifyCatchesUndeclaredVariable) {
+  Function fn = makeSaxpy();
+  fn.body.push_back(assign("ghost", constF(1.0)));
+  auto problems = verify(fn);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("ghost"), std::string::npos);
+}
+
+TEST(Lir, VerifyCatchesUnknownArray) {
+  Function fn = makeSaxpy();
+  fn.body.push_back(store("nosuch", constI(0), constF(1.0)));
+  EXPECT_FALSE(verify(fn).empty());
+}
+
+TEST(Lir, VerifyCatchesTypeMismatch) {
+  Function fn = makeSaxpy();
+  fn.body.push_back(declScalar("t", VType::f64(), constI(3)));  // i64 init for f64
+  EXPECT_FALSE(verify(fn).empty());
+}
+
+TEST(Lir, VerifyCatchesNonI64Index) {
+  Function fn = makeSaxpy();
+  fn.body.push_back(store("y", constF(0.0), constF(1.0)));
+  EXPECT_FALSE(verify(fn).empty());
+}
+
+TEST(Lir, VerifyCatchesBreakOutsideLoop) {
+  Function fn;
+  fn.name = "f";
+  fn.body.push_back(breakStmt());
+  EXPECT_FALSE(verify(fn).empty());
+}
+
+TEST(Lir, VerifyScopesLoopVariables) {
+  Function fn;
+  fn.name = "f";
+  std::vector<StmtPtr> body;
+  body.push_back(declScalar("t", VType::i64(), varRef("i", VType::i64())));
+  fn.body.push_back(forLoop("i", constI(0), constI(4), 1, std::move(body)));
+  // `i` out of scope after the loop:
+  fn.body.push_back(declScalar("u", VType::i64(), varRef("i", VType::i64())));
+  EXPECT_FALSE(verify(fn).empty());
+}
+
+TEST(Lir, CloneIsDeep) {
+  Function fn = makeSaxpy();
+  StmtPtr loop = fn.body[0]->clone();
+  // Mutating the clone must not affect the original.
+  loop->body.clear();
+  EXPECT_FALSE(fn.body[0]->body.empty());
+}
+
+TEST(Lir, ArrayInfoFindsAllStorageKinds) {
+  Function fn = makeSaxpy();
+  fn.arrays.push_back({"tmp", Scalar::C64, 2, 3});
+  Scalar elem{};
+  std::int64_t n = 0;
+  EXPECT_TRUE(fn.arrayInfo("x", elem, n));
+  EXPECT_EQ(n, 8);
+  EXPECT_TRUE(fn.arrayInfo("y", elem, n));
+  EXPECT_TRUE(fn.arrayInfo("tmp", elem, n));
+  EXPECT_EQ(elem, Scalar::C64);
+  EXPECT_EQ(n, 6);
+  EXPECT_FALSE(fn.arrayInfo("a", elem, n));  // scalar param is not an array
+  EXPECT_FALSE(fn.arrayInfo("zz", elem, n));
+}
+
+TEST(Lir, TypeToString) {
+  EXPECT_EQ(toString(VType::f64()), "f64");
+  EXPECT_EQ(toString(VType::c64(4)), "c64x4");
+  EXPECT_EQ(toString(VType::i64()), "i64");
+}
+
+// -- affine analysis ---------------------------------------------------------
+
+TEST(LirAffine, ConstantsAndVars) {
+  auto a = affineOf(*constI(7));
+  EXPECT_TRUE(a.ok);
+  EXPECT_EQ(a.constant, 7);
+  auto v = affineOf(*varRef("i", VType::i64()));
+  EXPECT_TRUE(v.ok);
+  EXPECT_EQ(v.coeff("i"), 1);
+}
+
+TEST(LirAffine, LinearCombination) {
+  // (i * 3 + j) - 2
+  ExprPtr e = binary(
+      BinOp::Sub,
+      binary(BinOp::Add,
+             binary(BinOp::Mul, varRef("i", VType::i64()), constI(3), VType::i64()),
+             varRef("j", VType::i64()), VType::i64()),
+      constI(2), VType::i64());
+  auto a = affineOf(*e);
+  ASSERT_TRUE(a.ok);
+  EXPECT_EQ(a.coeff("i"), 3);
+  EXPECT_EQ(a.coeff("j"), 1);
+  EXPECT_EQ(a.constant, -2);
+  EXPECT_FALSE(a.onlyVar("i"));
+  EXPECT_TRUE(affineOf(*varRef("i", VType::i64())).onlyVar("i"));
+}
+
+TEST(LirAffine, NonAffineRejected) {
+  ExprPtr e = binary(BinOp::Mul, varRef("i", VType::i64()), varRef("j", VType::i64()),
+                     VType::i64());
+  EXPECT_FALSE(affineOf(*e).ok);
+  ExprPtr f = unary(UnOp::ToI64, constF(3.0), VType::i64());
+  EXPECT_FALSE(affineOf(*f).ok);
+}
+
+TEST(LirAffine, Subtraction) {
+  // (i + 5) - (i + 2) == 3
+  ExprPtr a = binary(BinOp::Add, varRef("i", VType::i64()), constI(5), VType::i64());
+  ExprPtr b = binary(BinOp::Add, varRef("i", VType::i64()), constI(2), VType::i64());
+  Affine d = affineSub(affineOf(*a), affineOf(*b));
+  ASSERT_TRUE(d.ok);
+  EXPECT_EQ(d.constant, 3);
+  EXPECT_EQ(d.coeff("i"), 0);
+}
+
+}  // namespace
+}  // namespace mat2c::lir

@@ -1,0 +1,489 @@
+// End-to-end lowering tests: compile MATLAB source, run on the VM, and
+// compare element-wise against the reference interpreter. Each test is a
+// distinct language feature passing through the full pipeline.
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hpp"
+#include "driver/kernels.hpp"
+
+namespace mat2c {
+namespace {
+
+using sema::ArgSpec;
+
+/// Compiles (both styles), validates both against the interpreter, and
+/// returns the Proposed-style result for further checks.
+vm::RunResult compileRunValidate(const std::string& src, const std::string& entry,
+                                 const std::vector<ArgSpec>& specs,
+                                 const std::vector<Matrix>& args, double tol = 1e-9) {
+  Compiler compiler;
+  auto prop = compiler.compileSource(src, entry, specs, CompileOptions::proposed());
+  auto base = compiler.compileSource(src, entry, specs, CompileOptions::coderLike());
+  EXPECT_LE(validateAgainstInterpreter(src, entry, prop, args), tol) << "proposed mismatch";
+  EXPECT_LE(validateAgainstInterpreter(src, entry, base, args), tol) << "baseline mismatch";
+  return prop.run(args);
+}
+
+Matrix rowOf(std::initializer_list<double> vals) {
+  return Matrix::rowVector(std::vector<double>(vals));
+}
+
+TEST(Lowering, ScalarFunction) {
+  auto r = compileRunValidate("function y = f(a, b)\ny = a * 2 + b / 4;\nend\n", "f",
+                              {ArgSpec::scalar(), ArgSpec::scalar()},
+                              {Matrix::scalar(3), Matrix::scalar(8)});
+  EXPECT_DOUBLE_EQ(r.outputs[0].scalarValue(), 8.0);
+}
+
+TEST(Lowering, ElementwiseExpression) {
+  compileRunValidate("function y = f(x)\ny = 2 .* x + x .* x - 1;\nend\n", "f",
+                     {ArgSpec::row(7)}, {rowOf({1, 2, 3, 4, 5, 6, 7})});
+}
+
+TEST(Lowering, ScalarExpansion) {
+  compileRunValidate("function y = f(x, s)\ny = x * s + 1;\nend\n", "f",
+                     {ArgSpec::row(5), ArgSpec::scalar()},
+                     {rowOf({1, 2, 3, 4, 5}), Matrix::scalar(2.5)});
+}
+
+TEST(Lowering, ForLoopAccumulation) {
+  auto r = compileRunValidate(
+      "function y = f(x)\ny = 0;\nfor k = 1:length(x)\n  y = y + x(k);\nend\nend\n", "f",
+      {ArgSpec::row(6)}, {rowOf({1, 2, 3, 4, 5, 6})});
+  EXPECT_DOUBLE_EQ(r.outputs[0].scalarValue(), 21.0);
+}
+
+TEST(Lowering, ForLoopWithStep) {
+  compileRunValidate(
+      "function y = f(x)\ny = 0;\nfor k = 1:2:length(x)\n  y = y + x(k);\nend\nend\n", "f",
+      {ArgSpec::row(7)}, {rowOf({1, 2, 3, 4, 5, 6, 7})});
+}
+
+TEST(Lowering, ForLoopDownward) {
+  compileRunValidate(
+      "function y = f(x)\ny = 0;\nfor k = length(x):-1:1\n  y = y * 2 + x(k);\nend\nend\n",
+      "f", {ArgSpec::row(5)}, {rowOf({1, 2, 3, 4, 5})});
+}
+
+TEST(Lowering, LoopVariableAfterLoop) {
+  auto r = compileRunValidate("function y = f(x)\nfor k = 1:4\nend\ny = k + x;\nend\n", "f",
+                              {ArgSpec::scalar()}, {Matrix::scalar(10)});
+  EXPECT_DOUBLE_EQ(r.outputs[0].scalarValue(), 14.0);
+}
+
+TEST(Lowering, NonIntegerRangeLoop) {
+  compileRunValidate(
+      "function y = f(x)\ny = 0;\nfor t = 0:0.25:1\n  y = y + t * x;\nend\nend\n", "f",
+      {ArgSpec::scalar()}, {Matrix::scalar(2)});
+}
+
+TEST(Lowering, DynamicBoundLoop) {
+  // Loop bound that is a runtime scalar (not a compile-time constant).
+  compileRunValidate(
+      "function y = f(x, n)\ny = 0;\nk = 1;\nwhile k <= n\n  y = y + x(k);\n  k = k + 1;"
+      "\nend\nend\n",
+      "f", {ArgSpec::row(8), ArgSpec::scalar()},
+      {rowOf({1, 2, 3, 4, 5, 6, 7, 8}), Matrix::scalar(5)});
+}
+
+TEST(Lowering, DynamicStopForLoop) {
+  const char* src =
+      "function y = f(x, n)\ny = 0;\nfor k = 1:n\n  y = y + x(k);\nend\ny = y + k;\nend\n";
+  for (double n : {5.0, 8.0, 1.0}) {
+    compileRunValidate(src, "f", {ArgSpec::row(8), ArgSpec::scalar()},
+                       {rowOf({1, 2, 3, 4, 5, 6, 7, 8}), Matrix::scalar(n)});
+  }
+}
+
+TEST(Lowering, DynamicStopZeroTrips) {
+  // for k = 1:0 never runs; k keeps its prior value (MATLAB semantics).
+  const char* src =
+      "function y = f(n)\nk = 99;\nfor k = 1:n\nend\ny = k;\nend\n";
+  auto r = compileRunValidate(src, "f", {ArgSpec::scalar()}, {Matrix::scalar(0)});
+  EXPECT_DOUBLE_EQ(r.outputs[0].scalarValue(), 99.0);
+  auto r2 = compileRunValidate(src, "f", {ArgSpec::scalar()}, {Matrix::scalar(3)});
+  EXPECT_DOUBLE_EQ(r2.outputs[0].scalarValue(), 3.0);
+}
+
+TEST(Lowering, DynamicStopNonInteger) {
+  // for k = 1:4.7 iterates 1..4.
+  const char* src =
+      "function y = f(n)\ny = 0;\nfor k = 1:n\n  y = y + k;\nend\nend\n";
+  auto r = compileRunValidate(src, "f", {ArgSpec::scalar()}, {Matrix::scalar(4.7)});
+  EXPECT_DOUBLE_EQ(r.outputs[0].scalarValue(), 10.0);
+}
+
+TEST(Lowering, DynamicStopNegativeStep) {
+  const char* src =
+      "function y = f(n)\ny = 0;\nfor k = 10:-3:n\n  y = y * 100 + k;\nend\ny = y + k;\nend\n";
+  for (double n : {3.0, 2.0, 10.0}) {
+    compileRunValidate(src, "f", {ArgSpec::scalar()}, {Matrix::scalar(n)});
+  }
+}
+
+TEST(Lowering, IfElseChain) {
+  for (double v : {-2.0, 0.0, 3.0}) {
+    compileRunValidate(
+        "function y = f(x)\nif x < 0\n  y = -x;\nelseif x == 0\n  y = 100;\nelse\n  y = x;"
+        "\nend\nend\n",
+        "f", {ArgSpec::scalar()}, {Matrix::scalar(v)});
+  }
+}
+
+TEST(Lowering, WhileLoop) {
+  auto r = compileRunValidate(
+      "function y = f(x)\ny = 1;\nwhile y < x\n  y = y * 3;\nend\nend\n", "f",
+      {ArgSpec::scalar()}, {Matrix::scalar(50)});
+  EXPECT_DOUBLE_EQ(r.outputs[0].scalarValue(), 81.0);
+}
+
+TEST(Lowering, BreakAndContinue) {
+  compileRunValidate(
+      "function y = f(x)\ny = 0;\nfor k = 1:10\n  if k > 6\n    break\n  end\n"
+      "  if mod(k, 2) == 0\n    continue\n  end\n  y = y + x(k);\nend\nend\n",
+      "f", {ArgSpec::row(10)}, {rowOf({1, 2, 3, 4, 5, 6, 7, 8, 9, 10})});
+}
+
+TEST(Lowering, SwitchStatement) {
+  for (double v : {1.0, 2.0, 9.0}) {
+    compileRunValidate(
+        "function y = f(m)\nswitch m\ncase 1\n  y = 10;\ncase 2\n  y = 20;\notherwise\n"
+        "  y = 30;\nend\nend\n",
+        "f", {ArgSpec::scalar()}, {Matrix::scalar(v)});
+  }
+}
+
+TEST(Lowering, SwitchCaseList) {
+  for (double v : {1.0, 3.0, 5.0}) {
+    compileRunValidate(
+        "function y = f(m)\nswitch m\ncase [1 2 3]\n  y = 1;\notherwise\n  y = 0;\nend\nend\n",
+        "f", {ArgSpec::scalar()}, {Matrix::scalar(v)});
+  }
+}
+
+TEST(Lowering, IndexedReadsAndWrites) {
+  compileRunValidate(
+      "function y = f(x)\ny = zeros(1, length(x));\nfor k = 1:length(x)\n"
+      "  y(k) = x(length(x) - k + 1);\nend\nend\n",
+      "f", {ArgSpec::row(6)}, {rowOf({1, 2, 3, 4, 5, 6})});
+}
+
+TEST(Lowering, TwoDimensionalIndexing) {
+  Matrix m = Matrix::zeros(3, 4);
+  for (std::size_t i = 0; i < 12; ++i) m.set(i, Complex{static_cast<double>(i + 1), 0});
+  compileRunValidate(
+      "function y = f(a)\n[r, c] = size(a);\ny = zeros(r, c);\nfor j = 1:c\n  for i = 1:r\n"
+      "    y(i, j) = a(i, j) * 2;\n  end\nend\nend\n",
+      "f", {ArgSpec::matrix(3, 4)}, {m});
+}
+
+TEST(Lowering, SliceRead) {
+  compileRunValidate("function y = f(x)\ny = x(2:5);\nend\n", "f", {ArgSpec::row(8)},
+                     {rowOf({1, 2, 3, 4, 5, 6, 7, 8})});
+  compileRunValidate("function y = f(x)\ny = x(2:end-1);\nend\n", "f", {ArgSpec::row(8)},
+                     {rowOf({1, 2, 3, 4, 5, 6, 7, 8})});
+}
+
+TEST(Lowering, SliceReadWithStep) {
+  compileRunValidate("function y = f(x)\ny = x(1:2:end);\nend\n", "f", {ArgSpec::row(9)},
+                     {rowOf({1, 2, 3, 4, 5, 6, 7, 8, 9})});
+  compileRunValidate("function y = f(x)\ny = x(end:-1:1);\nend\n", "f", {ArgSpec::row(5)},
+                     {rowOf({1, 2, 3, 4, 5})});
+}
+
+TEST(Lowering, DynamicStartSlice) {
+  // Slice whose start is a loop variable (static span, dynamic base).
+  compileRunValidate(
+      "function y = f(x, h)\nm = length(h);\nn = length(x);\ny = zeros(1, n - m + 1);\n"
+      "for k = 1:n - m + 1\n  y(k) = sum(x(k:k + m - 1) .* h);\nend\nend\n",
+      "f", {ArgSpec::row(10), ArgSpec::row(3)},
+      {rowOf({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}), rowOf({0.5, 1, 0.25})});
+}
+
+TEST(Lowering, SliceWrite) {
+  compileRunValidate(
+      "function y = f(x)\ny = zeros(1, 10);\ny(3:6) = x;\nend\n", "f", {ArgSpec::row(4)},
+      {rowOf({1, 2, 3, 4})});
+  compileRunValidate(
+      "function y = f(s)\ny = ones(1, 8);\ny(2:2:end) = s;\nend\n", "f", {ArgSpec::scalar()},
+      {Matrix::scalar(7)});
+}
+
+TEST(Lowering, TwoDimSliceRead) {
+  Matrix m = Matrix::zeros(4, 5);
+  for (std::size_t i = 0; i < 20; ++i) m.set(i, Complex{static_cast<double>(i), 0});
+  compileRunValidate("function y = f(a)\ny = a(2:3, 2:4);\nend\n", "f",
+                     {ArgSpec::matrix(4, 5)}, {m});
+  compileRunValidate("function y = f(a)\ny = a(2, :);\nend\n", "f", {ArgSpec::matrix(4, 5)},
+                     {m});
+}
+
+TEST(Lowering, WholeArrayCopyAndColon) {
+  Matrix m = Matrix::zeros(2, 3);
+  for (std::size_t i = 0; i < 6; ++i) m.set(i, Complex{static_cast<double>(i), 0});
+  compileRunValidate("function y = f(a)\ny = a;\nend\n", "f", {ArgSpec::matrix(2, 3)}, {m});
+  compileRunValidate("function y = f(a)\ny = a(:);\nend\n", "f", {ArgSpec::matrix(2, 3)},
+                     {m});
+}
+
+TEST(Lowering, Transpose) {
+  Matrix m = Matrix::zeros(2, 3);
+  for (std::size_t i = 0; i < 6; ++i) m.set(i, Complex{static_cast<double>(i + 1), 0});
+  compileRunValidate("function y = f(a)\ny = a';\nend\n", "f", {ArgSpec::matrix(2, 3)}, {m});
+}
+
+TEST(Lowering, ConjugateTranspose) {
+  Matrix m = Matrix::zeros(1, 3, true);
+  m.set(0, {1, 2});
+  m.set(1, {3, -4});
+  m.set(2, {0, 1});
+  compileRunValidate("function y = f(a)\ny = a';\nend\n", "f", {ArgSpec::row(3, true)}, {m});
+  compileRunValidate("function y = f(a)\ny = a.';\nend\n", "f", {ArgSpec::row(3, true)}, {m});
+}
+
+TEST(Lowering, MatrixMultiply) {
+  kernels::InputGen gen(7);
+  compileRunValidate("function y = f(a, b)\ny = a * b;\nend\n", "f",
+                     {ArgSpec::matrix(3, 4), ArgSpec::matrix(4, 2)},
+                     {gen.matrix(3, 4), gen.matrix(4, 2)});
+}
+
+TEST(Lowering, MatVecProduct) {
+  kernels::InputGen gen(8);
+  compileRunValidate("function y = f(a, v)\ny = a * v;\nend\n", "f",
+                     {ArgSpec::matrix(3, 4), ArgSpec::col(4)},
+                     {gen.matrix(3, 4), gen.matrix(4, 1)});
+}
+
+TEST(Lowering, DotAndNorm) {
+  kernels::InputGen gen(9);
+  compileRunValidate("function y = f(a, b)\ny = dot(a, b);\nend\n", "f",
+                     {ArgSpec::row(6), ArgSpec::row(6)},
+                     {gen.rowVector(6), gen.rowVector(6)});
+  compileRunValidate("function y = f(a)\ny = norm(a);\nend\n", "f", {ArgSpec::row(6)},
+                     {gen.rowVector(6)});
+}
+
+TEST(Lowering, ReductionsAndMean) {
+  kernels::InputGen gen(10);
+  for (const char* fn : {"sum", "prod", "mean", "min", "max"}) {
+    std::string src = std::string("function y = f(a)\ny = ") + fn + "(a);\nend\n";
+    compileRunValidate(src, "f", {ArgSpec::row(7)}, {gen.rowVector(7)});
+  }
+}
+
+TEST(Lowering, ColumnReductions) {
+  kernels::InputGen gen(11);
+  for (const char* fn : {"sum", "mean", "max"}) {
+    std::string src = std::string("function y = f(a)\ny = ") + fn + "(a);\nend\n";
+    compileRunValidate(src, "f", {ArgSpec::matrix(4, 5)}, {gen.matrix(4, 5)});
+  }
+}
+
+TEST(Lowering, MinMaxWithIndex) {
+  auto r = compileRunValidate(
+      "function [v, i] = f(a)\n[v, i] = max(a);\nend\n", "f", {ArgSpec::row(5)},
+      {rowOf({3, 9, 1, 9, 2})});
+  EXPECT_DOUBLE_EQ(r.outputs[0].scalarValue(), 9.0);
+  EXPECT_DOUBLE_EQ(r.outputs[1].scalarValue(), 2.0);  // first max wins
+}
+
+TEST(Lowering, ElementwiseBuiltins) {
+  kernels::InputGen gen(12);
+  compileRunValidate(
+      "function y = f(a)\ny = abs(a) + sqrt(abs(a)) + exp(a) .* cos(a) - sin(a);\nend\n",
+      "f", {ArgSpec::row(6)}, {gen.rowVector(6)});
+}
+
+TEST(Lowering, RoundingAndMod) {
+  compileRunValidate(
+      "function y = f(a)\ny = floor(a) + ceil(a) - round(a) + fix(a) + sign(a) + "
+      "mod(a, 3) + rem(a, 3);\nend\n",
+      "f", {ArgSpec::row(5)}, {rowOf({-2.7, -0.5, 0.0, 1.5, 2.2})});
+}
+
+TEST(Lowering, ComplexArithmetic) {
+  kernels::InputGen gen(13);
+  compileRunValidate(
+      "function y = f(a, b)\ny = a .* b + conj(a) - 2i * b;\nend\n", "f",
+      {ArgSpec::row(5, true), ArgSpec::row(5, true)},
+      {gen.complexRowVector(5), gen.complexRowVector(5)});
+}
+
+TEST(Lowering, ComplexParts) {
+  kernels::InputGen gen(14);
+  compileRunValidate(
+      "function y = f(a)\ny = real(a) .* imag(a) + abs(a) + angle(a);\nend\n", "f",
+      {ArgSpec::row(5, true)}, {gen.complexRowVector(5)});
+  compileRunValidate("function y = f(a, b)\ny = complex(a, b);\nend\n", "f",
+                     {ArgSpec::row(4), ArgSpec::row(4)},
+                     {gen.rowVector(4), gen.rowVector(4)});
+}
+
+TEST(Lowering, ComplexAccumulatorPromotion) {
+  kernels::InputGen gen(15);
+  compileRunValidate(
+      "function y = f(x)\nacc = 0;\nfor k = 1:length(x)\n  acc = acc + x(k);\nend\n"
+      "y = acc;\nend\n",
+      "f", {ArgSpec::row(6, true)}, {gen.complexRowVector(6)});
+}
+
+TEST(Lowering, ZerosOnesEyeLinspace) {
+  compileRunValidate("function y = f(s)\ny = zeros(2, 3) + s;\nend\n", "f",
+                     {ArgSpec::scalar()}, {Matrix::scalar(4)});
+  compileRunValidate("function y = f(s)\ny = ones(3) * s;\nend\n", "f", {ArgSpec::scalar()},
+                     {Matrix::scalar(2)});
+  compileRunValidate("function y = f(s)\ny = eye(3) * s;\nend\n", "f", {ArgSpec::scalar()},
+                     {Matrix::scalar(5)});
+  compileRunValidate("function y = f(s)\ny = linspace(0, s, 5);\nend\n", "f",
+                     {ArgSpec::scalar()}, {Matrix::scalar(8)});
+}
+
+TEST(Lowering, RangeValue) {
+  compileRunValidate("function y = f(s)\ny = (1:6) * s;\nend\n", "f", {ArgSpec::scalar()},
+                     {Matrix::scalar(3)});
+  compileRunValidate("function y = f(s)\ny = (0:0.5:2) + s;\nend\n", "f",
+                     {ArgSpec::scalar()}, {Matrix::scalar(2)});
+}
+
+TEST(Lowering, MatrixLiteral) {
+  compileRunValidate("function y = f(s)\ny = [1 2 s; 4 5 6];\nend\n", "f",
+                     {ArgSpec::scalar()}, {Matrix::scalar(3)});
+}
+
+TEST(Lowering, UserFunctionInlining) {
+  std::string src =
+      "function y = f(x)\ny = helper(x) + helper(x * 2);\nend\n"
+      "function y = helper(a)\ny = a * a + 1;\nend\n";
+  compileRunValidate(src, "f", {ArgSpec::scalar()}, {Matrix::scalar(3)});
+}
+
+TEST(Lowering, InlinedVectorFunction) {
+  kernels::InputGen gen(16);
+  std::string src =
+      "function y = f(x)\ny = normalize(x) * 2;\nend\n"
+      "function y = normalize(v)\ny = v ./ max(abs(v));\nend\n";
+  compileRunValidate(src, "f", {ArgSpec::row(6)}, {gen.rowVector(6)});
+}
+
+TEST(Lowering, InlinedFunctionWritesParam) {
+  // Callee mutates its parameter: MATLAB value semantics require a copy.
+  kernels::InputGen gen(17);
+  std::string src =
+      "function y = f(x)\ny = clobber(x) + sum(x);\nend\n"
+      "function y = clobber(v)\nv(1) = 999;\ny = sum(v);\nend\n";
+  compileRunValidate(src, "f", {ArgSpec::row(4)}, {gen.rowVector(4)});
+}
+
+TEST(Lowering, InlinedMultiOutput) {
+  std::string src =
+      "function y = f(x)\n[a, b] = stats(x);\ny = a + b;\nend\n"
+      "function [mn, mx] = stats(v)\nmn = min(v);\nmx = max(v);\nend\n";
+  compileRunValidate(src, "f", {ArgSpec::row(5)}, {rowOf({5, 3, 8, 1, 9})});
+}
+
+TEST(Lowering, OutputShadowsInput) {
+  kernels::InputGen gen(18);
+  compileRunValidate("function x = f(x)\nx = x * 2;\nend\n", "f", {ArgSpec::row(4)},
+                     {gen.rowVector(4)});
+}
+
+TEST(Lowering, ShortCircuitConditions) {
+  compileRunValidate(
+      "function y = f(a)\ny = 0;\nif a ~= 0 && 1 / a > 0.1\n  y = 1;\nend\nend\n", "f",
+      {ArgSpec::scalar()}, {Matrix::scalar(5)});
+  compileRunValidate(
+      "function y = f(a)\ny = 0;\nif a ~= 0 && 1 / a > 0.1\n  y = 1;\nend\nend\n", "f",
+      {ArgSpec::scalar()}, {Matrix::scalar(0)});
+}
+
+TEST(Lowering, LogicalValuesInArithmetic) {
+  kernels::InputGen gen(19);
+  compileRunValidate("function y = f(x)\ny = sum(x > 0) + sum(x <= 0);\nend\n", "f",
+                     {ArgSpec::row(9)}, {gen.rowVector(9)});
+}
+
+TEST(Lowering, NestedFunctionCallsDeep) {
+  std::string src =
+      "function y = f(x)\ny = a1(x);\nend\n"
+      "function y = a1(x)\ny = a2(x) + 1;\nend\n"
+      "function y = a2(x)\ny = a3(x) * 2;\nend\n"
+      "function y = a3(x)\ny = x - 1;\nend\n";
+  compileRunValidate(src, "f", {ArgSpec::scalar()}, {Matrix::scalar(10)});
+}
+
+TEST(Lowering, PowerOperators) {
+  compileRunValidate("function y = f(a)\ny = a^2 + 2^a + a.^0.5;\nend\n", "f",
+                     {ArgSpec::scalar()}, {Matrix::scalar(4)});
+  compileRunValidate("function y = f(x)\ny = x.^2;\nend\n", "f", {ArgSpec::row(4)},
+                     {rowOf({1, 2, 3, 4})});
+}
+
+TEST(Lowering, ScalarDivisionAndNegationOnVectors) {
+  kernels::InputGen gen(22);
+  compileRunValidate("function y = f(x)\ny = x / 2 - (-x) * 3;\nend\n", "f",
+                     {ArgSpec::row(9)}, {gen.rowVector(9)});
+}
+
+TEST(Lowering, LogicalNotOnVectors) {
+  kernels::InputGen gen(23);
+  compileRunValidate("function y = f(x)\ny = ~(x > 0) + 2 .* ~(x < 0);\nend\n", "f",
+                     {ArgSpec::row(9)}, {gen.rowVector(9)});
+}
+
+TEST(Lowering, ColumnProd) {
+  kernels::InputGen gen(24);
+  compileRunValidate("function y = f(a)\ny = prod(a);\nend\n", "f",
+                     {ArgSpec::matrix(3, 4)}, {gen.matrix(3, 4)});
+}
+
+TEST(Lowering, ChainedSliceOfCopy) {
+  kernels::InputGen gen(25);
+  compileRunValidate(
+      "function y = f(x)\nt = x;\ny = t(3:6) + t(1:4);\nend\n", "f", {ArgSpec::row(8)},
+      {gen.rowVector(8)});
+}
+
+TEST(Lowering, NestedIfInLoopWithAccumulator) {
+  kernels::InputGen gen(26);
+  compileRunValidate(
+      "function y = f(x)\ny = 0;\nfor k = 1:length(x)\n  if x(k) > 0.5\n    y = y + 2;\n"
+      "  elseif x(k) > 0\n    y = y + 1;\n  else\n    y = y - 1;\n  end\nend\nend\n",
+      "f", {ArgSpec::row(16)}, {gen.rowVector(16)});
+}
+
+TEST(Lowering, ShapeChangeRejected) {
+  Compiler compiler;
+  EXPECT_THROW(compiler.compileSource(
+                   "function y = f(x)\ny = zeros(1, 3);\ny = zeros(1, 5);\nend\n", "f",
+                   {ArgSpec::scalar()}, CompileOptions::proposed()),
+               CompileError);
+}
+
+TEST(Lowering, ReturnRejected) {
+  Compiler compiler;
+  EXPECT_THROW(
+      compiler.compileSource("function y = f(x)\ny = 1;\nreturn\nend\n", "f",
+                             {ArgSpec::scalar()}, CompileOptions::proposed()),
+      CompileError);
+}
+
+TEST(Lowering, CoderStyleHasChecksAndAllocs) {
+  Compiler compiler;
+  auto unit = compiler.compileSource("function y = f(x)\ny = x + x .* x;\nend\n", "f",
+                                     {ArgSpec::row(16)}, CompileOptions::coderLike());
+  auto r = unit.run({kernels::InputGen(20).rowVector(16)});
+  EXPECT_GT(r.cycles.byCategory["check"], 0.0);
+  EXPECT_GT(r.cycles.byCategory["alloc"], 0.0);
+}
+
+TEST(Lowering, ProposedStyleHasNoChecks) {
+  Compiler compiler;
+  auto unit = compiler.compileSource("function y = f(x)\ny = x + x .* x;\nend\n", "f",
+                                     {ArgSpec::row(16)}, CompileOptions::proposed());
+  auto r = unit.run({kernels::InputGen(21).rowVector(16)});
+  EXPECT_EQ(r.cycles.byCategory.count("check"), 0u);
+}
+
+}  // namespace
+}  // namespace mat2c

@@ -1,0 +1,430 @@
+// Optimizer tests: constant folding, declaration sinking, idiom
+// recognition, and the vectorizer (legality + numerics via the VM).
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hpp"
+#include "driver/kernels.hpp"
+#include "parser/parser.hpp"
+
+namespace mat2c {
+namespace {
+
+using sema::ArgSpec;
+
+lir::Function lowerOnly(const std::string& src, const std::string& entry,
+                        const std::vector<ArgSpec>& specs) {
+  DiagnosticEngine diags;
+  auto prog = parseSource(src, diags);
+  lir::Function fn = lower::lowerProgram(*prog, entry, specs, {}, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.renderAll();
+  return fn;
+}
+
+/// Compiles with/without vectorization and checks identical-within-tolerance
+/// results plus an expected number of vectorized loops.
+void checkVectorization(const std::string& src, const std::vector<ArgSpec>& specs,
+                        const std::vector<Matrix>& args, int expectVectorized,
+                        const std::string& isaName = "dspx") {
+  Compiler compiler;
+  CompileOptions vec = CompileOptions::proposed(isaName);
+  CompileOptions novec = CompileOptions::proposed(isaName);
+  novec.vectorize = false;
+  auto uv = compiler.compileSource(src, "f", specs, vec);
+  auto us = compiler.compileSource(src, "f", specs, novec);
+  EXPECT_EQ(uv.optimizationReport().vec.loopsVectorized, expectVectorized) << uv.lirDump();
+  auto rv = uv.run(args);
+  auto rs = us.run(args);
+  ASSERT_EQ(rv.outputs.size(), rs.outputs.size());
+  for (std::size_t i = 0; i < rv.outputs.size(); ++i) {
+    EXPECT_LE(maxAbsDiff(rv.outputs[i], rs.outputs[i]), 1e-9);
+  }
+  if (expectVectorized > 0) {
+    EXPECT_LT(rv.cycles.total, rs.cycles.total) << "vectorization should save cycles";
+  }
+}
+
+TEST(ConstFold, FoldsIndexArithmetic) {
+  lir::Function fn = lowerOnly(
+      "function y = f(x)\ny = zeros(1, 8);\nfor k = 1:8\n  y(k) = x(k);\nend\nend\n", "f",
+      {ArgSpec::row(8)});
+  opt::constFold(fn);
+  // Index (k - 1) + 0 style chains must fold to a canonical small form.
+  std::string dump = lir::print(fn);
+  EXPECT_EQ(dump.find("(0 + "), std::string::npos) << dump;
+}
+
+TEST(ConstFold, FoldsConstantScalars) {
+  lir::Function fn = lowerOnly("function y = f(x)\ny = x * (2 * 3 + 4);\nend\n", "f",
+                               {ArgSpec::scalar()});
+  opt::constFold(fn);
+  std::string dump = lir::print(fn);
+  EXPECT_NE(dump.find("10"), std::string::npos);
+}
+
+TEST(SinkDecls, MovesLoopTemporaryIntoLoop) {
+  lir::Function fn = lowerOnly(
+      "function y = f(x)\ny = zeros(1, 8);\nfor k = 1:8\n  t = x(k) * 2;\n  y(k) = t + 1;\n"
+      "end\nend\n",
+      "f", {ArgSpec::row(8)});
+  opt::constFold(fn);
+  opt::sinkDecls(fn);
+  // The decl of t must now be the for-body's first reference.
+  bool foundInLoop = false;
+  for (const auto& s : fn.body) {
+    if (s->kind != lir::StmtKind::For) continue;
+    for (const auto& inner : s->body) {
+      if (inner->kind == lir::StmtKind::DeclScalar && inner->value) foundInLoop = true;
+    }
+  }
+  EXPECT_TRUE(foundInLoop) << lir::print(fn);
+  EXPECT_TRUE(lir::verify(fn).empty());
+}
+
+TEST(SinkDecls, DoesNotSinkCarriedValue) {
+  // `s` carries across iterations (read before write) — must stay outside.
+  lir::Function fn = lowerOnly(
+      "function y = f(x)\ns = 0;\nfor k = 1:8\n  s = s + x(k);\nend\ny = s;\nend\n", "f",
+      {ArgSpec::row(8)});
+  opt::constFold(fn);
+  opt::sinkDecls(fn);
+  EXPECT_TRUE(lir::verify(fn).empty());
+  // The accumulator decl stays at frame level.
+  bool declAtTop = false;
+  for (const auto& s : fn.body) {
+    if (s->kind == lir::StmtKind::DeclScalar) declAtTop = true;
+  }
+  EXPECT_TRUE(declAtTop);
+}
+
+TEST(Idioms, FormsScalarFma) {
+  lir::Function fn = lowerOnly(
+      "function y = f(a, b, c)\ny = a * b + c;\nend\n", "f",
+      {ArgSpec::scalar(), ArgSpec::scalar(), ArgSpec::scalar()});
+  int n = opt::recognizeIdioms(fn, isa::IsaDescription::preset("dspx"));
+  EXPECT_EQ(n, 1);
+  EXPECT_NE(lir::print(fn).find("fma("), std::string::npos);
+}
+
+TEST(Idioms, SkipsWhenTargetLacksFma) {
+  lir::Function fn = lowerOnly(
+      "function y = f(a, b, c)\ny = a * b + c;\nend\n", "f",
+      {ArgSpec::scalar(), ArgSpec::scalar(), ArgSpec::scalar()});
+  int n = opt::recognizeIdioms(fn, isa::IsaDescription::preset("scalar"));
+  EXPECT_EQ(n, 0);
+}
+
+TEST(Idioms, ComplexMacNeedsCmac) {
+  const char* src = "function y = f(a, b, c)\ny = a * b + c;\nend\n";
+  std::vector<ArgSpec> specs = {ArgSpec::complexScalar(), ArgSpec::complexScalar(),
+                                ArgSpec::complexScalar()};
+  lir::Function withUnit = lowerOnly(src, "f", specs);
+  EXPECT_EQ(opt::recognizeIdioms(withUnit, isa::IsaDescription::preset("dspx")), 1);
+  lir::Function withoutUnit = lowerOnly(src, "f", specs);
+  EXPECT_EQ(opt::recognizeIdioms(withoutUnit, isa::IsaDescription::preset("dspx_nocomplex")),
+            0);
+}
+
+TEST(Vectorize, ElementwiseLoop) {
+  kernels::InputGen gen(31);
+  // One fused loop: the whole expression writes the output directly.
+  checkVectorization("function y = f(x)\ny = x .* x + 2 .* x;\nend\n", {ArgSpec::row(37)},
+                     {gen.rowVector(37)}, /*expectVectorized=*/1);
+}
+
+TEST(Vectorize, RemainderLoopCoversOddTripCounts) {
+  // 37 % 8 = 5 remainder iterations; numerics must match exactly.
+  kernels::InputGen gen(32);
+  Compiler compiler;
+  std::string src = "function y = f(x)\ny = 3 .* x;\nend\n";
+  auto unit = compiler.compileSource(src, "f", {ArgSpec::row(37)},
+                                     CompileOptions::proposed());
+  EXPECT_LE(validateAgainstInterpreter(src, "f", unit, {gen.rowVector(37)}), 0.0);
+}
+
+TEST(Vectorize, ReductionLoop) {
+  kernels::InputGen gen(33);
+  checkVectorization(
+      "function y = f(x)\ny = 0;\nfor k = 1:length(x)\n  y = y + x(k);\nend\nend\n",
+      {ArgSpec::row(100)}, {gen.rowVector(100)}, 1);
+}
+
+TEST(Vectorize, FmaReductionLoop) {
+  kernels::InputGen gen(34);
+  checkVectorization(
+      "function y = f(x, h)\ny = 0;\nfor k = 1:length(x)\n  y = y + x(k) * h(k);\nend\nend\n",
+      {ArgSpec::row(64), ArgSpec::row(64)}, {gen.rowVector(64), gen.rowVector(64)}, 1);
+}
+
+TEST(Vectorize, MinReductionLoop) {
+  kernels::InputGen gen(35);
+  checkVectorization(
+      "function y = f(x)\ny = x(1);\nfor k = 2:length(x)\n  y = min(y, x(k));\nend\nend\n",
+      {ArgSpec::row(50)}, {gen.rowVector(50)}, 1);
+}
+
+TEST(Vectorize, ComplexLoopUsesComplexLanes) {
+  kernels::InputGen gen(36);
+  Compiler compiler;
+  std::string src = "function y = f(x, h)\ny = x .* conj(h);\nend\n";
+  auto unit = compiler.compileSource(src, "f",
+                                     {ArgSpec::row(32, true), ArgSpec::row(32, true)},
+                                     CompileOptions::proposed());
+  EXPECT_EQ(unit.optimizationReport().vec.loopsVectorized, 1);
+  EXPECT_NE(unit.lirDump().find(":4"), std::string::npos)  // c64 width is 4
+      << unit.lirDump();
+}
+
+TEST(Vectorize, RejectsWithoutSimdLanes) {
+  kernels::InputGen gen(37);
+  checkVectorization("function y = f(x)\ny = x + 1;\nend\n", {ArgSpec::row(32)},
+                     {gen.rowVector(32)}, 0, "dspx_novec");
+}
+
+TEST(Vectorize, RejectsComplexMulWithoutCmul) {
+  kernels::InputGen gen(38);
+  // Without the complex unit the elementwise complex product stays scalar.
+  checkVectorization("function y = f(x, h)\ny = x .* h;\nend\n",
+                     {ArgSpec::row(32, true), ArgSpec::row(32, true)},
+                     {gen.complexRowVector(32), gen.complexRowVector(32)}, 0,
+                     "dspx_nocomplex");
+}
+
+TEST(Vectorize, ComplexAddVectorizesWithoutCmul) {
+  kernels::InputGen gen(39);
+  checkVectorization("function y = f(x, h)\ny = x + h;\nend\n",
+                     {ArgSpec::row(32, true), ArgSpec::row(32, true)},
+                     {gen.complexRowVector(32), gen.complexRowVector(32)}, 1,
+                     "dspx_nocomplex");
+}
+
+TEST(Vectorize, RejectsReverseStride) {
+  kernels::InputGen gen(40);
+  checkVectorization(
+      "function y = f(x)\nn = length(x);\ny = zeros(1, n);\nfor k = 1:n\n"
+      "  y(k) = x(n - k + 1);\nend\nend\n",
+      {ArgSpec::row(24)}, {gen.rowVector(24)}, 1);
+  // Only the zeros-fill vectorizes; the reversal loop (stride -1 load) must not.
+}
+
+TEST(Vectorize, RejectsLoopsWithBranches) {
+  kernels::InputGen gen(41);
+  checkVectorization(
+      "function y = f(x)\ny = 0;\nfor k = 1:length(x)\n  if x(k) > 0\n    y = y + x(k);\n"
+      "  end\nend\nend\n",
+      {ArgSpec::row(24)}, {gen.rowVector(24)}, 0);
+}
+
+TEST(Vectorize, RejectsSequentialDependence) {
+  kernels::InputGen gen(42);
+  checkVectorization(
+      "function y = f(x)\nn = length(x);\ny = zeros(1, n);\ny(1) = x(1);\n"
+      "for k = 2:n\n  y(k) = y(k - 1) * 0.5 + x(k);\nend\nend\n",
+      {ArgSpec::row(24)}, {gen.rowVector(24)}, 1);
+  // Only the zeros fill; the recurrence (load y[k-2] vs store y[k-1]) must not.
+}
+
+TEST(Vectorize, AllowsSameIndexLoadStore) {
+  kernels::InputGen gen(43);
+  // y appears on both sides with the same index — legal elementwise update.
+  checkVectorization(
+      "function y = f(x)\ny = zeros(1, 32);\nfor k = 1:32\n  y(k) = x(k);\nend\n"
+      "for k = 1:32\n  y(k) = y(k) * 2;\nend\nend\n",
+      {ArgSpec::row(32)}, {gen.rowVector(32)}, 3);
+}
+
+TEST(Vectorize, TranscendentalsStayScalar) {
+  kernels::InputGen gen(44);
+  checkVectorization("function y = f(x)\ny = sin(x);\nend\n", {ArgSpec::row(32)},
+                     {gen.rowVector(32)}, 0);
+}
+
+TEST(Vectorize, WidthSweepMonotoneCycles) {
+  // Wider SIMD must never be slower on a clean elementwise kernel.
+  kernels::InputGen gen(45);
+  Matrix x = gen.rowVector(256);
+  std::string src = "function y = f(x)\ny = x .* x + x;\nend\n";
+  Compiler compiler;
+  double prev = 1e18;
+  for (const char* isaName : {"dspx_w2", "dspx_w4", "dspx", "dspx_w16"}) {
+    auto unit = compiler.compileSource(src, "f", {ArgSpec::row(256)},
+                                       CompileOptions::proposed(isaName));
+    double cycles = unit.run({x}).cycles.total;
+    EXPECT_LE(cycles, prev) << isaName;
+    prev = cycles;
+  }
+}
+
+TEST(DeadCode, RemovesUnreadScalars) {
+  lir::Function fn = lowerOnly(
+      "function y = f(x)\nn = length(x);\nm = n * 2;\ny = x(1);\nend\n", "f",
+      {ArgSpec::row(8)});
+  opt::constFold(fn);
+  opt::eliminateDeadScalars(fn);
+  std::string dump = lir::print(fn);
+  // `m` is never read; its assignment and declaration must be gone.
+  EXPECT_EQ(dump.find("t1_m"), std::string::npos) << dump;
+  EXPECT_TRUE(lir::verify(fn).empty());
+}
+
+TEST(DeadCode, KeepsScalarOutputs) {
+  lir::Function fn =
+      lowerOnly("function y = f(x)\ny = x * 2;\nend\n", "f", {ArgSpec::scalar()});
+  opt::eliminateDeadScalars(fn);
+  // The assignment to the output must survive even though nothing reads it.
+  EXPECT_NE(lir::print(fn).find("y ="), std::string::npos);
+}
+
+TEST(DeadCode, RemovesLoopVarMirrors) {
+  lir::Function fn = lowerOnly(
+      "function y = f(x)\ny = 0;\nfor k = 1:8\n  y = y + x(k);\nend\nend\n", "f",
+      {ArgSpec::row(8)});
+  opt::constFold(fn);
+  opt::eliminateDeadScalars(fn);
+  // k's f64 mirror (final-value materialization) is unread here.
+  EXPECT_EQ(lir::print(fn).find("t1_k ="), std::string::npos) << lir::print(fn);
+}
+
+TEST(CheckElim, RemovesProvableChecks) {
+  lower::LowerOptions coder;
+  coder.style = lower::CodeStyle::CoderLike;
+  DiagnosticEngine diags;
+  auto prog = parseSource(
+      "function y = f(x)\ny = zeros(1, 8);\nfor k = 1:8\n  y(k) = x(k) * 2;\nend\nend\n",
+      diags);
+  lir::Function fn = lower::lowerProgram(*prog, "f", {ArgSpec::row(8)}, coder, diags);
+  opt::constFold(fn);
+  int removed = opt::eliminateProvableChecks(fn);
+  EXPECT_GT(removed, 0);
+  // All indices here are affine in k with known bounds: no checks remain.
+  EXPECT_EQ(lir::print(fn).find("boundscheck"), std::string::npos) << lir::print(fn);
+}
+
+TEST(CheckElim, KeepsDataDependentChecks) {
+  lower::LowerOptions coder;
+  coder.style = lower::CodeStyle::CoderLike;
+  DiagnosticEngine diags;
+  auto prog =
+      parseSource("function y = f(x, i)\ny = x(i);\nend\n", diags);
+  lir::Function fn = lower::lowerProgram(*prog, "f", {ArgSpec::row(8), ArgSpec::scalar()},
+                                         coder, diags);
+  opt::constFold(fn);
+  opt::eliminateProvableChecks(fn);
+  // The index comes from a runtime scalar: the check must survive.
+  EXPECT_NE(lir::print(fn).find("boundscheck"), std::string::npos);
+}
+
+TEST(CheckElim, NumericsUnchanged) {
+  kernels::InputGen gen(61);
+  std::string src =
+      "function y = f(x)\ny = zeros(1, 24);\nfor k = 1:24\n  y(k) = x(k) + 1;\nend\nend\n";
+  Compiler compiler;
+  CompileOptions checked = CompileOptions::coderLike();
+  CompileOptions elided = CompileOptions::coderLike();
+  elided.checkElim = true;
+  auto a = compiler.compileSource(src, "f", {ArgSpec::row(24)}, checked);
+  auto b = compiler.compileSource(src, "f", {ArgSpec::row(24)}, elided);
+  Matrix x = gen.rowVector(24);
+  auto ra = a.run({x});
+  auto rb = b.run({x});
+  EXPECT_EQ(maxAbsDiff(ra.outputs[0], rb.outputs[0]), 0.0);
+  EXPECT_LT(rb.cycles.total, ra.cycles.total);
+  EXPECT_GT(b.optimizationReport().checksRemoved, 0);
+}
+
+TEST(IntAlias, IndexTemporariesStayAffine) {
+  // base = (j-1)*m must not block vectorization of the inner loop.
+  kernels::InputGen gen(62);
+  std::string src =
+      "function y = f(x)\ny = zeros(1, 64);\nfor j = 1:8\n  base = (j - 1) * 8;\n"
+      "  for k = 1:8\n    y(base + k) = x(base + k) * 2;\n  end\nend\nend\n";
+  Compiler compiler;
+  auto unit = compiler.compileSource(src, "f", {ArgSpec::row(64)},
+                                     CompileOptions::proposed());
+  EXPECT_GE(unit.optimizationReport().vec.loopsVectorized, 2) << unit.lirDump();
+  EXPECT_LE(validateAgainstInterpreter(src, "f", unit, {gen.rowVector(64)}), 0.0);
+}
+
+TEST(IntAlias, ConditionalAssignmentIsBarrier) {
+  // base assigned under an if: alias must not propagate (correctness first).
+  kernels::InputGen gen(63);
+  std::string src =
+      "function y = f(x, s)\ny = zeros(1, 8);\nbase = 0;\nif s > 0\n  base = 4;\nend\n"
+      "for k = 1:4\n  y(base + k) = x(k);\nend\nend\n";
+  Compiler compiler;
+  auto unit = compiler.compileSource(src, "f", {ArgSpec::row(8), ArgSpec::scalar()},
+                                     CompileOptions::proposed());
+  for (double s : {-1.0, 1.0}) {
+    EXPECT_LE(validateAgainstInterpreter(src, "f", unit,
+                                         {gen.rowVector(8), Matrix::scalar(s)}),
+              0.0);
+  }
+}
+
+TEST(Vectorize, DynamicTripCountLoop) {
+  // Runtime bound, i64 induction: must still vectorize with a remainder loop.
+  kernels::InputGen gen(64);
+  std::string src =
+      "function y = f(x, n)\ny = 0;\nfor k = 1:n\n  y = y + x(k) * x(k);\nend\nend\n";
+  Compiler compiler;
+  auto unit = compiler.compileSource(src, "f", {ArgSpec::row(64), ArgSpec::scalar()},
+                                     CompileOptions::proposed());
+  EXPECT_EQ(unit.optimizationReport().vec.loopsVectorized, 1) << unit.lirDump();
+  for (double n : {64.0, 37.0, 3.0}) {
+    EXPECT_LE(validateAgainstInterpreter(src, "f", unit,
+                                         {gen.rowVector(64), Matrix::scalar(n)}),
+              1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(Vectorize, MissDiagnostics) {
+  kernels::InputGen gen(65);
+  Compiler compiler;
+  // Control flow in the body.
+  auto u1 = compiler.compileSource(
+      "function y = f(x)\ny = 0;\nfor k = 1:8\n  if x(k) > 0\n    y = y + 1;\n  end\nend\nend\n",
+      "f", {ArgSpec::row(8)}, CompileOptions::proposed());
+  ASSERT_FALSE(u1.optimizationReport().vec.missed.empty());
+  EXPECT_NE(u1.optimizationReport().vec.missed[0].find("control flow"), std::string::npos);
+
+  // Reverse stride.
+  auto u2 = compiler.compileSource(
+      "function y = f(x)\ny = zeros(1, 8);\nfor k = 1:8\n  y(k) = x(9 - k);\nend\nend\n",
+      "f", {ArgSpec::row(8)}, CompileOptions::proposed());
+  bool found = false;
+  for (const auto& note : u2.optimizationReport().vec.missed) {
+    if (note.find("no supported vector form") != std::string::npos ||
+        note.find("unit-stride") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << u2.lirDump();
+
+  // Loop-carried dependence through a scalar.
+  auto u3 = compiler.compileSource(
+      "function y = f(x)\ns = 0;\ny = zeros(1, 8);\nfor k = 1:8\n  s = s * 0.5 + x(k);\n"
+      "  y(k) = s;\nend\nend\n",
+      "f", {ArgSpec::row(8)}, CompileOptions::proposed());
+  ASSERT_FALSE(u3.optimizationReport().vec.missed.empty());
+  EXPECT_NE(u3.optimizationReport().vec.missed[0].find("carries a value"),
+            std::string::npos);
+
+  // A fully-vectorized function reports nothing missed.
+  auto u4 = compiler.compileSource("function y = f(x)\ny = x + 1;\nend\n", "f",
+                                   {ArgSpec::row(32)}, CompileOptions::proposed());
+  EXPECT_TRUE(u4.optimizationReport().vec.missed.empty());
+}
+
+TEST(Pipeline, ReportCountsPasses) {
+  Compiler compiler;
+  auto k = kernels::makeFir(256, 16);
+  auto unit = compiler.compileSource(k.source, k.entry, k.argSpecs,
+                                     CompileOptions::proposed());
+  EXPECT_GE(unit.optimizationReport().idiomRewrites, 1);
+  EXPECT_GE(unit.optimizationReport().vec.loopsVectorized, 1);
+  EXPECT_GE(unit.optimizationReport().vec.loopsConsidered,
+            unit.optimizationReport().vec.loopsVectorized);
+}
+
+}  // namespace
+}  // namespace mat2c

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "parser/parser.hpp"
+
+namespace mat2c {
+namespace {
+
+using namespace ast;
+
+ProgramPtr parse(const std::string& src) {
+  DiagnosticEngine diags;
+  auto prog = parseSource(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.renderAll();
+  return prog;
+}
+
+const Expr& rhsOf(const Program& p, std::size_t i = 0) {
+  const auto& stmt = *p.scriptBody.at(i);
+  EXPECT_EQ(stmt.kind, NodeKind::Assign);
+  return *static_cast<const Assign&>(stmt).rhs;
+}
+
+TEST(Parser, SimpleAssignment) {
+  auto p = parse("x = 42;");
+  ASSERT_EQ(p->scriptBody.size(), 1u);
+  const auto& a = static_cast<const Assign&>(*p->scriptBody[0]);
+  EXPECT_EQ(a.targets[0].name, "x");
+  EXPECT_EQ(a.rhs->kind, NodeKind::NumberLit);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  auto p = parse("x = 1 + 2 * 3;");
+  const auto& b = static_cast<const Binary&>(rhsOf(*p));
+  EXPECT_EQ(b.op, BinaryOp::Add);
+  EXPECT_EQ(b.rhs->kind, NodeKind::Binary);
+  EXPECT_EQ(static_cast<const Binary&>(*b.rhs).op, BinaryOp::MatMul);
+}
+
+TEST(Parser, PowerBindsTighterThanUnaryMinus) {
+  // -2^2 parses as -(2^2)
+  auto p = parse("x = -2^2;");
+  const auto& u = rhsOf(*p);
+  ASSERT_EQ(u.kind, NodeKind::Unary);
+  EXPECT_EQ(static_cast<const Unary&>(u).op, UnaryOp::Neg);
+  EXPECT_EQ(static_cast<const Unary&>(u).operand->kind, NodeKind::Binary);
+}
+
+TEST(Parser, PowerAllowsUnaryRhs) {
+  auto p = parse("x = 2^-3;");
+  const auto& b = static_cast<const Binary&>(rhsOf(*p));
+  EXPECT_EQ(b.op, BinaryOp::MatPow);
+  EXPECT_EQ(b.rhs->kind, NodeKind::Unary);
+}
+
+TEST(Parser, PowerIsLeftAssociative) {
+  auto p = parse("x = 2^3^2;");
+  const auto& b = static_cast<const Binary&>(rhsOf(*p));
+  EXPECT_EQ(b.op, BinaryOp::MatPow);
+  EXPECT_EQ(b.lhs->kind, NodeKind::Binary);
+  EXPECT_EQ(b.rhs->kind, NodeKind::NumberLit);
+}
+
+TEST(Parser, RangeTwoAndThreePart) {
+  auto p = parse("x = 1:10; y = 1:2:10;");
+  const auto& r1 = static_cast<const Range&>(rhsOf(*p, 0));
+  EXPECT_EQ(r1.step, nullptr);
+  const auto& r2 = static_cast<const Range&>(rhsOf(*p, 1));
+  ASSERT_NE(r2.step, nullptr);
+}
+
+TEST(Parser, RangeBelowComparison) {
+  // (1:10) == 5 — colon binds tighter than ==
+  auto p = parse("x = 1:10 == 5;");
+  const auto& b = static_cast<const Binary&>(rhsOf(*p));
+  EXPECT_EQ(b.op, BinaryOp::Eq);
+  EXPECT_EQ(b.lhs->kind, NodeKind::Range);
+}
+
+TEST(Parser, IndexedAssignment) {
+  auto p = parse("a(3) = 7;");
+  const auto& a = static_cast<const Assign&>(*p->scriptBody[0]);
+  EXPECT_EQ(a.targets[0].name, "a");
+  ASSERT_EQ(a.targets[0].indices.size(), 1u);
+}
+
+TEST(Parser, TwoDimensionalIndexWithEndAndColon) {
+  auto p = parse("b = a(2:end, :);");
+  const auto& ci = static_cast<const CallIndex&>(rhsOf(*p));
+  ASSERT_EQ(ci.args.size(), 2u);
+  EXPECT_EQ(ci.args[0]->kind, NodeKind::Range);
+  EXPECT_EQ(ci.args[1]->kind, NodeKind::Colon);
+  const auto& range = static_cast<const Range&>(*ci.args[0]);
+  EXPECT_EQ(range.stop->kind, NodeKind::End);
+}
+
+TEST(Parser, EndArithmetic) {
+  auto p = parse("b = a(end-1);");
+  const auto& ci = static_cast<const CallIndex&>(rhsOf(*p));
+  const auto& sub = static_cast<const Binary&>(*ci.args[0]);
+  EXPECT_EQ(sub.op, BinaryOp::Sub);
+  EXPECT_EQ(sub.lhs->kind, NodeKind::End);
+}
+
+TEST(Parser, EndOutsideIndexIsError) {
+  DiagnosticEngine diags;
+  EXPECT_THROW(parseSource("x = end;", diags), CompileError);
+}
+
+TEST(Parser, MultiAssignment) {
+  auto p = parse("[a, b] = size(x);");
+  const auto& a = static_cast<const Assign&>(*p->scriptBody[0]);
+  ASSERT_EQ(a.targets.size(), 2u);
+  EXPECT_EQ(a.targets[0].name, "a");
+  EXPECT_EQ(a.targets[1].name, "b");
+}
+
+TEST(Parser, MatrixLiteralCommas) {
+  auto p = parse("m = [1, 2; 3, 4];");
+  const auto& m = static_cast<const MatrixLit&>(rhsOf(*p));
+  ASSERT_EQ(m.rows.size(), 2u);
+  EXPECT_EQ(m.rows[0].size(), 2u);
+}
+
+TEST(Parser, MatrixLiteralSpaces) {
+  auto p = parse("m = [1 2 3];");
+  const auto& m = static_cast<const MatrixLit&>(rhsOf(*p));
+  ASSERT_EQ(m.rows.size(), 1u);
+  EXPECT_EQ(m.rows[0].size(), 3u);
+}
+
+TEST(Parser, MatrixSpaceMinusIsNewElement) {
+  auto p = parse("m = [1 -2];");
+  const auto& m = static_cast<const MatrixLit&>(rhsOf(*p));
+  ASSERT_EQ(m.rows[0].size(), 2u);
+}
+
+TEST(Parser, MatrixSpacedMinusIsBinary) {
+  auto p = parse("m = [1 - 2];");
+  const auto& m = static_cast<const MatrixLit&>(rhsOf(*p));
+  ASSERT_EQ(m.rows[0].size(), 1u);
+  EXPECT_EQ(m.rows[0][0]->kind, NodeKind::Binary);
+}
+
+TEST(Parser, MatrixNewlineIsRowSeparator) {
+  auto p = parse("m = [1 2\n3 4];");
+  const auto& m = static_cast<const MatrixLit&>(rhsOf(*p));
+  ASSERT_EQ(m.rows.size(), 2u);
+}
+
+TEST(Parser, EmptyMatrix) {
+  auto p = parse("m = [];");
+  const auto& m = static_cast<const MatrixLit&>(rhsOf(*p));
+  EXPECT_TRUE(m.rows.empty());
+}
+
+TEST(Parser, IfElseifElse) {
+  auto p = parse(
+      "if a < 1\n  x = 1;\nelseif a < 2\n  x = 2;\nelse\n  x = 3;\nend");
+  const auto& s = static_cast<const If&>(*p->scriptBody[0]);
+  EXPECT_EQ(s.branches.size(), 2u);
+  EXPECT_EQ(s.elseBody.size(), 1u);
+}
+
+TEST(Parser, ForLoop) {
+  auto p = parse("for i = 1:10\n  s = s + i;\nend");
+  const auto& s = static_cast<const For&>(*p->scriptBody[0]);
+  EXPECT_EQ(s.var, "i");
+  EXPECT_EQ(s.range->kind, NodeKind::Range);
+  EXPECT_EQ(s.body.size(), 1u);
+}
+
+TEST(Parser, WhileWithBreakContinue) {
+  auto p = parse("while x > 0\n  if y\n    break\n  end\n  continue\nend");
+  const auto& s = static_cast<const While&>(*p->scriptBody[0]);
+  EXPECT_EQ(s.body.size(), 2u);
+}
+
+TEST(Parser, SwitchCases) {
+  auto p = parse(
+      "switch mode\ncase 1\n  x = 1;\ncase 'fast'\n  x = 2;\notherwise\n  x = 3;\nend");
+  const auto& s = static_cast<const Switch&>(*p->scriptBody[0]);
+  EXPECT_EQ(s.cases.size(), 2u);
+  EXPECT_EQ(s.otherwise.size(), 1u);
+}
+
+TEST(Parser, FunctionSingleOutput) {
+  auto p = parse("function y = f(x)\ny = x + 1;\nend");
+  ASSERT_EQ(p->functions.size(), 1u);
+  const auto& f = *p->functions[0];
+  EXPECT_EQ(f.name, "f");
+  EXPECT_EQ(f.params, std::vector<std::string>{"x"});
+  EXPECT_EQ(f.outs, std::vector<std::string>{"y"});
+}
+
+TEST(Parser, FunctionMultiOutput) {
+  auto p = parse("function [a, b] = f(x, y)\na = x;\nb = y;\nend");
+  const auto& f = *p->functions[0];
+  EXPECT_EQ(f.outs.size(), 2u);
+  EXPECT_EQ(f.params.size(), 2u);
+}
+
+TEST(Parser, FunctionNoOutputNoEnd) {
+  auto p = parse("function f(x)\ny = x;");
+  const auto& f = *p->functions[0];
+  EXPECT_TRUE(f.outs.empty());
+  EXPECT_EQ(f.body.size(), 1u);
+}
+
+TEST(Parser, TwoFunctions) {
+  auto p = parse("function y = f(x)\ny = g(x);\nend\nfunction y = g(x)\ny = x;\nend");
+  EXPECT_EQ(p->functions.size(), 2u);
+  EXPECT_NE(p->findFunction("g"), nullptr);
+  EXPECT_EQ(p->findFunction("h"), nullptr);
+}
+
+TEST(Parser, TransposePostfix) {
+  auto p = parse("y = x';");
+  EXPECT_EQ(rhsOf(*p).kind, NodeKind::Transpose);
+  EXPECT_TRUE(static_cast<const Transpose&>(rhsOf(*p)).conjugate);
+}
+
+TEST(Parser, NestedCalls) {
+  auto p = parse("y = f(g(x), h(1, 2));");
+  const auto& ci = static_cast<const CallIndex&>(rhsOf(*p));
+  ASSERT_EQ(ci.args.size(), 2u);
+  EXPECT_EQ(ci.args[0]->kind, NodeKind::CallIndex);
+}
+
+TEST(Parser, ShortCircuitPrecedence) {
+  // a || b && c => a || (b && c)
+  auto p = parse("x = a || b && c;");
+  const auto& b = static_cast<const Binary&>(rhsOf(*p));
+  EXPECT_EQ(b.op, BinaryOp::OrOr);
+  EXPECT_EQ(static_cast<const Binary&>(*b.rhs).op, BinaryOp::AndAnd);
+}
+
+TEST(Parser, CommaSeparatedStatements) {
+  auto p = parse("a = 1, b = 2; c = 3");
+  EXPECT_EQ(p->scriptBody.size(), 3u);
+}
+
+TEST(Parser, DumpContainsStructure) {
+  auto p = parse("for i = 1:3\n  a(i) = i * 2;\nend");
+  std::string d = dump(*p);
+  EXPECT_NE(d.find("For i"), std::string::npos);
+  EXPECT_NE(d.find("Assign a(...)"), std::string::npos);
+}
+
+TEST(Parser, ErrorOnBadTarget) {
+  DiagnosticEngine diags;
+  EXPECT_THROW(parseSource("1 + 2 = x;", diags), CompileError);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Parser, ErrorOnCellArray) {
+  DiagnosticEngine diags;
+  EXPECT_THROW(parseSource("x = {1, 2};", diags), CompileError);
+}
+
+TEST(Parser, ParenthesizedExpressionAcrossNewlines) {
+  auto p = parse("x = (1 + ...\n 2);");
+  EXPECT_EQ(rhsOf(*p).kind, NodeKind::Binary);
+}
+
+}  // namespace
+}  // namespace mat2c

@@ -1,0 +1,224 @@
+// Type and shape inference tests.
+#include <gtest/gtest.h>
+
+#include "parser/parser.hpp"
+#include "sema/sema.hpp"
+
+namespace mat2c::sema {
+namespace {
+
+FunctionSummary infer(const std::string& src, const std::string& entry,
+                      const std::vector<ArgSpec>& args) {
+  DiagnosticEngine diags;
+  auto prog = parseSource(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.renderAll();
+  return checkProgram(*prog, entry, args, diags);
+}
+
+Type outType(const std::string& body, const std::vector<ArgSpec>& args,
+             const std::string& params = "x") {
+  std::string src = "function y = f(" + params + ")\n" + body + "\nend\n";
+  return infer(src, "f", args).outTypes.at(0);
+}
+
+TEST(Sema, ScalarArithmetic) {
+  Type t = outType("y = x * 2 + 1;", {ArgSpec::scalar()});
+  EXPECT_EQ(t, Type::realScalar());
+}
+
+TEST(Sema, VectorShapePropagates) {
+  Type t = outType("y = x + 1;", {ArgSpec::row(8)});
+  EXPECT_EQ(t.shape, Shape::row(8));
+  EXPECT_EQ(t.elem, Elem::Real);
+}
+
+TEST(Sema, ComplexPromotionThroughArithmetic) {
+  Type t = outType("y = x * 2i;", {ArgSpec::scalar()});
+  EXPECT_EQ(t.elem, Elem::Complex);
+}
+
+TEST(Sema, ComparisonsAreBool) {
+  Type t = outType("y = x > 0;", {ArgSpec::row(4)});
+  EXPECT_EQ(t.elem, Elem::Bool);
+  EXPECT_EQ(t.shape, Shape::row(4));
+}
+
+TEST(Sema, BoolDecaysToRealInArithmetic) {
+  Type t = outType("y = (x > 0) + 1;", {ArgSpec::row(4)});
+  EXPECT_EQ(t.elem, Elem::Real);
+}
+
+TEST(Sema, TransposeSwapsShape) {
+  Type t = outType("y = x';", {ArgSpec::matrix(2, 5)});
+  EXPECT_EQ(t.shape, Shape::matrix(5, 2));
+}
+
+TEST(Sema, MatMulShapes) {
+  std::string src =
+      "function y = f(a, b)\ny = a * b;\nend\n";
+  Type t = infer(src, "f", {ArgSpec::matrix(3, 4), ArgSpec::matrix(4, 7)}).outTypes[0];
+  EXPECT_EQ(t.shape, Shape::matrix(3, 7));
+}
+
+TEST(Sema, MatMulInnerMismatchFails) {
+  std::string src = "function y = f(a, b)\ny = a * b;\nend\n";
+  DiagnosticEngine diags;
+  auto prog = parseSource(src, diags);
+  EXPECT_THROW(
+      checkProgram(*prog, "f", {ArgSpec::matrix(3, 4), ArgSpec::matrix(5, 7)}, diags),
+      CompileError);
+}
+
+TEST(Sema, ElementwiseShapeMismatchFails) {
+  DiagnosticEngine diags;
+  auto prog = parseSource("function y = f(a, b)\ny = a + b;\nend\n", diags);
+  EXPECT_THROW(checkProgram(*prog, "f", {ArgSpec::row(4), ArgSpec::row(5)}, diags),
+               CompileError);
+}
+
+TEST(Sema, ConstantLatticeDrivesZeros) {
+  Type t = outType("n = length(x); y = zeros(1, n);", {ArgSpec::row(17)});
+  EXPECT_EQ(t.shape, Shape::row(17));
+}
+
+TEST(Sema, ConstantArithmeticFolds) {
+  Type t = outType("n = length(x); y = zeros(1, 2 * n + 1);", {ArgSpec::row(8)});
+  EXPECT_EQ(t.shape, Shape::row(17));
+}
+
+TEST(Sema, SizeQueryFolds) {
+  Type t = outType("m = size(x, 1); y = zeros(m, m);", {ArgSpec::matrix(3, 9)});
+  EXPECT_EQ(t.shape, Shape::matrix(3, 3));
+}
+
+TEST(Sema, RangeLength) {
+  Type t = outType("y = 1:10;", {ArgSpec::scalar()});
+  EXPECT_EQ(t.shape, Shape::row(10));
+  Type t2 = outType("y = 0:0.5:2;", {ArgSpec::scalar()});
+  EXPECT_EQ(t2.shape, Shape::row(5));
+}
+
+TEST(Sema, SliceShapes) {
+  Type t = outType("y = x(2:5);", {ArgSpec::row(10)});
+  EXPECT_EQ(t.shape, Shape::row(4));
+  Type t2 = outType("y = x(2:end);", {ArgSpec::row(10)});
+  EXPECT_EQ(t2.shape, Shape::row(9));
+}
+
+TEST(Sema, TwoDimSliceShapes) {
+  Type t = outType("y = x(2, :);", {ArgSpec::matrix(4, 6)});
+  EXPECT_EQ(t.shape, Shape::matrix(1, 6));
+  Type t2 = outType("y = x(:, 3);", {ArgSpec::matrix(4, 6)});
+  EXPECT_EQ(t2.shape, Shape::matrix(4, 1));
+}
+
+TEST(Sema, ColonFlattensToColumn) {
+  Type t = outType("y = x(:);", {ArgSpec::matrix(3, 4)});
+  EXPECT_EQ(t.shape, Shape::col(12));
+}
+
+TEST(Sema, ScalarIndexIsScalar) {
+  Type t = outType("y = x(3);", {ArgSpec::row(10)});
+  EXPECT_TRUE(t.isScalar());
+}
+
+TEST(Sema, AccumulatorPromotionFixpoint) {
+  // acc starts real, becomes complex via the loop — fixpoint must find it.
+  Type t = outType(
+      "acc = 0;\nfor k = 1:4\n  acc = acc + x(k) * 1i;\nend\ny = acc;",
+      {ArgSpec::row(4)});
+  EXPECT_EQ(t.elem, Elem::Complex);
+}
+
+TEST(Sema, IfJoinShapes) {
+  Type t = outType(
+      "if x > 0\n  y = 1;\nelse\n  y = 2;\nend", {ArgSpec::scalar()});
+  EXPECT_TRUE(t.isScalar());
+}
+
+TEST(Sema, ReductionShapes) {
+  EXPECT_TRUE(outType("y = sum(x);", {ArgSpec::row(9)}).isScalar());
+  Type t = outType("y = sum(x);", {ArgSpec::matrix(3, 5)});
+  EXPECT_EQ(t.shape, Shape::matrix(1, 5));
+  EXPECT_TRUE(outType("y = norm(x);", {ArgSpec::row(9, true)}).isScalar());
+}
+
+TEST(Sema, SumOfComplexIsComplex) {
+  Type t = outType("y = sum(x);", {ArgSpec::row(9, /*complex=*/true)});
+  EXPECT_EQ(t.elem, Elem::Complex);
+}
+
+TEST(Sema, AbsOfComplexIsReal) {
+  Type t = outType("y = abs(x);", {ArgSpec::row(9, true)});
+  EXPECT_EQ(t.elem, Elem::Real);
+  EXPECT_EQ(t.shape, Shape::row(9));
+}
+
+TEST(Sema, UserFunctionSpecialization) {
+  std::string src =
+      "function y = f(x)\ny = g(x) + g(x');\nend\n"
+      "function y = g(a)\ny = sum(a .* a);\nend\n";
+  Type t = infer(src, "f", {ArgSpec::row(5)}).outTypes[0];
+  EXPECT_TRUE(t.isScalar());
+}
+
+TEST(Sema, RecursionRejected) {
+  std::string src = "function y = f(x)\ny = f(x - 1);\nend\n";
+  DiagnosticEngine diags;
+  auto prog = parseSource(src, diags);
+  EXPECT_THROW(checkProgram(*prog, "f", {ArgSpec::scalar()}, diags), CompileError);
+}
+
+TEST(Sema, UndefinedVariableFails) {
+  DiagnosticEngine diags;
+  auto prog = parseSource("function y = f(x)\ny = nosuch + 1;\nend\n", diags);
+  EXPECT_THROW(checkProgram(*prog, "f", {ArgSpec::scalar()}, diags), CompileError);
+}
+
+TEST(Sema, IndexedAssignRequiresPreallocation) {
+  DiagnosticEngine diags;
+  auto prog = parseSource("function y = f(x)\nq(3) = x;\ny = q;\nend\n", diags);
+  EXPECT_THROW(checkProgram(*prog, "f", {ArgSpec::scalar()}, diags), CompileError);
+}
+
+TEST(Sema, IndexedStorePromotesElement) {
+  Type t = outType("y = zeros(1, 4);\ny(2) = x * 1i;", {ArgSpec::scalar()});
+  EXPECT_EQ(t.elem, Elem::Complex);
+  EXPECT_EQ(t.shape, Shape::row(4));
+}
+
+TEST(Sema, MultiOutputSize) {
+  std::string src = "function [r, c] = f(x)\n[r, c] = size(x);\nend\n";
+  auto summary = infer(src, "f", {ArgSpec::matrix(3, 8)});
+  ASSERT_EQ(summary.outTypes.size(), 2u);
+  EXPECT_TRUE(summary.outTypes[0].isScalar());
+}
+
+TEST(Sema, MatrixLiteralShape) {
+  Type t = outType("y = [1 2 3; 4 5 6];", {ArgSpec::scalar()});
+  EXPECT_EQ(t.shape, Shape::matrix(2, 3));
+}
+
+TEST(Sema, StringsRejected) {
+  DiagnosticEngine diags;
+  auto prog = parseSource("function y = f(x)\ny = 'nope';\nend\n", diags);
+  EXPECT_THROW(checkProgram(*prog, "f", {ArgSpec::scalar()}, diags), CompileError);
+}
+
+TEST(Sema, TypeToString) {
+  EXPECT_EQ(Type::realScalar().toString(), "real[1x1]");
+  EXPECT_EQ(Type::complex(Shape::row(4)).toString(), "complex[1x4]");
+  Type dyn{Elem::Real, Shape::dynamic()};
+  EXPECT_EQ(dyn.toString(), "real[?x?]");
+}
+
+TEST(Sema, JoinRules) {
+  EXPECT_EQ(joinElem(Elem::Real, Elem::Complex), Elem::Complex);
+  EXPECT_EQ(joinElem(Elem::Bool, Elem::Bool), Elem::Bool);
+  Shape j = joinShape(Shape::row(4), Shape::row(5));
+  EXPECT_FALSE(j.cols.isKnown());
+  EXPECT_TRUE(j.rows.isKnown());
+}
+
+}  // namespace
+}  // namespace mat2c::sema

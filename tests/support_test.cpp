@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "support/diagnostics.hpp"
+#include "support/string_utils.hpp"
+
+namespace mat2c {
+namespace {
+
+TEST(StringUtils, SplitKeepsEmptyFields) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtils, SplitSingleField) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtils, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y\t"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtils, FormatDoubleRoundTrips) {
+  EXPECT_EQ(formatDouble(1.0), "1.0");
+  EXPECT_EQ(formatDouble(0.5), "0.5");
+  // Must parse back to the identical value.
+  double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(formatDouble(v)), v);
+}
+
+TEST(StringUtils, FormatDoubleSpecials) {
+  EXPECT_EQ(formatDouble(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(formatDouble(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(formatDouble(std::nan("")), "nan");
+}
+
+TEST(StringUtils, JoinAndIdentifier) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_TRUE(isIdentifier("x_1"));
+  EXPECT_FALSE(isIdentifier("1x"));
+  EXPECT_FALSE(isIdentifier(""));
+  EXPECT_FALSE(isIdentifier("a-b"));
+}
+
+TEST(Diagnostics, CountsErrors) {
+  DiagnosticEngine diags;
+  diags.warning({1, 2}, "w");
+  EXPECT_FALSE(diags.hasErrors());
+  diags.error({3, 4}, "e");
+  EXPECT_TRUE(diags.hasErrors());
+  EXPECT_EQ(diags.errorCount(), 1u);
+  EXPECT_EQ(diags.diagnostics().size(), 2u);
+}
+
+TEST(Diagnostics, RendersLocation) {
+  DiagnosticEngine diags;
+  diags.error({3, 4}, "boom");
+  EXPECT_EQ(diags.diagnostics()[0].render(), "error at 3:4: boom");
+}
+
+TEST(Diagnostics, FatalThrowsAfterRecording) {
+  DiagnosticEngine diags;
+  EXPECT_THROW(diags.fatal({1, 1}, "stop"), CompileError);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Diagnostics, UnknownLocationRenders) {
+  Diagnostic d{Severity::Note, {}, "hi"};
+  EXPECT_EQ(d.render(), "note at <unknown>: hi");
+}
+
+}  // namespace
+}  // namespace mat2c

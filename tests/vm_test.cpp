@@ -1,0 +1,136 @@
+// VM tests: cycle accounting, category attribution, runtime faults.
+#include <gtest/gtest.h>
+
+#include "driver/compiler.hpp"
+#include "driver/kernels.hpp"
+
+namespace mat2c {
+namespace {
+
+using sema::ArgSpec;
+
+CompiledUnit compile(const std::string& src, const std::vector<ArgSpec>& specs,
+                     const CompileOptions& options = CompileOptions::proposed()) {
+  Compiler compiler;
+  return compiler.compileSource(src, "f", specs, options);
+}
+
+TEST(Vm, ScalarResult) {
+  auto unit = compile("function y = f(a)\ny = a * 3;\nend\n", {ArgSpec::scalar()});
+  auto r = unit.run({Matrix::scalar(7)});
+  ASSERT_EQ(r.outputs.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.outputs[0].scalarValue(), 21.0);
+  EXPECT_GT(r.cycles.total, 0.0);
+}
+
+TEST(Vm, CyclesScaleWithWork) {
+  std::string src = "function y = f(x)\ny = x + 1;\nend\n";
+  kernels::InputGen gen(50);
+  CompileOptions scalarIsa = CompileOptions::proposed("scalar");
+  auto small = compile(src, {ArgSpec::row(64)}, scalarIsa);
+  auto large = compile(src, {ArgSpec::row(256)}, scalarIsa);
+  double cSmall = small.run({gen.rowVector(64)}).cycles.total;
+  double cLarge = large.run({gen.rowVector(256)}).cycles.total;
+  EXPECT_NEAR(cLarge / cSmall, 4.0, 0.3);
+}
+
+TEST(Vm, CategoriesArePopulated) {
+  auto k = kernels::makeFir(128, 8);
+  Compiler compiler;
+  auto unit = compiler.compileSource(k.source, k.entry, k.argSpecs,
+                                     CompileOptions::coderLike("scalar"));
+  auto r = unit.run(k.args);
+  EXPECT_GT(r.cycles.byCategory.at("arith"), 0.0);
+  EXPECT_GT(r.cycles.byCategory.at("memory"), 0.0);
+  EXPECT_GT(r.cycles.byCategory.at("loop"), 0.0);
+  EXPECT_GT(r.cycles.byCategory.at("check"), 0.0);
+  double sum = 0;
+  for (const auto& [cat, v] : r.cycles.byCategory) sum += v;
+  EXPECT_NEAR(sum, r.cycles.total, 1e-6);
+}
+
+TEST(Vm, ByOpBreakdownIsConsistent) {
+  auto k = kernels::makeCdot(64);
+  Compiler compiler;
+  auto unit = compiler.compileSource(k.source, k.entry, k.argSpecs,
+                                     CompileOptions::proposed());
+  auto r = unit.run(k.args);
+  double sum = 0;
+  for (const auto& [op, v] : r.cycles.byOp) sum += v;
+  EXPECT_NEAR(sum, r.cycles.total, 1e-6);
+  // The complex MAC unit must actually be used.
+  EXPECT_GT(r.cycles.byOp.count("vcmac.c64") + r.cycles.byOp.count("cmac.c64"), 0u);
+}
+
+TEST(Vm, IntrinsicOpsCounted) {
+  auto k = kernels::makeFdeq(64);
+  Compiler compiler;
+  auto prop = compiler.compileSource(k.source, k.entry, k.argSpecs,
+                                     CompileOptions::proposed());
+  auto base = compiler.compileSource(k.source, k.entry, k.argSpecs,
+                                     CompileOptions::coderLike());
+  EXPECT_GT(prop.run(k.args).cycles.intrinsicOpsExecuted, 0u);
+  EXPECT_EQ(base.run(k.args).cycles.intrinsicOpsExecuted, 0u);
+}
+
+TEST(Vm, ArgumentShapeMismatchThrows) {
+  auto unit = compile("function y = f(x)\ny = x + 1;\nend\n", {ArgSpec::row(8)});
+  EXPECT_THROW(unit.run({kernels::InputGen(51).rowVector(9)}), RuntimeError);
+  EXPECT_THROW(unit.run({}), RuntimeError);
+}
+
+TEST(Vm, RealParamRejectsComplexInput) {
+  auto unit = compile("function y = f(x)\ny = x + 1;\nend\n", {ArgSpec::row(4)});
+  EXPECT_THROW(unit.run({kernels::InputGen(52).complexRowVector(4)}), RuntimeError);
+}
+
+TEST(Vm, OutOfBoundsLoadFaults) {
+  // Index depends on a runtime scalar — compile succeeds, VM faults.
+  auto unit = compile("function y = f(x, i)\ny = x(i);\nend\n",
+                      {ArgSpec::row(4), ArgSpec::scalar()});
+  EXPECT_THROW(unit.run({kernels::InputGen(53).rowVector(4), Matrix::scalar(9)}),
+               RuntimeError);
+  auto ok = unit.run({kernels::InputGen(53).rowVector(4), Matrix::scalar(2)});
+  EXPECT_EQ(ok.outputs.size(), 1u);
+}
+
+TEST(Vm, OpBudgetStopsRunaway) {
+  auto unit = compile("function y = f(x)\ny = 0;\nwhile x > -1\n  y = y + 1;\nend\nend\n",
+                      {ArgSpec::scalar()});
+  vm::Machine machine(unit.isa());
+  machine.setMaxOps(10'000);
+  EXPECT_THROW(machine.run(unit.fn(), {Matrix::scalar(1)}), RuntimeError);
+}
+
+TEST(Vm, ComplexOutputs) {
+  auto unit = compile("function y = f(x)\ny = x * 2i;\nend\n", {ArgSpec::complexScalar()});
+  auto r = unit.run({Matrix::scalar(Complex{1, 1})});
+  EXPECT_EQ(r.outputs[0].at(0), (Complex{-2, 2}));
+}
+
+TEST(Vm, BaselineCheckCyclesDisappearInProposed) {
+  auto k = kernels::makeFir(128, 8);
+  Compiler compiler;
+  auto base = compiler.compileSource(k.source, k.entry, k.argSpecs,
+                                     CompileOptions::coderLike());
+  auto prop = compiler.compileSource(k.source, k.entry, k.argSpecs,
+                                     CompileOptions::proposed());
+  auto rb = base.run(k.args);
+  auto rp = prop.run(k.args);
+  EXPECT_GT(rb.cycles.byCategory.at("check"), 0.0);
+  EXPECT_EQ(rp.cycles.byCategory.count("check"), 0u);
+  EXPECT_EQ(rp.cycles.byCategory.count("alloc"), 0u);
+}
+
+TEST(Vm, DeterministicCycles) {
+  auto k = kernels::makeFmdemod(128);
+  Compiler compiler;
+  auto unit = compiler.compileSource(k.source, k.entry, k.argSpecs,
+                                     CompileOptions::proposed());
+  double c1 = unit.run(k.args).cycles.total;
+  double c2 = unit.run(k.args).cycles.total;
+  EXPECT_DOUBLE_EQ(c1, c2);
+}
+
+}  // namespace
+}  // namespace mat2c

@@ -1,0 +1,300 @@
+// mat2c — command-line front end.
+//
+// Usage:
+//   mat2c compile <file.m> --entry <name> --args <spec,...> [options]
+//   mat2c isa [--preset <name> | --isa-file <file>]
+//   mat2c list-kernels
+//
+// Argument specs (the MATLAB Coder -args equivalent):
+//   1x1        real scalar         c1x1      complex scalar
+//   1x1024     real row vector     c1x1024   complex row vector
+//   64x3       real matrix         c8x8      complex matrix
+//
+// Options for `compile`:
+//   --isa <preset>        target preset (default dspx; see `mat2c isa`)
+//   --isa-file <file>     textual ISA description instead of a preset
+//   --style coder         MATLAB-Coder-style baseline code
+//   --emit-c <out.c>      write the generated translation unit
+//   --dump-lir            print the optimized LIR
+//   --run                 execute on the cycle-model VM with seeded inputs
+//   --validate            also run the reference interpreter and compare
+//   --seed <n>            input seed for --run/--validate (default 1)
+//   --no-vectorize        disable the SIMD vectorizer
+//   --no-idioms           disable MAC/complex idiom mapping
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "driver/compiler.hpp"
+#include "driver/kernels.hpp"
+#include "support/string_utils.hpp"
+
+namespace {
+
+using namespace mat2c;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mat2c compile <file.m> --entry <name> --args <spec,...> [options]\n"
+               "  mat2c compile -e '<matlab source>' --entry <name> --args <spec,...>\n"
+               "  mat2c isa [--preset <name>] [--isa-file <file>]\n"
+               "  mat2c list-kernels\n"
+               "run `head tools/mat2c_cli.cpp` for the full option list\n");
+  return 2;
+}
+
+bool parseArgSpec(const std::string& text, sema::ArgSpec& out) {
+  std::string t = text;
+  bool complex = false;
+  if (!t.empty() && (t[0] == 'c' || t[0] == 'C')) {
+    complex = true;
+    t = t.substr(1);
+  }
+  auto xPos = t.find('x');
+  if (xPos == std::string::npos) return false;
+  try {
+    std::int64_t rows = std::stoll(t.substr(0, xPos));
+    std::int64_t cols = std::stoll(t.substr(xPos + 1));
+    if (rows <= 0 || cols <= 0) return false;
+    out = sema::ArgSpec::matrix(rows, cols, complex);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+Matrix makeInput(const sema::ArgSpec& spec, kernels::InputGen& gen) {
+  const sema::Shape& s = spec.type.shape;
+  auto rows = s.rows.extent();
+  auto cols = s.cols.extent();
+  if (spec.type.elem == sema::Elem::Complex) {
+    Matrix m = Matrix::zeros(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols),
+                             true);
+    for (std::size_t i = 0; i < m.numel(); ++i) m.set(i, Complex{gen.next(), gen.next()});
+    return m;
+  }
+  Matrix m = gen.matrix(rows, cols);
+  return m;
+}
+
+int cmdIsa(int argc, char** argv) {
+  std::string preset = "dspx";
+  std::string file;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--preset" && i + 1 < argc) {
+      preset = argv[++i];
+    } else if (a == "--isa-file" && i + 1 < argc) {
+      file = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  isa::IsaDescription d;
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "mat2c: cannot open '%s'\n", file.c_str());
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    DiagnosticEngine diags;
+    d = isa::IsaDescription::parse(ss.str(), diags);
+    if (diags.hasErrors()) {
+      std::fprintf(stderr, "%s", diags.renderAll().c_str());
+      return 1;
+    }
+  } else {
+    try {
+      d = isa::IsaDescription::preset(preset);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mat2c: %s\navailable presets:", e.what());
+      for (const auto& n : isa::IsaDescription::presetNames()) {
+        std::fprintf(stderr, " %s", n.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+  }
+  std::printf("%s", d.serialize().c_str());
+  return 0;
+}
+
+int cmdListKernels() {
+  for (const auto& k : kernels::dspBenchmarkSuite()) {
+    std::printf("%-10s %s\n", k.name.c_str(), k.title.c_str());
+  }
+  for (const auto& k : kernels::extendedKernelSuite()) {
+    std::printf("%-10s %s (extended)\n", k.name.c_str(), k.title.c_str());
+  }
+  return 0;
+}
+
+int cmdCompile(int argc, char** argv) {
+  std::string source;
+  std::string entry;
+  std::string argsText;
+  std::string emitPath;
+  std::string isaFile;
+  std::string isaPreset = "dspx";
+  bool coder = false;
+  bool dumpLir = false;
+  bool run = false;
+  bool validate = false;
+  bool noVectorize = false;
+  bool noIdioms = false;
+  unsigned seed = 1;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mat2c: %s expects a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--entry") {
+      entry = need("--entry");
+    } else if (a == "--args") {
+      argsText = need("--args");
+    } else if (a == "--emit-c") {
+      emitPath = need("--emit-c");
+    } else if (a == "--isa") {
+      isaPreset = need("--isa");
+    } else if (a == "--isa-file") {
+      isaFile = need("--isa-file");
+    } else if (a == "--style") {
+      coder = std::string(need("--style")) == "coder";
+    } else if (a == "--seed") {
+      seed = static_cast<unsigned>(std::stoul(need("--seed")));
+    } else if (a == "--dump-lir") {
+      dumpLir = true;
+    } else if (a == "--run") {
+      run = true;
+    } else if (a == "--validate") {
+      validate = true;
+    } else if (a == "--no-vectorize") {
+      noVectorize = true;
+    } else if (a == "--no-idioms") {
+      noIdioms = true;
+    } else if (a == "-e") {
+      source = need("-e");
+    } else if (!a.empty() && a[0] != '-' && source.empty()) {
+      std::ifstream in(a);
+      if (!in) {
+        std::fprintf(stderr, "mat2c: cannot open '%s'\n", a.c_str());
+        return 1;
+      }
+      std::stringstream ss;
+      ss << in.rdbuf();
+      source = ss.str();
+    } else {
+      std::fprintf(stderr, "mat2c: unknown option '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (source.empty() || entry.empty()) return usage();
+
+  std::vector<sema::ArgSpec> specs;
+  if (!argsText.empty()) {
+    for (const auto& part : split(argsText, ',')) {
+      sema::ArgSpec spec;
+      if (!parseArgSpec(std::string(trim(part)), spec)) {
+        std::fprintf(stderr, "mat2c: bad arg spec '%s' (want e.g. 1x1024 or c1x64)\n",
+                     std::string(part).c_str());
+        return 2;
+      }
+      specs.push_back(spec);
+    }
+  }
+
+  CompileOptions options = coder ? CompileOptions::coderLike(isaPreset)
+                                 : CompileOptions::proposed(isaPreset);
+  if (!isaFile.empty()) {
+    std::ifstream in(isaFile);
+    if (!in) {
+      std::fprintf(stderr, "mat2c: cannot open '%s'\n", isaFile.c_str());
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    DiagnosticEngine diags;
+    options.isa = isa::IsaDescription::parse(ss.str(), diags);
+    if (diags.hasErrors()) {
+      std::fprintf(stderr, "%s", diags.renderAll().c_str());
+      return 1;
+    }
+  }
+  if (noVectorize) options.vectorize = false;
+  if (noIdioms) options.idioms = false;
+
+  Compiler compiler;
+  try {
+    auto unit = compiler.compileSource(source, entry, specs, options);
+
+    std::fprintf(stderr, "mat2c: compiled '%s' for target '%s' (%d loop(s) vectorized, "
+                         "%d MAC rewrite(s))\n",
+                 entry.c_str(), options.isa.name().c_str(),
+                 unit.optimizationReport().vec.loopsVectorized,
+                 unit.optimizationReport().idiomRewrites);
+    for (const auto& note : unit.optimizationReport().vec.missed) {
+      std::fprintf(stderr, "mat2c: note: %s\n", note.c_str());
+    }
+
+    if (dumpLir) std::printf("%s\n", unit.lirDump().c_str());
+    if (!emitPath.empty()) {
+      std::ofstream out(emitPath);
+      out << unit.cCode();
+      std::fprintf(stderr, "mat2c: wrote %s\n", emitPath.c_str());
+    }
+    if (emitPath.empty() && !dumpLir && !run && !validate) {
+      std::printf("%s", unit.cCode().c_str());
+    }
+
+    if (run || validate) {
+      kernels::InputGen gen(seed);
+      std::vector<Matrix> inputs;
+      inputs.reserve(specs.size());
+      for (const auto& spec : specs) inputs.push_back(makeInput(spec, gen));
+      auto result = unit.run(inputs);
+      std::printf("cycles: %.0f\n", result.cycles.total);
+      for (const auto& [cat, v] : result.cycles.byCategory) {
+        std::printf("  %-8s %.0f\n", cat.c_str(), v);
+      }
+      for (std::size_t i = 0; i < result.outputs.size(); ++i) {
+        std::printf("out%zu = %s\n", i, result.outputs[i].toString().c_str());
+      }
+      if (validate) {
+        double err = validateAgainstInterpreter(source, entry, unit, inputs);
+        std::printf("max |error| vs interpreter: %g\n", err);
+        if (err > 1e-9) {
+          std::fprintf(stderr, "mat2c: VALIDATION FAILED\n");
+          return 1;
+        }
+      }
+    }
+  } catch (const CompileError& e) {
+    std::fprintf(stderr, "mat2c: compile error:\n%s\n", e.what());
+    return 1;
+  } catch (const RuntimeError& e) {
+    std::fprintf(stderr, "mat2c: runtime error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  if (cmd == "compile") return cmdCompile(argc, argv);
+  if (cmd == "isa") return cmdIsa(argc, argv);
+  if (cmd == "list-kernels") return cmdListKernels();
+  return usage();
+}
