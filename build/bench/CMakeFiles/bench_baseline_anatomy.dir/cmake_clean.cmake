@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_anatomy.dir/bench_baseline_anatomy.cpp.o"
+  "CMakeFiles/bench_baseline_anatomy.dir/bench_baseline_anatomy.cpp.o.d"
+  "bench_baseline_anatomy"
+  "bench_baseline_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_workbench.dir/fir_workbench.cpp.o"
+  "CMakeFiles/fir_workbench.dir/fir_workbench.cpp.o.d"
+  "fir_workbench"
+  "fir_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_receiver.dir/fm_receiver.cpp.o"
+  "CMakeFiles/fm_receiver.dir/fm_receiver.cpp.o.d"
+  "fm_receiver"
+  "fm_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

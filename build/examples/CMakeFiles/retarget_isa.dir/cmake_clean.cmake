@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retarget_isa.dir/retarget_isa.cpp.o"
+  "CMakeFiles/retarget_isa.dir/retarget_isa.cpp.o.d"
+  "retarget_isa"
+  "retarget_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retarget_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

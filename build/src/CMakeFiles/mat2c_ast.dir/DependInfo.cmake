@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ast.cpp" "src/CMakeFiles/mat2c_ast.dir/ast/ast.cpp.o" "gcc" "src/CMakeFiles/mat2c_ast.dir/ast/ast.cpp.o.d"
+  "/root/repo/src/ast/printer.cpp" "src/CMakeFiles/mat2c_ast.dir/ast/printer.cpp.o" "gcc" "src/CMakeFiles/mat2c_ast.dir/ast/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mat2c_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat2c_ast.dir/ast/ast.cpp.o"
+  "CMakeFiles/mat2c_ast.dir/ast/ast.cpp.o.d"
+  "CMakeFiles/mat2c_ast.dir/ast/printer.cpp.o"
+  "CMakeFiles/mat2c_ast.dir/ast/printer.cpp.o.d"
+  "libmat2c_ast.a"
+  "libmat2c_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat2c_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat2c_codegen.dir/codegen/cemit.cpp.o"
+  "CMakeFiles/mat2c_codegen.dir/codegen/cemit.cpp.o.d"
+  "CMakeFiles/mat2c_codegen.dir/codegen/runtime_header.cpp.o"
+  "CMakeFiles/mat2c_codegen.dir/codegen/runtime_header.cpp.o.d"
+  "libmat2c_codegen.a"
+  "libmat2c_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat2c_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

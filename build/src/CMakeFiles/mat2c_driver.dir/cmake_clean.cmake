@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat2c_driver.dir/driver/compiler.cpp.o"
+  "CMakeFiles/mat2c_driver.dir/driver/compiler.cpp.o.d"
+  "CMakeFiles/mat2c_driver.dir/driver/kernels.cpp.o"
+  "CMakeFiles/mat2c_driver.dir/driver/kernels.cpp.o.d"
+  "CMakeFiles/mat2c_driver.dir/driver/report.cpp.o"
+  "CMakeFiles/mat2c_driver.dir/driver/report.cpp.o.d"
+  "libmat2c_driver.a"
+  "libmat2c_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat2c_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

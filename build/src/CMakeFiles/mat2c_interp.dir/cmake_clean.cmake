@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat2c_interp.dir/interp/builtins_runtime.cpp.o"
+  "CMakeFiles/mat2c_interp.dir/interp/builtins_runtime.cpp.o.d"
+  "CMakeFiles/mat2c_interp.dir/interp/interpreter.cpp.o"
+  "CMakeFiles/mat2c_interp.dir/interp/interpreter.cpp.o.d"
+  "CMakeFiles/mat2c_interp.dir/interp/value.cpp.o"
+  "CMakeFiles/mat2c_interp.dir/interp/value.cpp.o.d"
+  "libmat2c_interp.a"
+  "libmat2c_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat2c_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmat2c_interp.a"
+)

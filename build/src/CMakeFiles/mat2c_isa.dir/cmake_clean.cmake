@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat2c_isa.dir/isa/isa.cpp.o"
+  "CMakeFiles/mat2c_isa.dir/isa/isa.cpp.o.d"
+  "libmat2c_isa.a"
+  "libmat2c_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat2c_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

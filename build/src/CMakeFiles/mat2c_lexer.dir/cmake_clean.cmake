@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat2c_lexer.dir/lexer/lexer.cpp.o"
+  "CMakeFiles/mat2c_lexer.dir/lexer/lexer.cpp.o.d"
+  "CMakeFiles/mat2c_lexer.dir/lexer/token.cpp.o"
+  "CMakeFiles/mat2c_lexer.dir/lexer/token.cpp.o.d"
+  "libmat2c_lexer.a"
+  "libmat2c_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat2c_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

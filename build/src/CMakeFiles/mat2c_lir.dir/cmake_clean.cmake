@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat2c_lir.dir/lir/lir.cpp.o"
+  "CMakeFiles/mat2c_lir.dir/lir/lir.cpp.o.d"
+  "CMakeFiles/mat2c_lir.dir/lir/printer.cpp.o"
+  "CMakeFiles/mat2c_lir.dir/lir/printer.cpp.o.d"
+  "CMakeFiles/mat2c_lir.dir/lir/verifier.cpp.o"
+  "CMakeFiles/mat2c_lir.dir/lir/verifier.cpp.o.d"
+  "libmat2c_lir.a"
+  "libmat2c_lir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat2c_lir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

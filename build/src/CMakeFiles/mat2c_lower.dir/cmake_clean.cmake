@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat2c_lower.dir/lower/lowering.cpp.o"
+  "CMakeFiles/mat2c_lower.dir/lower/lowering.cpp.o.d"
+  "libmat2c_lower.a"
+  "libmat2c_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat2c_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/check_elim.cpp" "src/CMakeFiles/mat2c_opt.dir/opt/check_elim.cpp.o" "gcc" "src/CMakeFiles/mat2c_opt.dir/opt/check_elim.cpp.o.d"
+  "/root/repo/src/opt/const_fold.cpp" "src/CMakeFiles/mat2c_opt.dir/opt/const_fold.cpp.o" "gcc" "src/CMakeFiles/mat2c_opt.dir/opt/const_fold.cpp.o.d"
+  "/root/repo/src/opt/dce.cpp" "src/CMakeFiles/mat2c_opt.dir/opt/dce.cpp.o" "gcc" "src/CMakeFiles/mat2c_opt.dir/opt/dce.cpp.o.d"
+  "/root/repo/src/opt/idiom.cpp" "src/CMakeFiles/mat2c_opt.dir/opt/idiom.cpp.o" "gcc" "src/CMakeFiles/mat2c_opt.dir/opt/idiom.cpp.o.d"
+  "/root/repo/src/opt/pass_manager.cpp" "src/CMakeFiles/mat2c_opt.dir/opt/pass_manager.cpp.o" "gcc" "src/CMakeFiles/mat2c_opt.dir/opt/pass_manager.cpp.o.d"
+  "/root/repo/src/opt/sink.cpp" "src/CMakeFiles/mat2c_opt.dir/opt/sink.cpp.o" "gcc" "src/CMakeFiles/mat2c_opt.dir/opt/sink.cpp.o.d"
+  "/root/repo/src/opt/vectorizer.cpp" "src/CMakeFiles/mat2c_opt.dir/opt/vectorizer.cpp.o" "gcc" "src/CMakeFiles/mat2c_opt.dir/opt/vectorizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mat2c_lir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat2c_opt.dir/opt/check_elim.cpp.o"
+  "CMakeFiles/mat2c_opt.dir/opt/check_elim.cpp.o.d"
+  "CMakeFiles/mat2c_opt.dir/opt/const_fold.cpp.o"
+  "CMakeFiles/mat2c_opt.dir/opt/const_fold.cpp.o.d"
+  "CMakeFiles/mat2c_opt.dir/opt/dce.cpp.o"
+  "CMakeFiles/mat2c_opt.dir/opt/dce.cpp.o.d"
+  "CMakeFiles/mat2c_opt.dir/opt/idiom.cpp.o"
+  "CMakeFiles/mat2c_opt.dir/opt/idiom.cpp.o.d"
+  "CMakeFiles/mat2c_opt.dir/opt/pass_manager.cpp.o"
+  "CMakeFiles/mat2c_opt.dir/opt/pass_manager.cpp.o.d"
+  "CMakeFiles/mat2c_opt.dir/opt/sink.cpp.o"
+  "CMakeFiles/mat2c_opt.dir/opt/sink.cpp.o.d"
+  "CMakeFiles/mat2c_opt.dir/opt/vectorizer.cpp.o"
+  "CMakeFiles/mat2c_opt.dir/opt/vectorizer.cpp.o.d"
+  "libmat2c_opt.a"
+  "libmat2c_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat2c_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

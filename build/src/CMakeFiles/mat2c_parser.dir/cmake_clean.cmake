@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat2c_parser.dir/parser/parser.cpp.o"
+  "CMakeFiles/mat2c_parser.dir/parser/parser.cpp.o.d"
+  "libmat2c_parser.a"
+  "libmat2c_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat2c_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

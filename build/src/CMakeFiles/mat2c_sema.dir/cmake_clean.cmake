@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat2c_sema.dir/sema/builtins.cpp.o"
+  "CMakeFiles/mat2c_sema.dir/sema/builtins.cpp.o.d"
+  "CMakeFiles/mat2c_sema.dir/sema/sema.cpp.o"
+  "CMakeFiles/mat2c_sema.dir/sema/sema.cpp.o.d"
+  "CMakeFiles/mat2c_sema.dir/sema/types.cpp.o"
+  "CMakeFiles/mat2c_sema.dir/sema/types.cpp.o.d"
+  "libmat2c_sema.a"
+  "libmat2c_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat2c_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat2c_support.dir/support/diagnostics.cpp.o"
+  "CMakeFiles/mat2c_support.dir/support/diagnostics.cpp.o.d"
+  "CMakeFiles/mat2c_support.dir/support/string_utils.cpp.o"
+  "CMakeFiles/mat2c_support.dir/support/string_utils.cpp.o.d"
+  "libmat2c_support.a"
+  "libmat2c_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat2c_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

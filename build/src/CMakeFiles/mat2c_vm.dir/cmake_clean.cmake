@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat2c_vm.dir/vm/vm.cpp.o"
+  "CMakeFiles/mat2c_vm.dir/vm/vm.cpp.o.d"
+  "libmat2c_vm.a"
+  "libmat2c_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat2c_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cc_integration.dir/cc_integration_test.cpp.o"
+  "CMakeFiles/test_cc_integration.dir/cc_integration_test.cpp.o.d"
+  "test_cc_integration"
+  "test_cc_integration.pdb"
+  "test_cc_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cc_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

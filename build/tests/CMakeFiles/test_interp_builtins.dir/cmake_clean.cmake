@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp_builtins.dir/interp_builtins_test.cpp.o"
+  "CMakeFiles/test_interp_builtins.dir/interp_builtins_test.cpp.o.d"
+  "test_interp_builtins"
+  "test_interp_builtins.pdb"
+  "test_interp_builtins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp_builtins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lir.dir/lir_test.cpp.o"
+  "CMakeFiles/test_lir.dir/lir_test.cpp.o.d"
+  "test_lir"
+  "test_lir.pdb"
+  "test_lir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

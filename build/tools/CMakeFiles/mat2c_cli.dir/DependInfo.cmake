@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/mat2c_cli.cpp" "tools/CMakeFiles/mat2c_cli.dir/mat2c_cli.cpp.o" "gcc" "tools/CMakeFiles/mat2c_cli.dir/mat2c_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mat2c_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_lir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mat2c_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

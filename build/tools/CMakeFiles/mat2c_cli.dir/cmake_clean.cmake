@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mat2c_cli.dir/mat2c_cli.cpp.o"
+  "CMakeFiles/mat2c_cli.dir/mat2c_cli.cpp.o.d"
+  "mat2c"
+  "mat2c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mat2c_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

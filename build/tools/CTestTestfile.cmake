@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_isa_preset "/root/repo/build/tools/mat2c" "isa" "--preset" "dspx")
+set_tests_properties(cli_isa_preset PROPERTIES  PASS_REGULAR_EXPRESSION "simd f64 8" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_list_kernels "/root/repo/build/tools/mat2c" "list-kernels")
+set_tests_properties(cli_list_kernels PROPERTIES  PASS_REGULAR_EXPRESSION "fmdemod" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compile_inline "/root/repo/build/tools/mat2c" "compile" "-e" "function y = f(x)
+y = x .* x;
+end" "--entry" "f" "--args" "1x32" "--validate")
+set_tests_properties(cli_compile_inline PROPERTIES  PASS_REGULAR_EXPRESSION "max \\|error\\| vs interpreter: 0" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_spec "/root/repo/build/tools/mat2c" "compile" "-e" "function y = f(x)
+y = x;
+end" "--entry" "f" "--args" "bogus")
+set_tests_properties(cli_bad_spec PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_isa_file "sh" "-c" "/root/repo/build/tools/mat2c isa --preset dspx_w4 > /root/repo/build/tools/t.isa && /root/repo/build/tools/mat2c compile -e 'function y = f(x)
+y = x .* 2;
+end' --entry f --args 1x16 --isa-file /root/repo/build/tools/t.isa --validate")
+set_tests_properties(cli_isa_file PROPERTIES  PASS_REGULAR_EXPRESSION "max \\|error\\| vs interpreter: 0" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
