@@ -44,6 +44,8 @@ double speedupFor(const kernels::KernelSpec& k, const std::string& isaName) {
   return base.run(k.args).cycles.total / prop.run(k.args).cycles.total;
 }
 
+void printPassTimes();
+
 void printTable() {
   std::printf("\n=== Ablation B: contribution of the custom-instruction families ===\n");
   std::printf("    speedup of proposed code over the CoderLike baseline on full dspx\n\n");
@@ -54,6 +56,34 @@ void printTable() {
       row.push_back(report::Table::num(speedupFor(k, cfg.isaName), 1) + "x");
     }
     table.addRow(std::move(row));
+  }
+  std::printf("%s\n", table.toString().c_str());
+  printPassTimes();
+}
+
+/// Per-pass compile time on the full dspx target — attributes compile-time
+/// regressions to a pass, complementing the cycle-count ablation above.
+void printPassTimes() {
+  std::printf("=== Per-pass compile time on full dspx (ms) ===\n\n");
+  Compiler compiler;
+  std::vector<std::string> names;
+  std::vector<opt::PipelineReport> reports;
+  for (auto& k : kernels::dspBenchmarkSuite()) {
+    names.push_back(k.name);
+    reports.push_back(compiler
+                          .compileSource(k.source, k.entry, k.argSpecs,
+                                         CompileOptions::proposed("dspx"))
+                          .optimizationReport());
+  }
+  std::vector<std::string> headers{"benchmark"};
+  for (const auto& p : reports.front().passes) headers.push_back(p.name);
+  headers.push_back("total");
+  report::Table table(headers);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    std::vector<std::string> cells{names[i]};
+    for (const auto& p : reports[i].passes) cells.push_back(report::Table::num(p.millis, 3));
+    cells.push_back(report::Table::num(reports[i].totalMillis, 3));
+    table.addRow(std::move(cells));
   }
   std::printf("%s\n", table.toString().c_str());
 }

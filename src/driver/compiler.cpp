@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "parser/parser.hpp"
+#include "support/string_utils.hpp"
 
 namespace mat2c {
 
@@ -37,12 +38,17 @@ CompiledUnit Compiler::compileSource(const std::string& matlabSource, const std:
   passOpts.constFold = options.constFold;
   passOpts.idioms = options.idioms;
   passOpts.vectorize = options.vectorize && options.style == lower::CodeStyle::Proposed;
+  passOpts.sinkDecls = options.sinkDecls;
   passOpts.checkElim = options.checkElim;
+  passOpts.verifyEach = options.verifyEach;
+  passOpts.trace = options.tracePasses;
   opt::PipelineReport report = opt::runPipeline(fn, unitIsa, passOpts);
 
   auto problems = lir::verify(fn);
   if (!problems.empty()) {
-    throw CompileError("internal error after optimization: " + problems.front());
+    throw CompileError("internal error after optimization: " +
+                       std::to_string(problems.size()) + " verifier problem(s):\n  - " +
+                       join(problems, "\n  - "));
   }
   return CompiledUnit(std::make_shared<lir::Function>(std::move(fn)), unitIsa, report);
 }

@@ -35,12 +35,22 @@ struct CompileOptions {
   bool constFold = true;
   bool idioms = true;
   bool vectorize = true;
+  /// Decl sinking is a standalone cleanup that benefits every style (it is
+  /// not part of vectorization), so it defaults on even for CoderLike and
+  /// --no-vectorize pipelines.
+  bool sinkDecls = true;
   /// Lowering-mechanism overrides (ablation C): follow `style` when unset.
   std::optional<bool> fuseElementwise;
   std::optional<bool> boundsChecks;
   /// Remove provably-safe bounds checks from checked code (static-shape
   /// payoff; only meaningful together with boundsChecks).
   bool checkElim = false;
+  /// Run the LIR verifier after every optimization pass; a failure throws
+  /// CompileError naming the offending pass (CLI --verify-each).
+  bool verifyEach = false;
+  /// Observer called after each pass with its telemetry record and the
+  /// function as the pass left it (CLI --trace-passes).
+  std::function<void(const opt::PassRecord&, const lir::Function&)> tracePasses;
 
   static CompileOptions proposed(const std::string& isaPreset = "dspx") {
     CompileOptions o;

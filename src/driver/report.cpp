@@ -60,4 +60,89 @@ std::string Table::cycles(double v) {
   return out;
 }
 
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jsonNum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+void appendStats(std::ostringstream& os, const char* key, const lir::FunctionStats& s) {
+  os << "\"" << key << "\": {\"statements\": " << s.statements << ", \"loops\": " << s.loops
+     << ", \"decls\": " << s.decls << ", \"stores\": " << s.stores
+     << ", \"boundsChecks\": " << s.boundsChecks << "}";
+}
+
+}  // namespace
+
+std::string telemetryJson(const opt::PipelineReport& report, const std::string& entry,
+                          const std::string& isaName) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"entry\": \"" << jsonEscape(entry) << "\",\n";
+  os << "  \"isa\": \"" << jsonEscape(isaName) << "\",\n";
+  os << "  \"totalMillis\": " << jsonNum(report.totalMillis) << ",\n";
+  os << "  \"idiomRewrites\": " << report.idiomRewrites << ",\n";
+  os << "  \"checksRemoved\": " << report.checksRemoved << ",\n";
+  os << "  \"loopsVectorized\": " << report.vec.loopsVectorized << ",\n";
+  os << "  \"passes\": [";
+  for (std::size_t i = 0; i < report.passes.size(); ++i) {
+    const opt::PassRecord& p = report.passes[i];
+    os << (i ? ",\n    {" : "\n    {");
+    os << "\"name\": \"" << jsonEscape(p.name) << "\", ";
+    os << "\"millis\": " << jsonNum(p.millis) << ", ";
+    appendStats(os, "before", p.before);
+    os << ", ";
+    appendStats(os, "after", p.after);
+    os << ", \"counters\": {\"checksRemoved\": " << p.checksRemoved
+       << ", \"idiomRewrites\": " << p.idiomRewrites
+       << ", \"loopsVectorized\": " << p.loopsVectorized << "}}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+Table passTable(const opt::PipelineReport& report) {
+  Table t({"pass", "ms", "stmts", "dstmts", "dloops", "ddecls", "counters"});
+  for (const opt::PassRecord& p : report.passes) {
+    std::string counters;
+    auto add = [&](const char* label, int v) {
+      if (v == 0) return;
+      if (!counters.empty()) counters += ", ";
+      counters += label + std::string("=") + std::to_string(v);
+    };
+    add("checksRemoved", p.checksRemoved);
+    add("idiomRewrites", p.idiomRewrites);
+    add("loopsVectorized", p.loopsVectorized);
+    t.addRow({p.name, Table::num(p.millis, 3), std::to_string(p.after.statements),
+              std::to_string(p.after.statements - p.before.statements),
+              std::to_string(p.after.loops - p.before.loops),
+              std::to_string(p.after.decls - p.before.decls), counters});
+  }
+  return t;
+}
+
 }  // namespace mat2c::report

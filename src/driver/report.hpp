@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "opt/passes.hpp"
+
 namespace mat2c::report {
 
 /// Monospace table with a header row, column alignment, and a rule line —
@@ -24,5 +26,14 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Machine-readable pipeline telemetry (CLI --telemetry-json). One object per
+/// executed pass with its wall time, before/after LIR statistics, and
+/// pass-specific counters; schema documented in docs/pipeline.md.
+std::string telemetryJson(const opt::PipelineReport& report, const std::string& entry,
+                          const std::string& isaName);
+
+/// Plain-text per-pass telemetry table (CLI --time-passes, benches).
+Table passTable(const opt::PipelineReport& report);
 
 }  // namespace mat2c::report

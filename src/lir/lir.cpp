@@ -390,6 +390,30 @@ Affine affineOf(const Expr& e) {
   }
 }
 
+namespace {
+
+void countStmt(const Stmt& s, FunctionStats& stats) {
+  stats.statements++;
+  switch (s.kind) {
+    case StmtKind::For:
+    case StmtKind::While: stats.loops++; break;
+    case StmtKind::DeclScalar: stats.decls++; break;
+    case StmtKind::Store: stats.stores++; break;
+    case StmtKind::BoundsCheck: stats.boundsChecks++; break;
+    default: break;
+  }
+  for (const auto& inner : s.body) countStmt(*inner, stats);
+  for (const auto& inner : s.elseBody) countStmt(*inner, stats);
+}
+
+}  // namespace
+
+FunctionStats collectStats(const Function& fn) {
+  FunctionStats stats;
+  for (const auto& s : fn.body) countStmt(*s, stats);
+  return stats;
+}
+
 Affine affineSub(const Affine& a, const Affine& b) {
   Affine r;
   if (!a.ok || !b.ok) return r;

@@ -206,6 +206,20 @@ std::string print(const Expr& expr);
 /// Structural well-formedness check; returns a list of problems (empty = ok).
 std::vector<std::string> verify(const Function& fn);
 
+/// Cheap size statistics over a function's statement tree. The instrumented
+/// pass pipeline records these before and after every pass so a transform's
+/// effect on program shape is attributable without diffing dumps.
+struct FunctionStats {
+  int statements = 0;    // every Stmt node, recursively
+  int loops = 0;         // For + While
+  int decls = 0;         // DeclScalar
+  int stores = 0;        // Store
+  int boundsChecks = 0;  // BoundsCheck
+
+  friend bool operator==(const FunctionStats&, const FunctionStats&) = default;
+};
+FunctionStats collectStats(const Function& fn);
+
 /// Affine view of an i64 expression: sum(coeff_i * var_i) + constant.
 /// Used by slice lowering (static trip counts) and by the vectorizer
 /// (stride analysis of load/store indices).

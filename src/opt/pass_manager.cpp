@@ -1,21 +1,109 @@
+// Instrumented pass pipeline.
+//
+// Every pass — standard or injected — runs through the same harness: wall
+// time and LIR size statistics are recorded around the pass body, optional
+// inter-pass verification (PipelineOptions::verifyEach) attributes invalid
+// LIR to the pass that produced it, and an optional trace hook observes the
+// function between passes. The standard pass order lives in
+// standardPipeline(); runPipeline() keeps the one-call interface the driver
+// uses.
+#include <chrono>
+
 #include "opt/passes.hpp"
+#include "support/diagnostics.hpp"
+#include "support/string_utils.hpp"
 
 namespace mat2c::opt {
 
-PipelineReport runPipeline(lir::Function& fn, const isa::IsaDescription& isa,
-                           const PipelineOptions& options) {
+PassPipeline& PassPipeline::addPass(std::string name, PassFn fn) {
+  passes_.push_back({std::move(name), std::move(fn)});
+  return *this;
+}
+
+std::vector<std::string> PassPipeline::names() const {
+  std::vector<std::string> out;
+  out.reserve(passes_.size());
+  for (const auto& p : passes_) out.push_back(p.name);
+  return out;
+}
+
+PipelineReport PassPipeline::run(lir::Function& fn, const isa::IsaDescription& isa,
+                                 const PipelineOptions& options) const {
+  using Clock = std::chrono::steady_clock;
   PipelineReport report;
-  if (options.constFold) constFold(fn);
-  if (options.deadCode) eliminateDeadScalars(fn);
-  if (options.checkElim) report.checksRemoved = eliminateProvableChecks(fn);
-  if (options.vectorize) sinkDecls(fn);
-  if (options.idioms) report.idiomRewrites = recognizeIdioms(fn, isa);
-  if (options.vectorize) report.vec = vectorize(fn, isa);
+  report.passes.reserve(passes_.size());
+  for (const auto& pass : passes_) {
+    PassRecord rec;
+    rec.name = pass.name;
+    rec.before = lir::collectStats(fn);
+    auto start = Clock::now();
+    pass.fn(fn, isa, rec, report);
+    rec.millis = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    rec.after = lir::collectStats(fn);
+    report.totalMillis += rec.millis;
+
+    if (options.verifyEach) {
+      auto problems = lir::verify(fn);
+      if (!problems.empty()) {
+        throw CompileError("pass '" + pass.name + "' produced invalid LIR (" +
+                           std::to_string(problems.size()) + " problem(s)):\n  - " +
+                           join(problems, "\n  - "));
+      }
+    }
+    if (options.trace) options.trace(rec, fn);
+    report.passes.push_back(std::move(rec));
+  }
+  return report;
+}
+
+PassPipeline standardPipeline(const PipelineOptions& options) {
+  PassPipeline p;
+  auto fold = [](lir::Function& fn, const isa::IsaDescription&, PassRecord&,
+                 PipelineReport&) { constFold(fn); };
+  auto dce = [](lir::Function& fn, const isa::IsaDescription&, PassRecord&,
+                PipelineReport&) { eliminateDeadScalars(fn); };
+
+  if (options.constFold) p.addPass("constfold", fold);
+  if (options.deadCode) p.addPass("dce", dce);
+  if (options.checkElim) {
+    p.addPass("checkelim", [](lir::Function& fn, const isa::IsaDescription&,
+                              PassRecord& rec, PipelineReport& report) {
+      rec.checksRemoved = eliminateProvableChecks(fn);
+      report.checksRemoved += rec.checksRemoved;
+    });
+  }
+  if (options.sinkDecls) {
+    p.addPass("sinkdecls", [](lir::Function& fn, const isa::IsaDescription&, PassRecord&,
+                              PipelineReport&) { sinkDecls(fn); });
+  }
+  if (options.idioms) {
+    p.addPass("idioms", [](lir::Function& fn, const isa::IsaDescription& isa,
+                           PassRecord& rec, PipelineReport& report) {
+      rec.idiomRewrites = recognizeIdioms(fn, isa);
+      report.idiomRewrites += rec.idiomRewrites;
+    });
+  }
+  if (options.vectorize) {
+    p.addPass("vectorize", [](lir::Function& fn, const isa::IsaDescription& isa,
+                              PassRecord& rec, PipelineReport& report) {
+      VectorizeStats vs = vectorize(fn, isa);
+      rec.loopsVectorized = vs.loopsVectorized;
+      report.vec.loopsConsidered += vs.loopsConsidered;
+      report.vec.loopsVectorized += vs.loopsVectorized;
+      report.vec.reductionsVectorized += vs.reductionsVectorized;
+      for (auto& note : vs.missed) report.vec.missed.push_back(std::move(note));
+    });
+  }
   // Vectorization introduces fresh index arithmetic; fold once more so the
   // emitted C and the VM trace stay clean.
-  if (options.constFold) constFold(fn);
-  if (options.deadCode) eliminateDeadScalars(fn);
-  return report;
+  if (options.constFold) p.addPass("constfold.post", fold);
+  if (options.deadCode) p.addPass("dce.post", dce);
+  return p;
+}
+
+PipelineReport runPipeline(lir::Function& fn, const isa::IsaDescription& isa,
+                           const PipelineOptions& options) {
+  return standardPipeline(options).run(fn, isa, options);
 }
 
 }  // namespace mat2c::opt

@@ -9,6 +9,7 @@
 // retargeting is purely a matter of swapping the description.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -52,24 +53,90 @@ int eliminateDeadScalars(lir::Function& fn);
 /// the (static) array extent. Returns the number of checks removed.
 int eliminateProvableChecks(lir::Function& fn);
 
+/// Telemetry for one executed pass: wall-clock time, LIR size before/after,
+/// and the pass-specific counters (zero for passes without one). Surfaced
+/// through PipelineReport::passes, the CLI's --time-passes/--telemetry-json,
+/// and the benches.
+struct PassRecord {
+  std::string name;
+  double millis = 0.0;
+  lir::FunctionStats before;
+  lir::FunctionStats after;
+  int checksRemoved = 0;
+  int idiomRewrites = 0;
+  int loopsVectorized = 0;
+
+  /// Whether the pass changed the function's *size* statistics. A pass can
+  /// rewrite in place without moving these (e.g. constant folding), so false
+  /// does not prove the pass was a no-op.
+  bool resized() const { return !(before == after); }
+};
+
 struct PipelineOptions {
   bool constFold = true;
   bool idioms = true;
   bool vectorize = true;
   bool deadCode = true;
+  /// Sink frame-level decls of loop-local temporaries into their loop. A
+  /// standalone cleanup (not part of vectorization); on for every style.
+  bool sinkDecls = true;
   /// Remove provably-safe bounds checks (meaningful for CoderLike code; the
   /// Proposed style emits none). Off by default so the baseline faithfully
   /// models a dynamic-shape runtime; ablations switch it on.
   bool checkElim = false;
+  /// Run lir::verify after every pass; a failure throws CompileError naming
+  /// the offending pass and listing every verifier problem.
+  bool verifyEach = false;
+  /// Called after each pass with its record and the function as the pass
+  /// left it — the CLI's --trace-passes hook (dumps via lir::print).
+  std::function<void(const PassRecord&, const lir::Function&)> trace;
 };
 
 struct PipelineReport {
   int idiomRewrites = 0;
   int checksRemoved = 0;
   VectorizeStats vec;
+  /// One record per executed pass, in execution order.
+  std::vector<PassRecord> passes;
+  double totalMillis = 0.0;
 };
 
-/// Runs the standard pass order: fold -> idioms -> vectorize -> fold.
+/// An ordered, named sequence of passes run through the instrumented
+/// harness. The standard pipeline is built by standardPipeline(); tests and
+/// tools may assemble custom sequences (e.g. to inject a deliberately broken
+/// pass and check verifyEach attribution).
+class PassPipeline {
+ public:
+  /// A pass body: mutates the function and reports pass-specific counters
+  /// into its PassRecord and the aggregate PipelineReport.
+  using PassFn = std::function<void(lir::Function&, const isa::IsaDescription&,
+                                    PassRecord&, PipelineReport&)>;
+
+  PassPipeline& addPass(std::string name, PassFn fn);
+
+  /// Runs every pass in order, recording wall time and LIR stats around
+  /// each. Honors options.verifyEach and options.trace.
+  PipelineReport run(lir::Function& fn, const isa::IsaDescription& isa,
+                     const PipelineOptions& options) const;
+
+  std::size_t size() const { return passes_.size(); }
+  std::vector<std::string> names() const;
+
+ private:
+  struct Pass {
+    std::string name;
+    PassFn fn;
+  };
+  std::vector<Pass> passes_;
+};
+
+/// Builds the standard pass order from the option toggles:
+///   constfold -> dce -> checkelim -> sinkdecls -> idioms -> vectorize
+///   -> constfold.post -> dce.post
+/// (the .post reruns clean up the index arithmetic vectorization introduces).
+PassPipeline standardPipeline(const PipelineOptions& options);
+
+/// Builds the standard pipeline and runs it.
 PipelineReport runPipeline(lir::Function& fn, const isa::IsaDescription& isa,
                            const PipelineOptions& options);
 

@@ -1,6 +1,8 @@
 // Public-API tests: Compiler/CompiledUnit surface, diagnostics, reports.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "driver/compiler.hpp"
 #include "driver/kernels.hpp"
 #include "driver/report.hpp"
@@ -112,6 +114,86 @@ TEST(Report, ShortRowsPad) {
   report::Table t({"a", "b", "c"});
   t.addRow({"only"});
   EXPECT_NE(t.toString().find("| only |"), std::string::npos);
+}
+
+TEST(Driver, ReportExposesPerPassRecords) {
+  Compiler compiler;
+  auto unit = compiler.compileSource("function y = f(x)\ny = x .* x;\nend\n", "f",
+                                     {ArgSpec::row(32)}, CompileOptions::proposed());
+  const auto& passes = unit.optimizationReport().passes;
+  ASSERT_FALSE(passes.empty());
+  EXPECT_EQ(passes.front().name, "constfold");
+  EXPECT_EQ(passes.back().name, "dce.post");
+  for (const auto& p : passes) EXPECT_GT(p.after.statements, 0) << p.name;
+}
+
+TEST(Driver, CoderLikeStillSinksDecls) {
+  // Bugfix regression: sinkdecls was gated on vectorization, so CoderLike
+  // pipelines silently lost the cleanup.
+  Compiler compiler;
+  auto unit = compiler.compileSource("function y = f(x)\ny = x;\nend\n", "f",
+                                     {ArgSpec::row(4)}, CompileOptions::coderLike());
+  bool sawSink = false;
+  bool sawVectorize = false;
+  for (const auto& p : unit.optimizationReport().passes) {
+    sawSink |= p.name == "sinkdecls";
+    sawVectorize |= p.name == "vectorize";
+  }
+  EXPECT_TRUE(sawSink);
+  EXPECT_FALSE(sawVectorize);
+}
+
+TEST(Driver, VerifyEachOptionPassesCleanPipelines) {
+  Compiler compiler;
+  CompileOptions options = CompileOptions::proposed();
+  options.verifyEach = true;
+  auto unit = compiler.compileSource("function y = f(x, h)\ny = x .* h;\nend\n", "f",
+                                     {ArgSpec::row(16), ArgSpec::row(16)}, options);
+  auto r = unit.run({Matrix::zeros(1, 16), Matrix::zeros(1, 16)});
+  ASSERT_EQ(r.outputs.size(), 1u);
+}
+
+TEST(Driver, TracePassesHookObservesPipeline) {
+  Compiler compiler;
+  CompileOptions options = CompileOptions::proposed();
+  std::vector<std::string> traced;
+  options.tracePasses = [&](const opt::PassRecord& rec, const lir::Function&) {
+    traced.push_back(rec.name);
+  };
+  auto unit = compiler.compileSource("function y = f(x)\ny = x + 1;\nend\n", "f",
+                                     {ArgSpec::row(8)}, options);
+  EXPECT_EQ(traced.size(), unit.optimizationReport().passes.size());
+}
+
+TEST(Report, TelemetryJsonHasOneRecordPerPass) {
+  Compiler compiler;
+  auto unit = compiler.compileSource("function y = f(x, h)\ny = 0;\n"
+                                     "for k = 1:length(x)\n  y = y + x(k) * h(k);\nend\nend\n",
+                                     "f", {ArgSpec::row(64), ArgSpec::row(64)},
+                                     CompileOptions::proposed());
+  std::string json = report::telemetryJson(unit.optimizationReport(), "f", "dspx");
+  EXPECT_NE(json.find("\"entry\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"isa\": \"dspx\""), std::string::npos);
+  for (const auto& p : unit.optimizationReport().passes) {
+    EXPECT_NE(json.find("\"name\": \"" + p.name + "\""), std::string::npos) << p.name;
+  }
+  // Structural sanity: brace/bracket balance and key presence per record.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  auto occurrences = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(occurrences("\"millis\""), unit.optimizationReport().passes.size());
+  EXPECT_EQ(occurrences("\"before\""), unit.optimizationReport().passes.size());
+  EXPECT_EQ(occurrences("\"after\""), unit.optimizationReport().passes.size());
+  EXPECT_EQ(occurrences("\"counters\""), unit.optimizationReport().passes.size());
 }
 
 }  // namespace

@@ -61,6 +61,28 @@ TEST(Lir, VerifyCatchesNonI64Index) {
   EXPECT_FALSE(verify(fn).empty());
 }
 
+TEST(Lir, CollectStatsCountsTheStatementTree) {
+  Function fn = makeSaxpy();
+  FunctionStats stats = collectStats(fn);
+  EXPECT_EQ(stats.statements, 2);  // for + store
+  EXPECT_EQ(stats.loops, 1);
+  EXPECT_EQ(stats.stores, 1);
+  EXPECT_EQ(stats.decls, 0);
+  EXPECT_EQ(stats.boundsChecks, 0);
+
+  // Nested and conditional statements are counted recursively.
+  std::vector<StmtPtr> thenBody;
+  thenBody.push_back(declScalar("t", VType::f64(), constF(0.0)));
+  fn.body.push_back(ifStmt(binary(BinOp::Lt, constF(0.0), constF(1.0), VType::b1()),
+                           std::move(thenBody)));
+  fn.body.push_back(boundsCheck("y", constI(0)));
+  FunctionStats grown = collectStats(fn);
+  EXPECT_EQ(grown.statements, 5);
+  EXPECT_EQ(grown.decls, 1);
+  EXPECT_EQ(grown.boundsChecks, 1);
+  EXPECT_FALSE(stats == grown);
+}
+
 TEST(Lir, VerifyCatchesBreakOutsideLoop) {
   Function fn;
   fn.name = "f";

@@ -426,5 +426,163 @@ TEST(Pipeline, ReportCountsPasses) {
             unit.optimizationReport().vec.loopsVectorized);
 }
 
+// --- instrumented pass manager ----------------------------------------------
+
+const char* kMacSrc =
+    "function y = f(x, h)\ny = 0;\nfor k = 1:length(x)\n  y = y + x(k) * h(k);\nend\nend\n";
+
+lir::Function lowerMac() {
+  return lowerOnly(kMacSrc, "f", {ArgSpec::row(64), ArgSpec::row(64)});
+}
+
+TEST(PassManager, RecordsEveryPassInOrder) {
+  lir::Function fn = lowerMac();
+  opt::PipelineOptions opts;  // defaults: everything but checkElim
+  auto report = opt::runPipeline(fn, isa::IsaDescription::preset("dspx"), opts);
+  std::vector<std::string> names;
+  for (const auto& p : report.passes) names.push_back(p.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"constfold", "dce", "sinkdecls", "idioms",
+                                             "vectorize", "constfold.post", "dce.post"}));
+  EXPECT_EQ(names, opt::standardPipeline(opts).names());
+  double total = 0.0;
+  for (const auto& p : report.passes) {
+    EXPECT_GE(p.millis, 0.0) << p.name;
+    EXPECT_GT(p.before.statements, 0) << p.name;
+    EXPECT_GT(p.after.statements, 0) << p.name;
+    total += p.millis;
+  }
+  EXPECT_DOUBLE_EQ(total, report.totalMillis);
+}
+
+TEST(PassManager, OptionTogglesDropPassRecords) {
+  opt::PipelineOptions opts;
+  opts.vectorize = false;
+  opts.idioms = false;
+  lir::Function fn = lowerMac();
+  auto report = opt::runPipeline(fn, isa::IsaDescription::preset("dspx"), opts);
+  std::vector<std::string> names;
+  for (const auto& p : report.passes) names.push_back(p.name);
+  EXPECT_EQ(names, (std::vector<std::string>{"constfold", "dce", "sinkdecls",
+                                             "constfold.post", "dce.post"}));
+}
+
+TEST(PassManager, PerPassCountersMatchAggregates) {
+  opt::PipelineOptions opts;
+  lir::Function fn = lowerMac();
+  auto report = opt::runPipeline(fn, isa::IsaDescription::preset("dspx"), opts);
+  int idioms = 0;
+  int vec = 0;
+  int checks = 0;
+  for (const auto& p : report.passes) {
+    idioms += p.idiomRewrites;
+    vec += p.loopsVectorized;
+    checks += p.checksRemoved;
+  }
+  EXPECT_EQ(idioms, report.idiomRewrites);
+  EXPECT_EQ(vec, report.vec.loopsVectorized);
+  EXPECT_EQ(checks, report.checksRemoved);
+  EXPECT_GE(report.idiomRewrites, 1);
+  EXPECT_GE(report.vec.loopsVectorized, 1);
+}
+
+TEST(PassManager, StatsRecordVectorizerGrowth) {
+  opt::PipelineOptions opts;
+  lir::Function fn = lowerMac();
+  auto report = opt::runPipeline(fn, isa::IsaDescription::preset("dspx"), opts);
+  for (const auto& p : report.passes) {
+    if (p.name != "vectorize") continue;
+    // Strip-mining adds the vector loop + remainder loop machinery.
+    EXPECT_GT(p.after.statements, p.before.statements);
+    EXPECT_GT(p.after.loops, p.before.loops);
+    EXPECT_TRUE(p.resized());
+  }
+}
+
+TEST(PassManager, SinkDeclsRunsWithoutVectorize) {
+  // Bugfix regression: decl sinking used to be gated on options.vectorize.
+  lir::Function fn = lowerOnly(
+      "function y = f(x)\ny = zeros(1, 8);\nfor k = 1:8\n  t = x(k) * 2;\n  y(k) = t + 1;\n"
+      "end\nend\n",
+      "f", {ArgSpec::row(8)});
+  opt::PipelineOptions opts;
+  opts.vectorize = false;
+  auto report = opt::runPipeline(fn, isa::IsaDescription::preset("dspx"), opts);
+  bool sawSink = false;
+  for (const auto& p : report.passes) sawSink |= p.name == "sinkdecls";
+  EXPECT_TRUE(sawSink);
+  bool declInLoop = false;
+  for (const auto& s : fn.body) {
+    if (s->kind != lir::StmtKind::For) continue;
+    for (const auto& inner : s->body) {
+      if (inner->kind == lir::StmtKind::DeclScalar && inner->value) declInLoop = true;
+    }
+  }
+  EXPECT_TRUE(declInLoop) << lir::print(fn);
+}
+
+TEST(PassManager, SinkDeclsFlagDisablesThePass) {
+  lir::Function fn = lowerMac();
+  opt::PipelineOptions opts;
+  opts.sinkDecls = false;
+  auto report = opt::runPipeline(fn, isa::IsaDescription::preset("dspx"), opts);
+  for (const auto& p : report.passes) EXPECT_NE(p.name, "sinkdecls");
+}
+
+TEST(PassManager, VerifyEachNamesTheOffendingPass) {
+  lir::Function fn = lowerMac();
+  opt::PassPipeline pipeline;
+  pipeline.addPass("benign", [](lir::Function&, const isa::IsaDescription&,
+                                opt::PassRecord&, opt::PipelineReport&) {});
+  pipeline.addPass("breaker", [](lir::Function& f, const isa::IsaDescription&,
+                                 opt::PassRecord&, opt::PipelineReport&) {
+    // Two distinct problems: every one must surface in the error message.
+    f.body.push_back(lir::assign("no_such_var", lir::constF(1.0)));
+    f.body.push_back(lir::store("no_such_array", lir::constI(0), lir::constF(2.0)));
+  });
+  opt::PipelineOptions opts;
+  opts.verifyEach = true;
+  try {
+    pipeline.run(fn, isa::IsaDescription::preset("dspx"), opts);
+    FAIL() << "expected CompileError from verifyEach";
+  } catch (const CompileError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("breaker"), std::string::npos) << what;
+    EXPECT_EQ(what.find("benign"), std::string::npos) << what;
+    EXPECT_NE(what.find("no_such_var"), std::string::npos) << what;
+    EXPECT_NE(what.find("no_such_array"), std::string::npos) << what;
+  }
+}
+
+TEST(PassManager, VerifyEachAcceptsTheStandardPipeline) {
+  lir::Function fn = lowerMac();
+  opt::PipelineOptions opts;
+  opts.verifyEach = true;
+  auto report = opt::runPipeline(fn, isa::IsaDescription::preset("dspx"), opts);
+  EXPECT_EQ(report.passes.size(), 7u);
+}
+
+TEST(PassManager, TraceHookSeesEveryPass) {
+  lir::Function fn = lowerMac();
+  opt::PipelineOptions opts;
+  std::vector<std::string> traced;
+  opts.trace = [&](const opt::PassRecord& rec, const lir::Function& f) {
+    traced.push_back(rec.name);
+    EXPECT_FALSE(lir::print(f).empty());
+  };
+  auto report = opt::runPipeline(fn, isa::IsaDescription::preset("dspx"), opts);
+  ASSERT_EQ(traced.size(), report.passes.size());
+  for (std::size_t i = 0; i < traced.size(); ++i) EXPECT_EQ(traced[i], report.passes[i].name);
+}
+
+TEST(PassManager, CustomPipelineRecordsInjectedPass) {
+  lir::Function fn = lowerMac();
+  opt::PassPipeline pipeline;
+  pipeline.addPass("fold", [](lir::Function& f, const isa::IsaDescription&,
+                              opt::PassRecord&, opt::PipelineReport&) { opt::constFold(f); });
+  auto report = pipeline.run(fn, isa::IsaDescription::preset("dspx"), {});
+  ASSERT_EQ(report.passes.size(), 1u);
+  EXPECT_EQ(report.passes[0].name, "fold");
+}
+
 }  // namespace
 }  // namespace mat2c

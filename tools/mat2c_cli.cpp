@@ -21,11 +21,21 @@
 //   --seed <n>            input seed for --run/--validate (default 1)
 //   --no-vectorize        disable the SIMD vectorizer
 //   --no-idioms           disable MAC/complex idiom mapping
+//   --no-sink-decls       disable declaration sinking
+//   --time-passes         print per-pass wall time and LIR stat deltas
+//   --verify-each         verify the LIR after every pass (names the
+//                         offending pass on failure)
+//   --trace-passes        dump the LIR after every pass (stderr)
+//   --telemetry-json <f>  write per-pass telemetry as JSON (see
+//                         docs/pipeline.md for the schema)
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+
+#include "driver/report.hpp"
 
 #include "driver/compiler.hpp"
 #include "driver/kernels.hpp"
@@ -46,6 +56,23 @@ int usage() {
   return 2;
 }
 
+/// Strict positive-integer parse: every character must be a digit, the value
+/// must fit in int64 and be > 0. (std::stoll would silently accept trailing
+/// junk like "3junk" and signs.)
+bool parsePositiveInt(const std::string& s, std::int64_t& out) {
+  if (s.empty()) return false;
+  std::int64_t v = 0;
+  for (char ch : s) {
+    if (ch < '0' || ch > '9') return false;
+    int digit = ch - '0';
+    if (v > (INT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  if (v <= 0) return false;
+  out = v;
+  return true;
+}
+
 bool parseArgSpec(const std::string& text, sema::ArgSpec& out) {
   std::string t = text;
   bool complex = false;
@@ -55,15 +82,14 @@ bool parseArgSpec(const std::string& text, sema::ArgSpec& out) {
   }
   auto xPos = t.find('x');
   if (xPos == std::string::npos) return false;
-  try {
-    std::int64_t rows = std::stoll(t.substr(0, xPos));
-    std::int64_t cols = std::stoll(t.substr(xPos + 1));
-    if (rows <= 0 || cols <= 0) return false;
-    out = sema::ArgSpec::matrix(rows, cols, complex);
-    return true;
-  } catch (...) {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  if (!parsePositiveInt(t.substr(0, xPos), rows) ||
+      !parsePositiveInt(t.substr(xPos + 1), cols)) {
     return false;
   }
+  out = sema::ArgSpec::matrix(rows, cols, complex);
+  return true;
 }
 
 Matrix makeInput(const sema::ArgSpec& spec, kernels::InputGen& gen) {
@@ -147,6 +173,11 @@ int cmdCompile(int argc, char** argv) {
   bool validate = false;
   bool noVectorize = false;
   bool noIdioms = false;
+  bool noSinkDecls = false;
+  bool timePasses = false;
+  bool verifyEach = false;
+  bool tracePasses = false;
+  std::string telemetryPath;
   unsigned seed = 1;
 
   for (int i = 2; i < argc; ++i) {
@@ -182,6 +213,16 @@ int cmdCompile(int argc, char** argv) {
       noVectorize = true;
     } else if (a == "--no-idioms") {
       noIdioms = true;
+    } else if (a == "--no-sink-decls") {
+      noSinkDecls = true;
+    } else if (a == "--time-passes") {
+      timePasses = true;
+    } else if (a == "--verify-each") {
+      verifyEach = true;
+    } else if (a == "--trace-passes") {
+      tracePasses = true;
+    } else if (a == "--telemetry-json") {
+      telemetryPath = need("--telemetry-json");
     } else if (a == "-e") {
       source = need("-e");
     } else if (!a.empty() && a[0] != '-' && source.empty()) {
@@ -205,8 +246,10 @@ int cmdCompile(int argc, char** argv) {
     for (const auto& part : split(argsText, ',')) {
       sema::ArgSpec spec;
       if (!parseArgSpec(std::string(trim(part)), spec)) {
-        std::fprintf(stderr, "mat2c: bad arg spec '%s' (want e.g. 1x1024 or c1x64)\n",
-                     std::string(part).c_str());
+        std::fprintf(stderr,
+                     "mat2c: bad arg spec '%s' (dims must be positive integers with no "
+                     "trailing characters; want e.g. 1x1024 or c1x64)\n",
+                     std::string(trim(part)).c_str());
         return 2;
       }
       specs.push_back(spec);
@@ -232,6 +275,14 @@ int cmdCompile(int argc, char** argv) {
   }
   if (noVectorize) options.vectorize = false;
   if (noIdioms) options.idioms = false;
+  if (noSinkDecls) options.sinkDecls = false;
+  options.verifyEach = verifyEach;
+  if (tracePasses) {
+    options.tracePasses = [](const opt::PassRecord& rec, const lir::Function& fn) {
+      std::fprintf(stderr, "mat2c: --- LIR after pass '%s' (%.3f ms) ---\n%s\n",
+                   rec.name.c_str(), rec.millis, lir::print(fn).c_str());
+    };
+  }
 
   Compiler compiler;
   try {
@@ -244,6 +295,21 @@ int cmdCompile(int argc, char** argv) {
                  unit.optimizationReport().idiomRewrites);
     for (const auto& note : unit.optimizationReport().vec.missed) {
       std::fprintf(stderr, "mat2c: note: %s\n", note.c_str());
+    }
+    if (timePasses) {
+      std::fprintf(stderr, "mat2c: per-pass telemetry (%.3f ms total):\n%s",
+                   unit.optimizationReport().totalMillis,
+                   report::passTable(unit.optimizationReport()).toString().c_str());
+    }
+    if (!telemetryPath.empty()) {
+      std::ofstream out(telemetryPath);
+      if (!out) {
+        std::fprintf(stderr, "mat2c: cannot write '%s'\n", telemetryPath.c_str());
+        return 1;
+      }
+      out << report::telemetryJson(unit.optimizationReport(), entry,
+                                   options.isa.name());
+      std::fprintf(stderr, "mat2c: wrote %s\n", telemetryPath.c_str());
     }
 
     if (dumpLir) std::printf("%s\n", unit.lirDump().c_str());
