@@ -1,0 +1,182 @@
+// Compilation-service throughput: cold vs. warm cache, and worker scaling.
+//
+// The north-star workload is a compile farm doing design-space exploration:
+// the same kernels recompiled against many ISA variants, with heavy repeat
+// traffic. Two questions matter there:
+//   1. what does the content-addressed cache buy on repeated requests
+//      (warm / cold throughput ratio — the summary table below), and
+//   2. how does cold-compile throughput scale with worker threads
+//      (service/cold_batch/threads:N).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/report.hpp"
+#include "service/compile_service.hpp"
+
+namespace {
+
+using namespace mat2c;
+using service::CompileRequest;
+using service::CompileService;
+
+/// Distinct FIR-like kernels (the varying constant defeats the cache) — each
+/// one vectorizes and triggers the MAC idiom, so a cold compile runs the full
+/// pipeline.
+CompileRequest kernelRequest(int variant) {
+  CompileRequest r;
+  r.id = "k" + std::to_string(variant);
+  r.source = "function y = f(x, h)\n"
+             "y = 0;\n"
+             "for k = 1:length(x)\n"
+             "  y = y + x(k) * h(k) * " + std::to_string(variant + 1) + ";\n"
+             "end\n"
+             "end\n";
+  r.entry = "f";
+  r.args = {sema::ArgSpec::row(64), sema::ArgSpec::row(64)};
+  r.options = CompileOptions::proposed();
+  return r;
+}
+
+std::vector<CompileRequest> repeatedWorkload(int distinct, int repeats) {
+  std::vector<CompileRequest> batch;
+  batch.reserve(static_cast<std::size_t>(distinct) * repeats);
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (int k = 0; k < distinct; ++k) batch.push_back(kernelRequest(k));
+  }
+  return batch;
+}
+
+/// The acceptance measurement: one repeated-request workload served by a
+/// cache-disabled service (every request compiles) and by a pre-warmed
+/// cached service (every request hits). Printed before the benchmarks run.
+void printColdVsWarmTable() {
+  constexpr int kDistinct = 8;
+  constexpr int kRepeats = 16;
+  std::printf("\n=== Compile service: cold vs. warm cache "
+              "(%d distinct kernels x %d repeats, 4 threads) ===\n\n",
+              kDistinct, kRepeats);
+
+  auto run = [&](std::size_t cacheEntries, bool prewarm) {
+    CompileService::Config config;
+    config.threads = 4;
+    config.cacheEntries = cacheEntries;
+    CompileService svc(config);
+    if (prewarm) svc.compileBatch(repeatedWorkload(kDistinct, 1));
+    auto batch = repeatedWorkload(kDistinct, kRepeats);
+    auto t0 = std::chrono::steady_clock::now();
+    auto responses = svc.compileBatch(std::move(batch));
+    double millis =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    for (const auto& r : responses) {
+      if (!r.ok) {
+        std::fprintf(stderr, "bench_service: compile failed: %s\n", r.error.c_str());
+        std::exit(1);
+      }
+    }
+    return std::pair<double, service::ServiceStats>(
+        1000.0 * static_cast<double>(responses.size()) / millis, svc.stats());
+  };
+
+  auto [coldRps, coldStats] = run(/*cacheEntries=*/0, /*prewarm=*/false);
+  auto [warmRps, warmStats] = run(/*cacheEntries=*/256, /*prewarm=*/true);
+
+  report::Table table({"configuration", "req/s", "compiles", "cache hits", "dedup joins"});
+  table.addRow({"cold (cache off)", report::Table::num(coldRps, 0),
+                std::to_string(coldStats.compiles), std::to_string(coldStats.cacheHits),
+                std::to_string(coldStats.dedupJoins)});
+  table.addRow({"warm (pre-warmed)", report::Table::num(warmRps, 0),
+                std::to_string(warmStats.compiles - kDistinct),  // minus the untimed warm-up
+                std::to_string(warmStats.cacheHits), std::to_string(warmStats.dedupJoins)});
+  std::printf("%s\nwarm/cold throughput ratio: %.1fx\n\n", table.toString().c_str(),
+              warmRps / coldRps);
+}
+
+/// Cold-compile scaling: every request is distinct, so throughput is bounded
+/// by the worker pool. threads = state.range(0).
+void BM_ColdBatch(benchmark::State& state) {
+  constexpr int kBatch = 32;
+  int round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    CompileService::Config config;
+    config.threads = static_cast<std::size_t>(state.range(0));
+    config.cacheEntries = 0;  // force every request through a compile
+    auto svc = std::make_unique<CompileService>(config);
+    // New variants every round so neither the service nor any lower layer
+    // can learn across iterations.
+    std::vector<CompileRequest> batch;
+    for (int k = 0; k < kBatch; ++k) batch.push_back(kernelRequest(round * kBatch + k));
+    ++round;
+    state.ResumeTiming();
+
+    auto responses = svc->compileBatch(std::move(batch));
+    benchmark::DoNotOptimize(responses.data());
+
+    state.PauseTiming();
+    svc.reset();  // include no teardown in the next timed region
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+/// Warm-cache throughput on the repeated-request workload (all hits).
+void BM_WarmBatch(benchmark::State& state) {
+  constexpr int kBatch = 32;
+  CompileService::Config config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  config.cacheEntries = 256;
+  CompileService svc(config);
+  svc.compileBatch(repeatedWorkload(kBatch, 1));  // warm
+  for (auto _ : state) {
+    auto responses = svc.compileBatch(repeatedWorkload(kBatch, 1));
+    benchmark::DoNotOptimize(responses.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+/// Single-flight burst: N identical requests in flight at once — one
+/// compile, N-1 joins (cache cleared each round via a fresh variant).
+void BM_IdenticalBurst(benchmark::State& state) {
+  constexpr int kBurst = 32;
+  CompileService::Config config;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  CompileService svc(config);
+  int round = 0;
+  for (auto _ : state) {
+    CompileRequest base = kernelRequest(1000000 + round++);
+    std::vector<std::future<service::CompileResponse>> futures;
+    futures.reserve(kBurst);
+    for (int i = 0; i < kBurst; ++i) {
+      CompileRequest r = base;
+      r.id += "_" + std::to_string(i);
+      futures.push_back(svc.submit(std::move(r)));
+    }
+    for (auto& f : futures) benchmark::DoNotOptimize(f.get().ok);
+  }
+  state.SetItemsProcessed(state.iterations() * kBurst);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printColdVsWarmTable();
+  for (int threads : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark("service/cold_batch", BM_ColdBatch)->Arg(threads)
+        ->Unit(benchmark::kMillisecond)->UseRealTime();
+    benchmark::RegisterBenchmark("service/warm_batch", BM_WarmBatch)->Arg(threads)
+        ->Unit(benchmark::kMillisecond)->UseRealTime();
+    benchmark::RegisterBenchmark("service/identical_burst", BM_IdenticalBurst)->Arg(threads)
+        ->Unit(benchmark::kMillisecond)->UseRealTime();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

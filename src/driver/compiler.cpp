@@ -7,6 +7,29 @@
 
 namespace mat2c {
 
+std::string CompileOptions::passSignature() const {
+  auto tri = [](const std::optional<bool>& v) {
+    return v ? (*v ? "1" : "0") : "auto";
+  };
+  std::string s = "style=";
+  s += style == lower::CodeStyle::Proposed ? "proposed" : "coder";
+  s += ";constFold=";
+  s += constFold ? '1' : '0';
+  s += ";idioms=";
+  s += idioms ? '1' : '0';
+  s += ";vectorize=";
+  s += vectorize ? '1' : '0';
+  s += ";sinkDecls=";
+  s += sinkDecls ? '1' : '0';
+  s += ";fuseElementwise=";
+  s += tri(fuseElementwise);
+  s += ";boundsChecks=";
+  s += tri(boundsChecks);
+  s += ";checkElim=";
+  s += checkElim ? '1' : '0';
+  return s;
+}
+
 CompiledUnit Compiler::compileSource(const std::string& matlabSource, const std::string& entry,
                                      const std::vector<sema::ArgSpec>& args,
                                      const CompileOptions& options) {

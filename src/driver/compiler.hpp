@@ -52,6 +52,13 @@ struct CompileOptions {
   /// function as the pass left it (CLI --trace-passes).
   std::function<void(const opt::PassRecord&, const lir::Function&)> tracePasses;
 
+  /// Canonical serialization of every option that can change the compiled
+  /// output: style, pass toggles, and the lowering-mechanism overrides.
+  /// Excludes the ISA (fingerprinted separately via IsaDescription) and the
+  /// observation-only knobs (verifyEach, tracePasses), which cannot alter
+  /// the result of a successful compile. Part of the compile-cache key.
+  std::string passSignature() const;
+
   static CompileOptions proposed(const std::string& isaPreset = "dspx") {
     CompileOptions o;
     o.isa = isa::IsaDescription::preset(isaPreset);

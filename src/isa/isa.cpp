@@ -352,4 +352,6 @@ std::string IsaDescription::serialize() const {
   return os.str();
 }
 
+std::uint64_t IsaDescription::fingerprint() const { return fnv1a64(serialize()); }
+
 }  // namespace mat2c::isa

@@ -69,8 +69,15 @@ class IsaDescription {
   /// Unknown directives are diagnosed. Starts from scalar defaults.
   static IsaDescription parse(const std::string& text, DiagnosticEngine& diags);
 
-  /// Round-trippable textual form of this description.
+  /// Round-trippable textual form of this description. Canonical: two
+  /// descriptions with identical observable state serialize identically
+  /// (override maps are ordered), so this doubles as the fingerprint input.
   std::string serialize() const;
+
+  /// Stable 64-bit content hash of serialize(). Two descriptions with equal
+  /// fingerprints behave identically for compilation, costing, and emission;
+  /// the compile cache keys on it (service::CacheKey).
+  std::uint64_t fingerprint() const;
 
   const std::string& name() const { return name_; }
 

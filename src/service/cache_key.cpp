@@ -1,0 +1,40 @@
+#include "service/cache_key.hpp"
+
+#include "support/string_utils.hpp"
+
+namespace mat2c::service {
+
+std::string argSpecToken(const sema::ArgSpec& spec) {
+  const sema::Shape& s = spec.type.shape;
+  std::string t(spec.type.elem == sema::Elem::Complex ? "c" : "r");
+  t += s.rows.isKnown() ? std::to_string(s.rows.extent()) : "?";
+  t += 'x';
+  t += s.cols.isKnown() ? std::to_string(s.cols.extent()) : "?";
+  return t;
+}
+
+CacheKey CacheKey::make(const std::string& source, const std::string& entry,
+                        const std::vector<sema::ArgSpec>& args,
+                        const CompileOptions& options) {
+  // Length-prefix the free-form fields so no crafted source/entry pair can
+  // alias another request's serialization.
+  CacheKey key;
+  std::string& c = key.canonical;
+  c.reserve(source.size() + 256);
+  c += "mat2c-cache-key-v1\n";
+  c += "entry " + std::to_string(entry.size()) + ":" + entry + "\n";
+  c += "args";
+  for (const auto& a : args) c += " " + argSpecToken(a);
+  c += "\n";
+  c += "options " + options.passSignature() + "\n";
+  c += "isa " + hex64(options.isa.fingerprint()) + "\n";
+  c += options.isa.serialize();
+  c += "source " + std::to_string(source.size()) + ":";
+  c += source;
+  key.hash = fnv1a64(c);
+  return key;
+}
+
+std::string CacheKey::fingerprint() const { return hex64(hash); }
+
+}  // namespace mat2c::service

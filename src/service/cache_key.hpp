@@ -1,0 +1,40 @@
+// Content-addressed fingerprint of one compilation request.
+//
+// A compile is a pure function of (MATLAB source, entry name, argument
+// specializations, ISA description, pass options) — the determinism test in
+// tests/driver_test.cpp guards that property. CacheKey serializes exactly
+// those inputs into a canonical byte string and hashes it, so two requests
+// collide iff they must produce byte-identical output. The canonical text is
+// kept alongside the hash: the cache compares it on lookup (hash collisions
+// can never serve a wrong unit) and dumps use it for debugging.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/compiler.hpp"
+
+namespace mat2c::service {
+
+struct CacheKey {
+  std::string canonical;  ///< full canonical request serialization
+  std::uint64_t hash = 0; ///< fnv1a64(canonical); also picks the cache shard
+
+  static CacheKey make(const std::string& source, const std::string& entry,
+                       const std::vector<sema::ArgSpec>& args,
+                       const CompileOptions& options);
+
+  /// Short printable form ("k3f9c2…", 16 hex digits) for logs and stats.
+  std::string fingerprint() const;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    return a.hash == b.hash && a.canonical == b.canonical;
+  }
+};
+
+/// Canonical one-token spelling of an ArgSpec ("r4x3" / "c1x64"), shared by
+/// the key serialization and the CLI/service arg-spec parser.
+std::string argSpecToken(const sema::ArgSpec& spec);
+
+}  // namespace mat2c::service

@@ -1,0 +1,76 @@
+#include "service/compile_cache.hpp"
+
+#include <algorithm>
+
+namespace mat2c::service {
+
+CompileCache::CompileCache(std::size_t maxEntries, std::size_t shardCount)
+    : maxEntries_(maxEntries),
+      shards_(std::max<std::size_t>(1, shardCount)) {
+  perShardCapacity_ = (maxEntries_ + shards_.size() - 1) / shards_.size();
+}
+
+std::shared_ptr<const CachedResult> CompileCache::lookup(const CacheKey& key) {
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key.canonical);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void CompileCache::insert(const CacheKey& key, std::shared_ptr<const CachedResult> value) {
+  if (maxEntries_ == 0 || !value) return;
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key.canonical);
+  if (it != shard.index.end()) {
+    // Refresh: same key recompiled (e.g. raced past single-flight); keep the
+    // newest value and its LRU position.
+    shard.bytes -= it->second->value->byteSize();
+    shard.bytes += value->byteSize();
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.bytes += value->byteSize();
+  shard.lru.push_front(Entry{key.canonical, std::move(value)});
+  shard.index.emplace(key.canonical, shard.lru.begin());
+  ++shard.insertions;
+  while (shard.lru.size() > perShardCapacity_) {
+    Entry& victim = shard.lru.back();
+    shard.bytes -= victim.value->byteSize();
+    shard.index.erase(victim.canonical);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+CacheStats CompileCache::stats() const {
+  CacheStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.insertions += shard.insertions;
+    total.entries += shard.lru.size();
+    total.bytes += shard.bytes;
+  }
+  return total;
+}
+
+void CompileCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+}  // namespace mat2c::service

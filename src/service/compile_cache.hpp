@@ -1,0 +1,95 @@
+// Sharded, thread-safe LRU cache of compilation results.
+//
+// The cache is the service's memory of past work: design-space exploration
+// recompiles the same kernels against many ISA variants, and a busy server
+// sees the same (source, specs, ISA, options) request again and again. Each
+// shard owns its own mutex + LRU list, so concurrent lookups on different
+// keys rarely contend; the shard is picked from the CacheKey hash. Values
+// are immutable and shared (shared_ptr<const CachedResult>), so a hit can be
+// handed to any number of threads without copying or further locking.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/cache_key.hpp"
+
+namespace mat2c::service {
+
+/// What the cache stores per key: the compiled unit (shared, immutable LIR)
+/// plus the C text emitted once at compile time, so warm hits pay zero
+/// re-emission cost.
+struct CachedResult {
+  CompiledUnit unit;
+  std::string cCode;
+
+  CachedResult(CompiledUnit u, std::string c) : unit(std::move(u)), cCode(std::move(c)) {}
+
+  /// Approximate heap footprint used for the byte counters.
+  std::size_t byteSize() const { return cCode.size() + sizeof(CachedResult); }
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+};
+
+class CompileCache {
+ public:
+  /// `maxEntries` is the total capacity, split evenly across `shardCount`
+  /// shards (each shard evicts independently). maxEntries == 0 disables the
+  /// cache: every lookup misses and insert is a no-op — the cold-compile
+  /// baseline for benches.
+  explicit CompileCache(std::size_t maxEntries, std::size_t shardCount = 8);
+
+  /// Returns the cached value and refreshes its LRU position, or nullptr.
+  /// Full canonical-key comparison: a hash collision is a miss, never a
+  /// wrong answer.
+  std::shared_ptr<const CachedResult> lookup(const CacheKey& key);
+
+  /// Inserts (or refreshes) `value`; evicts from the shard's LRU tail when
+  /// over per-shard capacity.
+  void insert(const CacheKey& key, std::shared_ptr<const CachedResult> value);
+
+  /// Counters aggregated across shards (each shard is snapshotted under its
+  /// own lock; the aggregate is approximate under concurrent mutation).
+  CacheStats stats() const;
+
+  void clear();
+
+  std::size_t maxEntries() const { return maxEntries_; }
+  std::size_t shardCount() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    std::string canonical;
+    std::shared_ptr<const CachedResult> value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shardFor(const CacheKey& key) { return shards_[key.hash % shards_.size()]; }
+
+  std::size_t maxEntries_;
+  std::size_t perShardCapacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace mat2c::service

@@ -1,0 +1,204 @@
+#include "service/compile_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "support/string_utils.hpp"
+
+namespace mat2c::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double millisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+std::string statsJson(const ServiceStats& stats, double wallMillis) {
+  std::ostringstream os;
+  char num[64];
+  auto fixed = [&](double v) {
+    std::snprintf(num, sizeof num, "%.3f", v);
+    return std::string(num);
+  };
+  os << "{\n";
+  os << "  \"requests\": " << stats.requests << ",\n";
+  os << "  \"compiles\": " << stats.compiles << ",\n";
+  os << "  \"cacheHits\": " << stats.cacheHits << ",\n";
+  os << "  \"dedupJoins\": " << stats.dedupJoins << ",\n";
+  os << "  \"errors\": " << stats.errors << ",\n";
+  os << "  \"threads\": " << stats.threads << ",\n";
+  os << "  \"compileMillis\": " << fixed(stats.compileMillis) << ",\n";
+  os << "  \"cache\": {\"entries\": " << stats.cache.entries
+     << ", \"bytes\": " << stats.cache.bytes << ", \"hits\": " << stats.cache.hits
+     << ", \"misses\": " << stats.cache.misses << ", \"evictions\": " << stats.cache.evictions
+     << ", \"insertions\": " << stats.cache.insertions << "}";
+  if (wallMillis >= 0) {
+    double rps = wallMillis > 0 ? 1000.0 * static_cast<double>(stats.requests) / wallMillis
+                                : 0.0;
+    os << ",\n  \"wallMillis\": " << fixed(wallMillis);
+    os << ",\n  \"requestsPerSecond\": " << fixed(rps);
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+CompileService::CompileService() : CompileService(Config{}) {}
+
+CompileService::CompileService(const Config& config)
+    : config_(config),
+      cache_(config.cacheEntries, config.cacheShards) {
+  std::size_t n = config_.threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+CompileService::~CompileService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  notEmpty_.notify_all();
+  notFull_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<CompileResponse> CompileService::submit(CompileRequest request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Clock::time_point start = Clock::now();
+  CacheKey key = CacheKey::make(request.source, request.entry, request.args, request.options);
+
+  // Fast path: served from cache without touching the queue.
+  if (auto cached = cache_.lookup(key)) {
+    cacheHits_.fetch_add(1, std::memory_order_relaxed);
+    CompileResponse r;
+    r.id = std::move(request.id);
+    r.ok = true;
+    r.cacheHit = true;
+    r.result = std::move(cached);
+    r.millis = millisSince(start);
+    std::promise<CompileResponse> p;
+    p.set_value(std::move(r));
+    return p.get_future();
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // Single-flight: identical request already compiling → join its flight.
+  if (auto it = inflight_.find(key.canonical); it != inflight_.end()) {
+    dedupJoins_.fetch_add(1, std::memory_order_relaxed);
+    Flight::Waiter waiter;
+    waiter.id = std::move(request.id);
+    waiter.deduped = true;
+    waiter.submitted = start;
+    it->second->waiters.push_back(std::move(waiter));
+    return it->second->waiters.back().promise.get_future();
+  }
+
+  auto flight = std::make_shared<Flight>();
+  Flight::Waiter waiter;
+  waiter.id = request.id;
+  waiter.submitted = start;
+  flight->waiters.push_back(std::move(waiter));
+  std::future<CompileResponse> future = flight->waiters.back().promise.get_future();
+  inflight_.emplace(key.canonical, flight);
+
+  // Bounded queue: block the submitter, not the heap.
+  notFull_.wait(lock, [&] { return queue_.size() < config_.queueCapacity || stopping_; });
+  queue_.push_back(Job{std::move(key), std::move(request), std::move(flight)});
+  lock.unlock();
+  notEmpty_.notify_one();
+  return future;
+}
+
+std::vector<CompileResponse> CompileService::compileBatch(std::vector<CompileRequest> requests) {
+  std::vector<std::future<CompileResponse>> futures;
+  futures.reserve(requests.size());
+  for (CompileRequest& r : requests) futures.push_back(submit(std::move(r)));
+  std::vector<CompileResponse> responses;
+  responses.reserve(futures.size());
+  for (auto& f : futures) responses.push_back(f.get());
+  return responses;
+}
+
+void CompileService::workerLoop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      notEmpty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    notFull_.notify_one();
+    runJob(job);
+  }
+}
+
+void CompileService::runJob(Job& job) {
+  if (config_.onCompileStart) config_.onCompileStart(job.request);
+
+  Clock::time_point t0 = Clock::now();
+  std::shared_ptr<const CachedResult> result;
+  std::string error;
+  try {
+    Compiler compiler;  // worker-local: a Compiler instance is single-threaded
+    CompiledUnit unit = compiler.compileSource(job.request.source, job.request.entry,
+                                               job.request.args, job.request.options);
+    std::string cCode = unit.cCode();
+    result = std::make_shared<const CachedResult>(std::move(unit), std::move(cCode));
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  compiles_.fetch_add(1, std::memory_order_relaxed);
+  compileMicros_.fetch_add(static_cast<std::uint64_t>(millisSince(t0) * 1000.0),
+                           std::memory_order_relaxed);
+  if (result) cache_.insert(job.key, result);
+
+  // Retire the flight first (under the lock), so later identical submits
+  // either hit the cache or start a fresh flight — then fulfill everyone.
+  std::vector<Flight::Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(job.key.canonical);
+    if (it != inflight_.end() && it->second == job.flight) inflight_.erase(it);
+    waiters = std::move(job.flight->waiters);
+  }
+  for (Flight::Waiter& w : waiters) {
+    CompileResponse r;
+    r.id = std::move(w.id);
+    r.deduped = w.deduped;
+    r.millis = millisSince(w.submitted);
+    if (result) {
+      r.ok = true;
+      r.result = result;
+    } else {
+      r.error = error;
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    w.promise.set_value(std::move(r));
+  }
+}
+
+ServiceStats CompileService::stats() const {
+  ServiceStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.compiles = compiles_.load(std::memory_order_relaxed);
+  s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+  s.dedupJoins = dedupJoins_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.compileMillis = static_cast<double>(compileMicros_.load(std::memory_order_relaxed)) / 1000.0;
+  s.threads = workers_.size();
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace mat2c::service

@@ -1,0 +1,145 @@
+// Concurrent batch-compilation service.
+//
+// CompileService fronts mat2c::Compiler with the three mechanisms a
+// production compile farm needs:
+//   * a fixed worker pool draining a bounded job queue (submit applies
+//     backpressure instead of growing without bound),
+//   * a content-addressed CompileCache (see cache_key.hpp) so repeated
+//     requests are served without recompiling, and
+//   * single-flight deduplication: N identical requests in flight at once
+//     trigger exactly one underlying compile; the other N-1 join the first
+//     one's "flight" and are fulfilled from its result.
+//
+// Thread-safety contract with the rest of the compiler: one mat2c::Compiler
+// instance is NOT safe to share across threads (it accumulates diagnostics),
+// but distinct instances are independent — each worker thread owns one.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/compile_cache.hpp"
+
+namespace mat2c::service {
+
+struct CompileRequest {
+  std::string id;  ///< echoed back in the response (JSON-lines "id" field)
+  std::string source;
+  std::string entry;
+  std::vector<sema::ArgSpec> args;
+  CompileOptions options;
+};
+
+struct CompileResponse {
+  std::string id;
+  bool ok = false;
+  bool cacheHit = false;  ///< served straight from the cache
+  bool deduped = false;   ///< joined another request's in-flight compile
+  std::string error;      ///< CompileError text when !ok
+  std::shared_ptr<const CachedResult> result;  ///< non-null when ok
+  double millis = 0.0;    ///< latency from submit to fulfillment
+};
+
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t compiles = 0;    ///< underlying Compiler::compileSource calls
+  std::uint64_t cacheHits = 0;   ///< submit-time fast-path hits
+  std::uint64_t dedupJoins = 0;  ///< requests that joined an in-flight compile
+  std::uint64_t errors = 0;
+  double compileMillis = 0.0;    ///< wall time spent inside compileSource
+  std::size_t threads = 0;
+  CacheStats cache;
+};
+
+/// Serializes stats in the same style as the pipeline telemetry JSON
+/// (docs/pipeline.md); schema documented in docs/service.md. When
+/// `wallMillis` >= 0, adds wall time and requests-per-second throughput.
+std::string statsJson(const ServiceStats& stats, double wallMillis = -1.0);
+
+class CompileService {
+ public:
+  struct Config {
+    std::size_t threads = 0;        ///< 0 = hardware_concurrency (min 1)
+    std::size_t queueCapacity = 1024;
+    std::size_t cacheEntries = 1024;
+    std::size_t cacheShards = 8;
+    /// Test/instrumentation hook: runs on the worker thread immediately
+    /// before each underlying compile (lets tests stall the worker to prove
+    /// single-flight dedup deterministically).
+    std::function<void(const CompileRequest&)> onCompileStart;
+  };
+
+  CompileService();
+  explicit CompileService(const Config& config);
+  /// Drains every queued job (all returned futures become ready), then joins
+  /// the workers.
+  ~CompileService();
+
+  CompileService(const CompileService&) = delete;
+  CompileService& operator=(const CompileService&) = delete;
+
+  /// Enqueues one request. Returns immediately with a ready future on a
+  /// cache hit; otherwise blocks only while the job queue is full
+  /// (backpressure). The future never throws — failures are reported through
+  /// CompileResponse::ok/error.
+  std::future<CompileResponse> submit(CompileRequest request);
+
+  /// Submits the whole batch, then waits; responses are in request order.
+  std::vector<CompileResponse> compileBatch(std::vector<CompileRequest> requests);
+
+  ServiceStats stats() const;
+  const CompileCache& cache() const { return cache_; }
+  std::size_t threadCount() const { return workers_.size(); }
+
+ private:
+  /// One in-flight compile; every identical request registered before it
+  /// finishes gets fulfilled from the same result.
+  struct Flight {
+    struct Waiter {
+      std::string id;
+      bool deduped = false;
+      std::chrono::steady_clock::time_point submitted;
+      std::promise<CompileResponse> promise;
+    };
+    std::vector<Waiter> waiters;
+  };
+  struct Job {
+    CacheKey key;
+    CompileRequest request;
+    std::shared_ptr<Flight> flight;
+  };
+
+  void workerLoop();
+  void runJob(Job& job);
+
+  Config config_;
+  CompileCache cache_;
+
+  mutable std::mutex mu_;  // guards queue_ and inflight_
+  std::condition_variable notEmpty_;
+  std::condition_variable notFull_;
+  std::deque<Job> queue_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;  // by canonical key
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> compiles_{0};
+  std::atomic<std::uint64_t> cacheHits_{0};
+  std::atomic<std::uint64_t> dedupJoins_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> compileMicros_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mat2c::service

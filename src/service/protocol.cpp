@@ -1,0 +1,431 @@
+#include "service/protocol.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/string_utils.hpp"
+
+namespace mat2c::service {
+
+namespace {
+
+/// Recursive-descent JSON reader over a string_view. Depth-limited so a
+/// hostile request line cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string& error) {
+    JsonValue v;
+    if (!parseValue(v, 0)) {
+      error = error_ + " (at byte " + std::to_string(pos_) + ")";
+      return std::nullopt;
+    }
+    skipWs();
+    if (pos_ != text_.size()) {
+      error = "trailing characters after JSON document (at byte " + std::to_string(pos_) + ")";
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool consume(char c, const char* what) {
+    skipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) return fail(std::string("expected ") + what);
+    ++pos_;
+    return true;
+  }
+
+  bool parseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skipWs();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return parseObject(out, depth);
+    if (c == '[') return parseArray(out, depth);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::String;
+      return parseString(out.text);
+    }
+    if (c == 't' || c == 'f') return parseKeyword(out);
+    if (c == 'n') return parseKeyword(out);
+    return parseNumber(out);
+  }
+
+  bool parseObject(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::Object;
+    ++pos_;  // '{'
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key");
+      std::string key;
+      if (!parseString(key)) return false;
+      if (!consume(':', "':'")) return false;
+      JsonValue value;
+      if (!parseValue(value, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      skipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}', "'}'");
+    }
+  }
+
+  bool parseArray(JsonValue& out, int depth) {
+    out.kind = JsonValue::Kind::Array;
+    ++pos_;  // '['
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!parseValue(value, depth + 1)) return false;
+      out.elements.push_back(std::move(value));
+      skipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']', "']'");
+    }
+  }
+
+  bool parseString(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return fail("unescaped control character");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences — MATLAB sources are ASCII).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseKeyword(JsonValue& out) {
+    auto match = [&](std::string_view word) {
+      if (text_.substr(pos_, word.size()) != word) return false;
+      pos_ += word.size();
+      return true;
+    };
+    if (match("true")) {
+      out.kind = JsonValue::Kind::Bool;
+      out.boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out.kind = JsonValue::Kind::Bool;
+      out.boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out.kind = JsonValue::Kind::Null;
+      return true;
+    }
+    return fail("unknown keyword");
+  }
+
+  bool parseNumber(JsonValue& out) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("malformed number");
+    out.kind = JsonValue::Kind::Number;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Strict positive-integer parse (rejects signs, trailing junk, overflow).
+bool parsePositiveInt(std::string_view s, std::int64_t& out) {
+  if (s.empty()) return false;
+  std::int64_t v = 0;
+  for (char ch : s) {
+    if (ch < '0' || ch > '9') return false;
+    int digit = ch - '0';
+    if (v > (INT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  if (v <= 0) return false;
+  out = v;
+  return true;
+}
+
+bool parseOneArgSpec(std::string_view text, sema::ArgSpec& out) {
+  std::string_view t = text;
+  bool complex = false;
+  if (!t.empty() && (t[0] == 'c' || t[0] == 'C')) {
+    complex = true;
+    t = t.substr(1);
+  }
+  auto xPos = t.find('x');
+  if (xPos == std::string_view::npos) return false;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  if (!parsePositiveInt(t.substr(0, xPos), rows) || !parsePositiveInt(t.substr(xPos + 1), cols)) {
+    return false;
+  }
+  out = sema::ArgSpec::matrix(rows, cols, complex);
+  return true;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<JsonValue> parseJson(std::string_view text, std::string& error) {
+  return JsonParser(text).parse(error);
+}
+
+std::string jsonQuote(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+bool parseArgSpecList(const std::string& text, std::vector<sema::ArgSpec>& out,
+                      std::string& badSpec) {
+  out.clear();
+  if (trim(text).empty()) return true;
+  for (const auto& part : split(text, ',')) {
+    std::string token{trim(part)};
+    sema::ArgSpec spec;
+    if (!parseOneArgSpec(token, spec)) {
+      badSpec = token;
+      return false;
+    }
+    out.push_back(spec);
+  }
+  return true;
+}
+
+bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string& error) {
+  auto doc = parseJson(line, error);
+  if (!doc) return false;
+  if (doc->kind != JsonValue::Kind::Object) {
+    error = "request must be a JSON object";
+    return false;
+  }
+
+  out = CompileRequest{};
+  std::string argsText;
+  std::string isaPreset = "dspx";
+  std::string isaText;
+  std::string style = "proposed";
+  std::optional<bool> constFold, idioms, vectorize, sinkDecls, checkElim;
+
+  for (const auto& [key, value] : doc->members) {
+    auto wantString = [&](std::string& dst) {
+      if (value.kind != JsonValue::Kind::String) {
+        error = "field '" + key + "' must be a string";
+        return false;
+      }
+      dst = value.text;
+      return true;
+    };
+    auto wantBool = [&](std::optional<bool>& dst) {
+      if (value.kind != JsonValue::Kind::Bool) {
+        error = "field '" + key + "' must be a boolean";
+        return false;
+      }
+      dst = value.boolean;
+      return true;
+    };
+    if (key == "id") {
+      if (!wantString(out.id)) return false;
+    } else if (key == "source") {
+      if (!wantString(out.source)) return false;
+    } else if (key == "entry") {
+      if (!wantString(out.entry)) return false;
+    } else if (key == "args") {
+      if (!wantString(argsText)) return false;
+    } else if (key == "isa") {
+      if (!wantString(isaPreset)) return false;
+    } else if (key == "isa_text") {
+      if (!wantString(isaText)) return false;
+    } else if (key == "style") {
+      if (!wantString(style)) return false;
+    } else if (key == "constFold") {
+      if (!wantBool(constFold)) return false;
+    } else if (key == "idioms") {
+      if (!wantBool(idioms)) return false;
+    } else if (key == "vectorize") {
+      if (!wantBool(vectorize)) return false;
+    } else if (key == "sinkDecls") {
+      if (!wantBool(sinkDecls)) return false;
+    } else if (key == "checkElim") {
+      if (!wantBool(checkElim)) return false;
+    } else {
+      error = "unknown request field '" + key + "'";
+      return false;
+    }
+  }
+
+  if (out.source.empty()) {
+    error = "missing required field 'source'";
+    return false;
+  }
+  if (out.entry.empty()) {
+    error = "missing required field 'entry'";
+    return false;
+  }
+  std::string badSpec;
+  if (!parseArgSpecList(argsText, out.args, badSpec)) {
+    error = "bad arg spec '" + badSpec + "'";
+    return false;
+  }
+
+  if (style == "proposed") {
+    out.options = CompileOptions::proposed();
+  } else if (style == "coder") {
+    out.options = CompileOptions::coderLike();
+  } else {
+    error = "unknown style '" + style + "' (want 'proposed' or 'coder')";
+    return false;
+  }
+  if (!isaText.empty()) {
+    DiagnosticEngine diags;
+    out.options.isa = isa::IsaDescription::parse(isaText, diags);
+    if (diags.hasErrors()) {
+      error = "bad isa_text: " + diags.renderAll();
+      return false;
+    }
+  } else {
+    try {
+      out.options.isa = isa::IsaDescription::preset(isaPreset);
+    } catch (const std::exception& e) {
+      error = e.what();
+      return false;
+    }
+  }
+  if (constFold) out.options.constFold = *constFold;
+  if (idioms) out.options.idioms = *idioms;
+  if (vectorize) out.options.vectorize = *vectorize;
+  if (sinkDecls) out.options.sinkDecls = *sinkDecls;
+  if (checkElim) out.options.checkElim = *checkElim;
+  return true;
+}
+
+std::string responseJson(const CompileResponse& response) {
+  std::string out = "{\"id\": " + jsonQuote(response.id);
+  out += ", \"ok\": ";
+  out += response.ok ? "true" : "false";
+  out += ", \"cached\": ";
+  out += response.cacheHit ? "true" : "false";
+  out += ", \"deduped\": ";
+  out += response.deduped ? "true" : "false";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", response.millis);
+  out += ", \"millis\": ";
+  out += buf;
+  if (response.ok && response.result) {
+    const opt::PipelineReport& report = response.result->unit.optimizationReport();
+    out += ", \"isa\": " + jsonQuote(response.result->unit.isa().name());
+    out += ", \"cBytes\": " + std::to_string(response.result->cCode.size());
+    out += ", \"loopsVectorized\": " + std::to_string(report.vec.loopsVectorized);
+    out += ", \"idiomRewrites\": " + std::to_string(report.idiomRewrites);
+  } else {
+    out += ", \"error\": " + jsonQuote(response.error);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mat2c::service

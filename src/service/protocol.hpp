@@ -1,0 +1,58 @@
+// Wire format of the batch server (`mat2c serve`).
+//
+// Requests arrive as JSON-lines — one self-contained JSON object per line —
+// and every request produces one JSON response line, so the server composes
+// with shell pipelines and request logs can be replayed byte-for-byte. The
+// parser below is a deliberately small, dependency-free JSON reader covering
+// exactly what the request format needs (objects, arrays, strings with
+// escapes, numbers, booleans, null); docs/service.md documents the schema.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/compile_service.hpp"
+
+namespace mat2c::service {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Object, Array };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<std::pair<std::string, JsonValue>> members;  // Object, in input order
+  std::vector<JsonValue> elements;                         // Array
+
+  /// First member with `key`, or nullptr (Object only).
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+/// Returns nullopt and sets `error` (with a byte offset) on malformed input.
+std::optional<JsonValue> parseJson(std::string_view text, std::string& error);
+
+/// JSON string literal (quoted, escaped) for response emission.
+std::string jsonQuote(std::string_view s);
+
+/// Parses a comma-separated arg-spec list ("1x1024,c1x64", the CLI --args
+/// syntax). On failure returns false and sets `badSpec` to the offending
+/// token. An empty/whitespace list parses to no args.
+bool parseArgSpecList(const std::string& text, std::vector<sema::ArgSpec>& out,
+                      std::string& badSpec);
+
+/// Parses one JSON-lines request into a CompileRequest. Recognized fields:
+///   source (required), entry (required), id, args ("1x32,c1x8"),
+///   isa (preset name), isa_text (inline ISA description, overrides isa),
+///   style ("proposed"|"coder"), constFold/idioms/vectorize/sinkDecls/
+///   checkElim (bools). Unknown fields are an error, so typos cannot
+///   silently compile with default options.
+bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string& error);
+
+/// One response line (no trailing newline): id, ok, cached, deduped, millis,
+/// and on success isa/cBytes/loopsVectorized/idiomRewrites, else error.
+std::string responseJson(const CompileResponse& response);
+
+}  // namespace mat2c::service

@@ -1,6 +1,7 @@
 // Small string helpers shared across the compiler.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,5 +25,14 @@ std::string join(const std::vector<std::string>& items, std::string_view sep);
 
 /// True if `name` is a valid C/MATLAB identifier.
 bool isIdentifier(std::string_view name);
+
+/// 64-bit FNV-1a over `data`. Stable across platforms/runs, so it is safe to
+/// use for content-addressed cache keys (service::CacheKey) and ISA
+/// fingerprints that may eventually be persisted.
+std::uint64_t fnv1a64(std::string_view data,
+                      std::uint64_t seed = 14695981039346656037ULL);
+
+/// Fixed-width lowercase hex rendering of a 64-bit hash.
+std::string hex64(std::uint64_t v);
 
 }  // namespace mat2c

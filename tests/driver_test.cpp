@@ -165,6 +165,46 @@ TEST(Driver, TracePassesHookObservesPipeline) {
   EXPECT_EQ(traced.size(), unit.optimizationReport().passes.size());
 }
 
+TEST(Driver, CompilationIsDeterministic) {
+  // Byte-identical output for identical input is the correctness
+  // precondition for the compile cache and single-flight dedup in
+  // src/service/: a cached unit must be indistinguishable from a fresh
+  // compile. Two independent Compiler instances keep hidden state honest.
+  const char* src =
+      "function y = fir(x, h)\n"
+      "y = 0;\n"
+      "for k = 1:length(x)\n"
+      "  y = y + x(k) * h(k);\n"
+      "end\n"
+      "end\n";
+  std::vector<ArgSpec> specs = {ArgSpec::row(64), ArgSpec::row(64)};
+  Compiler first;
+  Compiler second;
+  auto a = first.compileSource(src, "fir", specs, CompileOptions::proposed());
+  auto b = second.compileSource(src, "fir", specs, CompileOptions::proposed());
+  EXPECT_EQ(a.cCode(), b.cCode());
+  EXPECT_EQ(a.lirDump(), b.lirDump());
+  // Reports match structurally (wall times naturally differ).
+  EXPECT_EQ(a.optimizationReport().idiomRewrites, b.optimizationReport().idiomRewrites);
+  EXPECT_EQ(a.optimizationReport().checksRemoved, b.optimizationReport().checksRemoved);
+  EXPECT_EQ(a.optimizationReport().vec.loopsVectorized,
+            b.optimizationReport().vec.loopsVectorized);
+  EXPECT_EQ(a.optimizationReport().vec.missed, b.optimizationReport().vec.missed);
+  ASSERT_EQ(a.optimizationReport().passes.size(), b.optimizationReport().passes.size());
+  for (std::size_t i = 0; i < a.optimizationReport().passes.size(); ++i) {
+    const auto& pa = a.optimizationReport().passes[i];
+    const auto& pb = b.optimizationReport().passes[i];
+    EXPECT_EQ(pa.name, pb.name);
+    EXPECT_TRUE(pa.before == pb.before) << pa.name;
+    EXPECT_TRUE(pa.after == pb.after) << pa.name;
+    EXPECT_EQ(pa.idiomRewrites, pb.idiomRewrites) << pa.name;
+    EXPECT_EQ(pa.loopsVectorized, pb.loopsVectorized) << pa.name;
+  }
+  // And a recompile by the *same* instance is also identical.
+  auto c = first.compileSource(src, "fir", specs, CompileOptions::proposed());
+  EXPECT_EQ(a.cCode(), c.cCode());
+}
+
 TEST(Report, TelemetryJsonHasOneRecordPerPass) {
   Compiler compiler;
   auto unit = compiler.compileSource("function y = f(x, h)\ny = 0;\n"

@@ -1,0 +1,447 @@
+// Compilation service layer: cache key, sharded LRU cache, concurrent
+// service with single-flight dedup, and the JSON-lines protocol.
+//
+// The concurrency tests here carry the `service` ctest label so they can be
+// run under TSan: cmake -DMAT2C_SANITIZE=thread && ctest -L service.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+
+#include "driver/kernels.hpp"
+#include "service/compile_service.hpp"
+#include "service/protocol.hpp"
+
+namespace mat2c {
+namespace {
+
+using sema::ArgSpec;
+using namespace service;
+
+const char* kFirSource =
+    "function y = fir(x, h)\n"
+    "y = 0;\n"
+    "for k = 1:length(x)\n"
+    "  y = y + x(k) * h(k);\n"
+    "end\n"
+    "end\n";
+
+CompileRequest firRequest(const std::string& id) {
+  CompileRequest r;
+  r.id = id;
+  r.source = kFirSource;
+  r.entry = "fir";
+  r.args = {ArgSpec::row(64), ArgSpec::row(64)};
+  r.options = CompileOptions::proposed();
+  return r;
+}
+
+// ---- CacheKey ------------------------------------------------------------
+
+TEST(CacheKey, IdenticalRequestsProduceIdenticalKeys) {
+  auto a = CacheKey::make(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)},
+                          CompileOptions::proposed());
+  auto b = CacheKey::make(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)},
+                          CompileOptions::proposed());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.fingerprint().size(), 16u);
+}
+
+TEST(CacheKey, EveryInputDimensionChangesTheKey) {
+  auto base = CacheKey::make(kFirSource, "fir", {ArgSpec::row(64)}, CompileOptions::proposed());
+  auto otherSource =
+      CacheKey::make(std::string(kFirSource) + " ", "fir", {ArgSpec::row(64)},
+                     CompileOptions::proposed());
+  auto otherEntry =
+      CacheKey::make(kFirSource, "fir2", {ArgSpec::row(64)}, CompileOptions::proposed());
+  auto otherArgs =
+      CacheKey::make(kFirSource, "fir", {ArgSpec::row(128)}, CompileOptions::proposed());
+  auto complexArgs =
+      CacheKey::make(kFirSource, "fir", {ArgSpec::row(64, true)}, CompileOptions::proposed());
+  auto otherIsa =
+      CacheKey::make(kFirSource, "fir", {ArgSpec::row(64)}, CompileOptions::proposed("scalar"));
+  CompileOptions noVec = CompileOptions::proposed();
+  noVec.vectorize = false;
+  auto otherOptions = CacheKey::make(kFirSource, "fir", {ArgSpec::row(64)}, noVec);
+
+  EXPECT_NE(base.canonical, otherSource.canonical);
+  EXPECT_NE(base.canonical, otherEntry.canonical);
+  EXPECT_NE(base.canonical, otherArgs.canonical);
+  EXPECT_NE(base.canonical, complexArgs.canonical);
+  EXPECT_NE(base.canonical, otherIsa.canonical);
+  EXPECT_NE(base.canonical, otherOptions.canonical);
+}
+
+TEST(CacheKey, ObservationOnlyOptionsDoNotChangeTheKey) {
+  CompileOptions verified = CompileOptions::proposed();
+  verified.verifyEach = true;
+  verified.tracePasses = [](const opt::PassRecord&, const lir::Function&) {};
+  auto a = CacheKey::make(kFirSource, "fir", {ArgSpec::row(64)}, CompileOptions::proposed());
+  auto b = CacheKey::make(kFirSource, "fir", {ArgSpec::row(64)}, verified);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CacheKey, IsaFingerprintTracksObservableState) {
+  auto dspx = isa::IsaDescription::preset("dspx");
+  auto dspx2 = isa::IsaDescription::preset("dspx");
+  EXPECT_EQ(dspx.fingerprint(), dspx2.fingerprint());
+  dspx2.setCost(isa::Op::MulF, 3);
+  EXPECT_NE(dspx.fingerprint(), dspx2.fingerprint());
+  EXPECT_NE(dspx.fingerprint(), isa::IsaDescription::preset("scalar").fingerprint());
+}
+
+TEST(CacheKey, ArgSpecTokenRoundTrip) {
+  EXPECT_EQ(argSpecToken(ArgSpec::row(64)), "r1x64");
+  EXPECT_EQ(argSpecToken(ArgSpec::matrix(4, 3, true)), "c4x3");
+}
+
+// ---- CompileCache --------------------------------------------------------
+
+std::shared_ptr<const CachedResult> compileToResult(const CompileRequest& r) {
+  Compiler compiler;
+  CompiledUnit unit = compiler.compileSource(r.source, r.entry, r.args, r.options);
+  std::string c = unit.cCode();
+  return std::make_shared<const CachedResult>(std::move(unit), std::move(c));
+}
+
+TEST(CompileCache, HitMissAndByteCounters) {
+  CompileCache cache(/*maxEntries=*/8, /*shardCount=*/2);
+  auto key = CacheKey::make(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)},
+                            CompileOptions::proposed());
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  auto result = compileToResult(firRequest("a"));
+  cache.insert(key, result);
+  EXPECT_EQ(cache.lookup(key), result);
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_GT(stats.bytes, result->cCode.size());
+  cache.clear();
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(CompileCache, LruEvictsOldestWithinShard) {
+  // Single shard so the LRU order is total.
+  CompileCache cache(/*maxEntries=*/2, /*shardCount=*/1);
+  auto result = compileToResult(firRequest("a"));
+  auto keyFor = [&](int n) {
+    return CacheKey::make(kFirSource, "fir", {ArgSpec::row(n)}, CompileOptions::proposed());
+  };
+  cache.insert(keyFor(1), result);
+  cache.insert(keyFor(2), result);
+  EXPECT_NE(cache.lookup(keyFor(1)), nullptr);  // refresh 1 → 2 is now oldest
+  cache.insert(keyFor(3), result);              // evicts 2
+  EXPECT_EQ(cache.lookup(keyFor(2)), nullptr);
+  EXPECT_NE(cache.lookup(keyFor(1)), nullptr);
+  EXPECT_NE(cache.lookup(keyFor(3)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(CompileCache, ZeroCapacityDisablesCaching) {
+  CompileCache cache(/*maxEntries=*/0);
+  auto key = CacheKey::make(kFirSource, "fir", {ArgSpec::row(64)}, CompileOptions::proposed());
+  cache.insert(key, compileToResult(firRequest("a")));
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---- CompileService ------------------------------------------------------
+
+TEST(CompileService, BatchCompilesAndWarmRepeatHitsCache) {
+  CompileService::Config config;
+  config.threads = 4;
+  CompileService svc(config);
+
+  std::vector<CompileRequest> batch;
+  for (int i = 0; i < 4; ++i) {
+    CompileRequest r;
+    r.id = "sq" + std::to_string(i);
+    r.source = "function y = sq(x)\ny = x .* " + std::to_string(i + 2) + ";\nend\n";
+    r.entry = "sq";
+    r.args = {ArgSpec::row(16)};
+    r.options = CompileOptions::proposed();
+    batch.push_back(r);
+  }
+  auto cold = svc.compileBatch(batch);
+  ASSERT_EQ(cold.size(), 4u);
+  for (const auto& r : cold) {
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.cacheHit);
+    ASSERT_NE(r.result, nullptr);
+    EXPECT_FALSE(r.result->cCode.empty());
+  }
+
+  auto warm = svc.compileBatch(batch);
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_TRUE(warm[i].ok);
+    EXPECT_TRUE(warm[i].cacheHit) << warm[i].id;
+    EXPECT_EQ(warm[i].result, cold[i].result) << "hit must share the cold result";
+  }
+
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.requests, 8u);
+  EXPECT_EQ(stats.compiles, 4u);
+  EXPECT_EQ(stats.cacheHits, 4u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(CompileService, SingleFlightDedupCompilesOnce) {
+  // Stall the (only possible) underlying compile until all 8 identical
+  // requests are submitted, so every later submit must join the first
+  // request's flight — the test is deterministic, not timing-dependent.
+  std::promise<void> release;
+  std::shared_future<void> releaseFuture = release.get_future().share();
+  std::atomic<int> started{0};
+
+  CompileService::Config config;
+  config.threads = 2;
+  config.onCompileStart = [&](const CompileRequest&) {
+    started.fetch_add(1);
+    releaseFuture.wait();
+  };
+  CompileService svc(config);
+
+  std::vector<std::future<CompileResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(svc.submit(firRequest("req" + std::to_string(i))));
+  }
+  release.set_value();
+
+  std::shared_ptr<const CachedResult> shared;
+  int deduped = 0;
+  for (int i = 0; i < 8; ++i) {
+    CompileResponse r = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.id, "req" + std::to_string(i)) << "responses keep their own ids";
+    ASSERT_NE(r.result, nullptr);
+    if (!shared) shared = r.result;
+    EXPECT_EQ(r.result, shared) << "all joiners share one compile's result";
+    deduped += r.deduped ? 1 : 0;
+  }
+  EXPECT_EQ(started.load(), 1);
+  EXPECT_EQ(deduped, 7);
+
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.requests, 8u);
+  EXPECT_EQ(stats.compiles, 1u) << "exactly one underlying compile";
+  EXPECT_EQ(stats.dedupJoins, 7u);
+  EXPECT_EQ(stats.cacheHits, 0u);
+
+  // The stats JSON (the serve subcommand's end-of-run document) exposes the
+  // hit/miss and dedup counters.
+  std::string json = statsJson(stats, 12.5);
+  EXPECT_NE(json.find("\"compiles\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"dedupJoins\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"hits\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"misses\": "), std::string::npos);
+  EXPECT_NE(json.find("\"wallMillis\": 12.500"), std::string::npos);
+  EXPECT_NE(json.find("\"requestsPerSecond\": "), std::string::npos);
+}
+
+TEST(CompileService, CompileErrorsAreReportedInBandToEveryJoiner) {
+  std::promise<void> release;
+  std::shared_future<void> releaseFuture = release.get_future().share();
+  CompileService::Config config;
+  config.threads = 1;
+  config.onCompileStart = [&](const CompileRequest&) { releaseFuture.wait(); };
+  CompileService svc(config);
+
+  CompileRequest bad;
+  bad.id = "bad";
+  bad.source = "function y = f(x)\ny = nosuch;\nend\n";
+  bad.entry = "f";
+  bad.args = {ArgSpec::row(4)};
+  auto f1 = svc.submit(bad);
+  bad.id = "bad2";
+  auto f2 = svc.submit(bad);
+  release.set_value();
+
+  CompileResponse r1 = f1.get();
+  CompileResponse r2 = f2.get();
+  EXPECT_FALSE(r1.ok);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_NE(r1.error.find("nosuch"), std::string::npos);
+  EXPECT_EQ(r1.error, r2.error);
+  EXPECT_EQ(svc.stats().errors, 2u);
+  EXPECT_EQ(svc.stats().compiles, 1u) << "errors dedup too";
+  // Failures are not cached: a retry compiles again.
+  EXPECT_FALSE(svc.submit(bad).get().cacheHit);
+}
+
+TEST(CompileService, ConcurrentSubmittersStressCacheAndDedup) {
+  CompileService::Config config;
+  config.threads = 4;
+  config.cacheEntries = 64;
+  CompileService svc(config);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Half the traffic is the shared fir kernel (cache/dedup churn),
+        // half is a per-(thread,i) unique kernel (cold compiles).
+        CompileRequest r;
+        if (i % 2 == 0) {
+          r = firRequest("t" + std::to_string(t) + "i" + std::to_string(i));
+        } else {
+          r.id = "u" + std::to_string(t) + "_" + std::to_string(i);
+          r.source = "function y = u(x)\ny = x + " + std::to_string(t * 100 + i) + ";\nend\n";
+          r.entry = "u";
+          r.args = {ArgSpec::row(8)};
+        }
+        CompileResponse resp = svc.submit(std::move(r)).get();
+        if (!resp.ok || !resp.result || resp.result->cCode.empty()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.errors, 0u);
+  // The shared kernel compiles at most a handful of times (first miss plus
+  // any benign race past the retired flight); far fewer than its 48 requests.
+  EXPECT_LE(stats.compiles, static_cast<std::uint64_t>(kThreads * kPerThread / 2 + kThreads));
+}
+
+// Satellite: Compiler::compileSource itself must be safe to run from many
+// threads at once (one Compiler instance per thread — the documented
+// contract), on both distinct and identical inputs.
+TEST(Concurrency, ParallelCompileSourceDistinctAndIdenticalInputs) {
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        Compiler compiler;  // thread-local instance
+        for (int i = 0; i < 4; ++i) {
+          // Identical input on every thread…
+          auto shared = compiler.compileSource(kFirSource, "fir",
+                                               {ArgSpec::row(32), ArgSpec::row(32)},
+                                               CompileOptions::proposed());
+          if (shared.cCode().empty()) failures.fetch_add(1);
+          // …and a thread-distinct one, executed to check the result.
+          double scale = t + 2;
+          auto unit = compiler.compileSource(
+              "function y = f(x)\ny = x * " + std::to_string(t + 2) + ";\nend\n", "f",
+              {ArgSpec::scalar()}, CompileOptions::proposed());
+          double got = unit.run({Matrix::scalar(3)}).outputs[0].scalarValue();
+          if (got != 3.0 * scale) failures.fetch_add(1);
+        }
+      } catch (...) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ---- Protocol ------------------------------------------------------------
+
+TEST(Protocol, ParsesRequestWithAllFields) {
+  CompileRequest r;
+  std::string error;
+  ASSERT_TRUE(parseCompileRequest(
+      R"({"id": "x", "source": "function y = f(x)\ny = x;\nend", "entry": "f",)"
+      R"( "args": "1x8,c2x2", "isa": "scalar", "style": "coder", "vectorize": false,)"
+      R"( "checkElim": true})",
+      r, error))
+      << error;
+  EXPECT_EQ(r.id, "x");
+  EXPECT_NE(r.source.find('\n'), std::string::npos) << "\\n escape decoded";
+  EXPECT_EQ(r.entry, "f");
+  ASSERT_EQ(r.args.size(), 2u);
+  EXPECT_EQ(argSpecToken(r.args[0]), "r1x8");
+  EXPECT_EQ(argSpecToken(r.args[1]), "c2x2");
+  EXPECT_EQ(r.options.isa.name(), "scalar");
+  EXPECT_EQ(r.options.style, lower::CodeStyle::CoderLike);
+  EXPECT_FALSE(r.options.vectorize);
+  EXPECT_TRUE(r.options.checkElim);
+}
+
+TEST(Protocol, RequestErrorsNameTheProblem) {
+  CompileRequest r;
+  std::string error;
+  EXPECT_FALSE(parseCompileRequest(R"({"entry": "f"})", r, error));
+  EXPECT_NE(error.find("source"), std::string::npos);
+  EXPECT_FALSE(parseCompileRequest(R"({"source": "s", "entry": "f", "typo": 1})", r, error));
+  EXPECT_NE(error.find("typo"), std::string::npos);
+  EXPECT_FALSE(parseCompileRequest(R"({"source": "s", "entry": "f", "args": "0x3"})", r, error));
+  EXPECT_NE(error.find("bad arg spec '0x3'"), std::string::npos);
+  EXPECT_FALSE(
+      parseCompileRequest(R"({"source": "s", "entry": "f", "isa": "nope"})", r, error));
+  EXPECT_NE(error.find("nope"), std::string::npos);
+  EXPECT_FALSE(parseCompileRequest("{", r, error));
+  EXPECT_NE(error.find("byte"), std::string::npos);
+  EXPECT_FALSE(parseCompileRequest("[1, 2]", r, error));
+  EXPECT_NE(error.find("object"), std::string::npos);
+}
+
+TEST(Protocol, InlineIsaTextOverridesPreset) {
+  CompileRequest r;
+  std::string error;
+  ASSERT_TRUE(parseCompileRequest(
+      R"({"source": "s", "entry": "f", "isa": "dspx",)"
+      R"( "isa_text": "name mydsp\nsimd f64 4\nfeature fma"})",
+      r, error))
+      << error;
+  EXPECT_EQ(r.options.isa.name(), "mydsp");
+  EXPECT_EQ(r.options.isa.lanesF64(), 4);
+  EXPECT_TRUE(r.options.isa.hasFma());
+}
+
+TEST(Protocol, JsonParserHandlesEscapesNumbersAndStructure) {
+  std::string error;
+  auto v = parseJson(R"({"s": "a\"bA\n", "n": -2.5e2, "b": true, "z": null,)"
+                     R"( "a": [1, "two", {"k": false}]})",
+                     error);
+  ASSERT_TRUE(v.has_value()) << error;
+  EXPECT_EQ(v->find("s")->text, "a\"bA\n");
+  EXPECT_EQ(v->find("n")->number, -250.0);
+  EXPECT_TRUE(v->find("b")->boolean);
+  EXPECT_EQ(v->find("z")->kind, JsonValue::Kind::Null);
+  ASSERT_EQ(v->find("a")->elements.size(), 3u);
+  EXPECT_EQ(v->find("a")->elements[2].find("k")->kind, JsonValue::Kind::Bool);
+  EXPECT_EQ(v->find("missing"), nullptr);
+
+  EXPECT_FALSE(parseJson(R"({"x": 1} junk)", error).has_value());
+  EXPECT_FALSE(parseJson(R"("unterminated)", error).has_value());
+  EXPECT_FALSE(parseJson("{\"x\": nope}", error).has_value());
+}
+
+TEST(Protocol, ResponseJsonCarriesResultOrError) {
+  CompileResponse ok;
+  ok.id = "r1";
+  ok.ok = true;
+  ok.cacheHit = true;
+  ok.result = compileToResult(firRequest("r1"));
+  ok.millis = 1.5;
+  std::string line = responseJson(ok);
+  EXPECT_NE(line.find("\"id\": \"r1\""), std::string::npos);
+  EXPECT_NE(line.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(line.find("\"cached\": true"), std::string::npos);
+  EXPECT_NE(line.find("\"cBytes\": "), std::string::npos);
+  EXPECT_NE(line.find("\"loopsVectorized\": 1"), std::string::npos);
+
+  CompileResponse bad;
+  bad.id = "r2";
+  bad.error = "boom \"quoted\"";
+  std::string badLine = responseJson(bad);
+  EXPECT_NE(badLine.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(badLine.find("\\\"quoted\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mat2c

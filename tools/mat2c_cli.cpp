@@ -2,6 +2,8 @@
 //
 // Usage:
 //   mat2c compile <file.m> --entry <name> --args <spec,...> [options]
+//   mat2c serve [<requests.jsonl>|-] [--jobs <n>] [--cache-entries <n>]
+//               [--stats-json <file>]
 //   mat2c isa [--preset <name> | --isa-file <file>]
 //   mat2c list-kernels
 //
@@ -28,17 +30,28 @@
 //   --trace-passes        dump the LIR after every pass (stderr)
 //   --telemetry-json <f>  write per-pass telemetry as JSON (see
 //                         docs/pipeline.md for the schema)
+//
+// `serve` reads JSON-lines compile requests (one object per line; see
+// docs/service.md for the schema) from a file or stdin, compiles them on a
+// worker pool with a content-addressed compile cache, writes one JSON
+// response line per request to stdout in input order, and finishes with a
+// cache/throughput stats JSON (stderr, or --stats-json <file>).
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "driver/report.hpp"
 
 #include "driver/compiler.hpp"
 #include "driver/kernels.hpp"
+#include "service/compile_service.hpp"
+#include "service/protocol.hpp"
 #include "support/string_utils.hpp"
 
 namespace {
@@ -50,46 +63,31 @@ int usage() {
                "usage:\n"
                "  mat2c compile <file.m> --entry <name> --args <spec,...> [options]\n"
                "  mat2c compile -e '<matlab source>' --entry <name> --args <spec,...>\n"
+               "  mat2c serve [<requests.jsonl>|-] [--jobs <n>] [--cache-entries <n>]"
+               " [--stats-json <file>]\n"
                "  mat2c isa [--preset <name>] [--isa-file <file>]\n"
                "  mat2c list-kernels\n"
                "run `head tools/mat2c_cli.cpp` for the full option list\n");
   return 2;
 }
 
-/// Strict positive-integer parse: every character must be a digit, the value
-/// must fit in int64 and be > 0. (std::stoll would silently accept trailing
-/// junk like "3junk" and signs.)
-bool parsePositiveInt(const std::string& s, std::int64_t& out) {
-  if (s.empty()) return false;
-  std::int64_t v = 0;
-  for (char ch : s) {
-    if (ch < '0' || ch > '9') return false;
-    int digit = ch - '0';
-    if (v > (INT64_MAX - digit) / 10) return false;
-    v = v * 10 + digit;
+/// Reads and parses a textual ISA description file, printing the open error
+/// or parse diagnostics on failure. Shared by `isa` and `compile`.
+std::optional<isa::IsaDescription> loadIsaFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "mat2c: cannot open '%s'\n", path.c_str());
+    return std::nullopt;
   }
-  if (v <= 0) return false;
-  out = v;
-  return true;
-}
-
-bool parseArgSpec(const std::string& text, sema::ArgSpec& out) {
-  std::string t = text;
-  bool complex = false;
-  if (!t.empty() && (t[0] == 'c' || t[0] == 'C')) {
-    complex = true;
-    t = t.substr(1);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  DiagnosticEngine diags;
+  isa::IsaDescription d = isa::IsaDescription::parse(ss.str(), diags);
+  if (diags.hasErrors()) {
+    std::fprintf(stderr, "%s", diags.renderAll().c_str());
+    return std::nullopt;
   }
-  auto xPos = t.find('x');
-  if (xPos == std::string::npos) return false;
-  std::int64_t rows = 0;
-  std::int64_t cols = 0;
-  if (!parsePositiveInt(t.substr(0, xPos), rows) ||
-      !parsePositiveInt(t.substr(xPos + 1), cols)) {
-    return false;
-  }
-  out = sema::ArgSpec::matrix(rows, cols, complex);
-  return true;
+  return d;
 }
 
 Matrix makeInput(const sema::ArgSpec& spec, kernels::InputGen& gen) {
@@ -121,19 +119,9 @@ int cmdIsa(int argc, char** argv) {
   }
   isa::IsaDescription d;
   if (!file.empty()) {
-    std::ifstream in(file);
-    if (!in) {
-      std::fprintf(stderr, "mat2c: cannot open '%s'\n", file.c_str());
-      return 1;
-    }
-    std::stringstream ss;
-    ss << in.rdbuf();
-    DiagnosticEngine diags;
-    d = isa::IsaDescription::parse(ss.str(), diags);
-    if (diags.hasErrors()) {
-      std::fprintf(stderr, "%s", diags.renderAll().c_str());
-      return 1;
-    }
+    auto loaded = loadIsaFile(file);
+    if (!loaded) return 1;
+    d = *loaded;
   } else {
     try {
       d = isa::IsaDescription::preset(preset);
@@ -242,36 +230,21 @@ int cmdCompile(int argc, char** argv) {
   if (source.empty() || entry.empty()) return usage();
 
   std::vector<sema::ArgSpec> specs;
-  if (!argsText.empty()) {
-    for (const auto& part : split(argsText, ',')) {
-      sema::ArgSpec spec;
-      if (!parseArgSpec(std::string(trim(part)), spec)) {
-        std::fprintf(stderr,
-                     "mat2c: bad arg spec '%s' (dims must be positive integers with no "
-                     "trailing characters; want e.g. 1x1024 or c1x64)\n",
-                     std::string(trim(part)).c_str());
-        return 2;
-      }
-      specs.push_back(spec);
-    }
+  std::string badSpec;
+  if (!service::parseArgSpecList(argsText, specs, badSpec)) {
+    std::fprintf(stderr,
+                 "mat2c: bad arg spec '%s' (dims must be positive integers with no "
+                 "trailing characters; want e.g. 1x1024 or c1x64)\n",
+                 badSpec.c_str());
+    return 2;
   }
 
   CompileOptions options = coder ? CompileOptions::coderLike(isaPreset)
                                  : CompileOptions::proposed(isaPreset);
   if (!isaFile.empty()) {
-    std::ifstream in(isaFile);
-    if (!in) {
-      std::fprintf(stderr, "mat2c: cannot open '%s'\n", isaFile.c_str());
-      return 1;
-    }
-    std::stringstream ss;
-    ss << in.rdbuf();
-    DiagnosticEngine diags;
-    options.isa = isa::IsaDescription::parse(ss.str(), diags);
-    if (diags.hasErrors()) {
-      std::fprintf(stderr, "%s", diags.renderAll().c_str());
-      return 1;
-    }
+    auto loaded = loadIsaFile(isaFile);
+    if (!loaded) return 1;
+    options.isa = *loaded;
   }
   if (noVectorize) options.vectorize = false;
   if (noIdioms) options.idioms = false;
@@ -354,12 +327,121 @@ int cmdCompile(int argc, char** argv) {
   return 0;
 }
 
+int cmdServe(int argc, char** argv) {
+  std::string inputPath = "-";
+  bool sawInput = false;
+  service::CompileService::Config config;
+  std::string statsPath;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mat2c: %s expects a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--jobs") {
+      config.threads = static_cast<std::size_t>(std::stoul(need("--jobs")));
+    } else if (a == "--cache-entries") {
+      config.cacheEntries = static_cast<std::size_t>(std::stoul(need("--cache-entries")));
+    } else if (a == "--stats-json") {
+      statsPath = need("--stats-json");
+    } else if ((a == "-" || a[0] != '-') && !sawInput) {
+      inputPath = a;
+      sawInput = true;
+    } else {
+      std::fprintf(stderr, "mat2c: unknown option '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+
+  std::ifstream file;
+  if (inputPath != "-") {
+    file.open(inputPath);
+    if (!file) {
+      std::fprintf(stderr, "mat2c: cannot open '%s'\n", inputPath.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = inputPath == "-" ? std::cin : file;
+
+  service::CompileService serviceInstance(config);
+
+  // One slot per request line, so responses come out in input order even
+  // though the pool completes them in any order. Malformed lines get an
+  // immediate error response instead of aborting the batch.
+  struct Slot {
+    bool ready = false;
+    service::CompileResponse response;
+    std::future<service::CompileResponse> future;
+  };
+  std::vector<Slot> slots;
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    service::CompileRequest request;
+    std::string error;
+    Slot slot;
+    if (!service::parseCompileRequest(stripped, request, error)) {
+      slot.ready = true;
+      slot.response.id = "line" + std::to_string(lineNo);
+      slot.response.error = "bad request: " + error;
+      slots.push_back(std::move(slot));
+      continue;
+    }
+    if (request.id.empty()) request.id = "line" + std::to_string(lineNo);
+    slot.future = serviceInstance.submit(std::move(request));
+    slots.push_back(std::move(slot));
+  }
+
+  std::size_t failed = 0;
+  for (Slot& slot : slots) {
+    service::CompileResponse response =
+        slot.ready ? std::move(slot.response) : slot.future.get();
+    if (!response.ok) ++failed;
+    std::printf("%s\n", service::responseJson(response).c_str());
+  }
+  double wallMillis =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+
+  service::ServiceStats stats = serviceInstance.stats();
+  std::string statsDoc = service::statsJson(stats, wallMillis);
+  if (!statsPath.empty()) {
+    std::ofstream out(statsPath);
+    if (!out) {
+      std::fprintf(stderr, "mat2c: cannot write '%s'\n", statsPath.c_str());
+      return 1;
+    }
+    out << statsDoc;
+  } else {
+    std::fprintf(stderr, "%s", statsDoc.c_str());
+  }
+  std::fprintf(stderr,
+               "mat2c: served %zu request(s) on %zu thread(s): %llu compile(s), "
+               "%llu cache hit(s), %llu dedup join(s), %zu failure(s), %.1f ms\n",
+               slots.size(), serviceInstance.threadCount(),
+               static_cast<unsigned long long>(stats.compiles),
+               static_cast<unsigned long long>(stats.cacheHits),
+               static_cast<unsigned long long>(stats.dedupJoins), failed, wallMillis);
+  // Per-request failures are reported in-band (the "ok" field); only a
+  // completely failed batch is an error exit.
+  return !slots.empty() && failed == slots.size() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string cmd = argv[1];
   if (cmd == "compile") return cmdCompile(argc, argv);
+  if (cmd == "serve") return cmdServe(argc, argv);
   if (cmd == "isa") return cmdIsa(argc, argv);
   if (cmd == "list-kernels") return cmdListKernels();
   return usage();
