@@ -27,6 +27,20 @@ std::string CompileOptions::passSignature() const {
   s += tri(boundsChecks);
   s += ";checkElim=";
   s += checkElim ? '1' : '0';
+  s += ";fuseLoops=";
+  s += fuseLoops ? '1' : '0';
+  s += ";unroll=";
+  s += unrollRecurrences ? '1' : '0';
+  s += ";unrollMaxTrip=";
+  s += std::to_string(unrollMaxTrip);
+  s += ";licm=";
+  s += licm ? '1' : '0';
+  s += ";cse=";
+  s += cse ? '1' : '0';
+  s += ";deadStores=";
+  s += deadStores ? '1' : '0';
+  s += ";reassoc=";
+  s += reassoc ? '1' : '0';
   return s;
 }
 
@@ -63,6 +77,13 @@ CompiledUnit Compiler::compileSource(const std::string& matlabSource, const std:
   passOpts.vectorize = options.vectorize && options.style == lower::CodeStyle::Proposed;
   passOpts.sinkDecls = options.sinkDecls;
   passOpts.checkElim = options.checkElim;
+  passOpts.fuseLoops = options.fuseLoops;
+  passOpts.unrollRecurrences = options.unrollRecurrences;
+  passOpts.unrollMaxTrip = options.unrollMaxTrip;
+  passOpts.licm = options.licm;
+  passOpts.cse = options.cse;
+  passOpts.deadStores = options.deadStores;
+  passOpts.reassoc = options.reassoc;
   passOpts.verifyEach = options.verifyEach;
   passOpts.trace = options.tracePasses;
   opt::PipelineReport report = opt::runPipeline(fn, unitIsa, passOpts);

@@ -45,6 +45,21 @@ struct CompileOptions {
   /// Remove provably-safe bounds checks from checked code (static-shape
   /// payoff; only meaningful together with boundsChecks).
   bool checkElim = false;
+  /// Loop-optimization layer (see docs/pipeline.md): cross-statement loop
+  /// fusion, recurrence unrolling, loop-invariant code motion with register
+  /// promotion, region CSE with store-to-load forwarding, and dead-store /
+  /// dead-loop cleanup. On for the Proposed style; coderLike() switches
+  /// them all off so the baseline keeps its literal statement stream.
+  bool fuseLoops = true;
+  bool unrollRecurrences = true;
+  int unrollMaxTrip = 8;
+  bool licm = true;
+  bool cse = true;
+  bool deadStores = true;
+  /// Allow reassociating fma rewrites ((a*b - y) + z -> fma(a,b,z) - y).
+  /// Changes rounding (see EXPERIMENTS.md for the measured error); off by
+  /// default for bit-faithful comparisons against the interpreter.
+  bool reassoc = false;
   /// Run the LIR verifier after every optimization pass; a failure throws
   /// CompileError naming the offending pass (CLI --verify-each).
   bool verifyEach = false;
@@ -72,6 +87,11 @@ struct CompileOptions {
     o.style = lower::CodeStyle::CoderLike;
     o.idioms = false;
     o.vectorize = false;
+    o.fuseLoops = false;
+    o.unrollRecurrences = false;
+    o.licm = false;
+    o.cse = false;
+    o.deadStores = false;
     return o;
   }
 };

@@ -108,6 +108,12 @@ std::string telemetryJson(const opt::PipelineReport& report, const std::string& 
   os << "  \"idiomRewrites\": " << report.idiomRewrites << ",\n";
   os << "  \"checksRemoved\": " << report.checksRemoved << ",\n";
   os << "  \"loopsVectorized\": " << report.vec.loopsVectorized << ",\n";
+  os << "  \"loopsFused\": " << report.loopsFused << ",\n";
+  os << "  \"loopsUnrolled\": " << report.loopsUnrolled << ",\n";
+  os << "  \"exprsHoisted\": " << report.exprsHoisted << ",\n";
+  os << "  \"scalarsPromoted\": " << report.scalarsPromoted << ",\n";
+  os << "  \"cseEliminated\": " << report.cseEliminated << ",\n";
+  os << "  \"storesRemoved\": " << report.storesRemoved << ",\n";
   os << "  \"passes\": [";
   for (std::size_t i = 0; i < report.passes.size(); ++i) {
     const opt::PassRecord& p = report.passes[i];
@@ -119,7 +125,13 @@ std::string telemetryJson(const opt::PipelineReport& report, const std::string& 
     appendStats(os, "after", p.after);
     os << ", \"counters\": {\"checksRemoved\": " << p.checksRemoved
        << ", \"idiomRewrites\": " << p.idiomRewrites
-       << ", \"loopsVectorized\": " << p.loopsVectorized << "}}";
+       << ", \"loopsVectorized\": " << p.loopsVectorized
+       << ", \"loopsFused\": " << p.loopsFused
+       << ", \"loopsUnrolled\": " << p.loopsUnrolled
+       << ", \"exprsHoisted\": " << p.exprsHoisted
+       << ", \"scalarsPromoted\": " << p.scalarsPromoted
+       << ", \"cseEliminated\": " << p.cseEliminated
+       << ", \"storesRemoved\": " << p.storesRemoved << "}}";
   }
   os << "\n  ]\n}\n";
   return os.str();
@@ -137,6 +149,12 @@ Table passTable(const opt::PipelineReport& report) {
     add("checksRemoved", p.checksRemoved);
     add("idiomRewrites", p.idiomRewrites);
     add("loopsVectorized", p.loopsVectorized);
+    add("loopsFused", p.loopsFused);
+    add("loopsUnrolled", p.loopsUnrolled);
+    add("exprsHoisted", p.exprsHoisted);
+    add("scalarsPromoted", p.scalarsPromoted);
+    add("cseEliminated", p.cseEliminated);
+    add("storesRemoved", p.storesRemoved);
     t.addRow({p.name, Table::num(p.millis, 3), std::to_string(p.after.statements),
               std::to_string(p.after.statements - p.before.statements),
               std::to_string(p.after.loops - p.before.loops),

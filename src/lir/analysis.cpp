@@ -1,0 +1,162 @@
+#include "lir/analysis.hpp"
+
+namespace mat2c::lir {
+
+bool exprEquals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind || !(a.type == b.type)) return false;
+  switch (a.kind) {
+    case ExprKind::ConstF:
+      // Bitwise-identical constants only; folding already canonicalizes.
+      return a.fval == b.fval;
+    case ExprKind::ConstI: return a.ival == b.ival;
+    case ExprKind::VarRef: return a.name == b.name;
+    case ExprKind::Load:
+      return a.name == b.name && exprEquals(*a.index, *b.index);
+    case ExprKind::Unary:
+      return a.unOp == b.unOp && exprEquals(*a.a, *b.a);
+    case ExprKind::Binary:
+      return a.binOp == b.binOp && exprEquals(*a.a, *b.a) && exprEquals(*a.b, *b.b);
+    case ExprKind::Fma:
+      return exprEquals(*a.a, *b.a) && exprEquals(*a.b, *b.b) && exprEquals(*a.c, *b.c);
+    case ExprKind::Splat: return exprEquals(*a.a, *b.a);
+    case ExprKind::Reduce:
+      return a.reduceOp == b.reduceOp && exprEquals(*a.a, *b.a);
+  }
+  return false;
+}
+
+void substituteVar(ExprPtr& e, const std::string& name, const Expr& replacement) {
+  if (e->kind == ExprKind::VarRef && e->name == name) {
+    e = replacement.clone();
+    return;
+  }
+  if (e->index) substituteVar(e->index, name, replacement);
+  if (e->a) substituteVar(e->a, name, replacement);
+  if (e->b) substituteVar(e->b, name, replacement);
+  if (e->c) substituteVar(e->c, name, replacement);
+}
+
+void substituteVar(Stmt& s, const std::string& name, const Expr& replacement) {
+  if (s.value) substituteVar(s.value, name, replacement);
+  if (s.index) substituteVar(s.index, name, replacement);
+  if (s.lo) substituteVar(s.lo, name, replacement);
+  if (s.hi) substituteVar(s.hi, name, replacement);
+  if (s.cond) substituteVar(s.cond, name, replacement);
+  for (auto& st : s.body) {
+    // A nested declaration of the same name shadows; stop substituting its
+    // scope. (Bounds/init of the shadowing stmt were handled above.)
+    if ((st->kind == StmtKind::DeclScalar || st->kind == StmtKind::For) && st->name == name) {
+      if (st->value) substituteVar(st->value, name, replacement);
+      if (st->lo) substituteVar(st->lo, name, replacement);
+      if (st->hi) substituteVar(st->hi, name, replacement);
+      continue;
+    }
+    substituteVar(*st, name, replacement);
+  }
+  for (auto& st : s.elseBody) {
+    if ((st->kind == StmtKind::DeclScalar || st->kind == StmtKind::For) && st->name == name) {
+      if (st->value) substituteVar(st->value, name, replacement);
+      if (st->lo) substituteVar(st->lo, name, replacement);
+      if (st->hi) substituteVar(st->hi, name, replacement);
+      continue;
+    }
+    substituteVar(*st, name, replacement);
+  }
+}
+
+namespace {
+
+void renameInExpr(ExprPtr& e, const std::string& from, const std::string& to) {
+  if (e->kind == ExprKind::VarRef && e->name == from) e->name = to;
+  if (e->index) renameInExpr(e->index, from, to);
+  if (e->a) renameInExpr(e->a, from, to);
+  if (e->b) renameInExpr(e->b, from, to);
+  if (e->c) renameInExpr(e->c, from, to);
+}
+
+}  // namespace
+
+void renameVar(Stmt& s, const std::string& from, const std::string& to) {
+  if ((s.kind == StmtKind::DeclScalar || s.kind == StmtKind::Assign ||
+       s.kind == StmtKind::For) &&
+      s.name == from) {
+    s.name = to;
+  }
+  if (s.value) renameInExpr(s.value, from, to);
+  if (s.index) renameInExpr(s.index, from, to);
+  if (s.lo) renameInExpr(s.lo, from, to);
+  if (s.hi) renameInExpr(s.hi, from, to);
+  if (s.cond) renameInExpr(s.cond, from, to);
+  for (auto& st : s.body) renameVar(*st, from, to);
+  for (auto& st : s.elseBody) renameVar(*st, from, to);
+}
+
+bool AccessInfo::independentOf(const AccessInfo& other) const {
+  if (hasLoopControl || other.hasLoopControl) return false;
+  auto intersects = [](const std::set<std::string>& a, const std::set<std::string>& b) {
+    for (const auto& x : a)
+      if (b.count(x)) return true;
+    return false;
+  };
+  if (intersects(scalarWrites, other.scalarWrites)) return false;
+  if (intersects(scalarWrites, other.scalarReads)) return false;
+  if (intersects(scalarReads, other.scalarWrites)) return false;
+  if (intersects(arrayWrites, other.arrayWrites)) return false;
+  if (intersects(arrayWrites, other.arrayReads)) return false;
+  if (intersects(arrayReads, other.arrayWrites)) return false;
+  return true;
+}
+
+void collectAccess(const Expr& e, AccessInfo& out) {
+  if (e.kind == ExprKind::VarRef) out.scalarReads.insert(e.name);
+  if (e.kind == ExprKind::Load) out.arrayReads.insert(e.name);
+  if (e.index) collectAccess(*e.index, out);
+  if (e.a) collectAccess(*e.a, out);
+  if (e.b) collectAccess(*e.b, out);
+  if (e.c) collectAccess(*e.c, out);
+}
+
+void collectAccess(const Stmt& s, AccessInfo& out) {
+  switch (s.kind) {
+    case StmtKind::DeclScalar:
+      out.scalarWrites.insert(s.name);
+      out.scalarDecls.insert(s.name);
+      break;
+    case StmtKind::Assign: out.scalarWrites.insert(s.name); break;
+    case StmtKind::Store: out.arrayWrites.insert(s.name); break;
+    case StmtKind::For:
+      out.scalarWrites.insert(s.name);
+      out.scalarDecls.insert(s.name);
+      break;
+    case StmtKind::BoundsCheck: out.arrayReads.insert(s.name); break;
+    case StmtKind::AllocMark: out.arrayWrites.insert(s.name); break;
+    case StmtKind::Break:
+    case StmtKind::Continue: out.hasLoopControl = true; break;
+    case StmtKind::While: out.hasWhile = true; break;
+    default: break;
+  }
+  if (s.value) collectAccess(*s.value, out);
+  if (s.index) collectAccess(*s.index, out);
+  if (s.lo) collectAccess(*s.lo, out);
+  if (s.hi) collectAccess(*s.hi, out);
+  if (s.cond) collectAccess(*s.cond, out);
+  for (const auto& st : s.body) collectAccess(*st, out);
+  for (const auto& st : s.elseBody) collectAccess(*st, out);
+}
+
+std::set<std::string> varReads(const Expr& e) {
+  AccessInfo info;
+  collectAccess(e, info);
+  return info.scalarReads;
+}
+
+bool containsLoad(const Expr& e) {
+  if (e.kind == ExprKind::Load) return true;
+  if (e.index && containsLoad(*e.index)) return true;
+  if (e.a && containsLoad(*e.a)) return true;
+  if (e.b && containsLoad(*e.b)) return true;
+  if (e.c && containsLoad(*e.c)) return true;
+  return false;
+}
+
+}  // namespace mat2c::lir

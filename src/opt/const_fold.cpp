@@ -1,5 +1,8 @@
 #include <cmath>
 
+#include <map>
+
+#include "lir/analysis.hpp"
 #include "opt/passes.hpp"
 
 namespace mat2c::opt {
@@ -172,8 +175,60 @@ void foldStmt(Stmt& s) {
 
 }  // namespace
 
+namespace {
+
+// Single-assignment i64 constant propagation. The vectorizer's strip-mine
+// bounds (`vend = (n / 4) * 4`) become ConstI initializers after folding,
+// but downstream loop bounds still reference them by name; propagating the
+// literal lets the fusion legality test compare bounds and lets dce remove
+// zero-trip remainder loops. Only scalars declared exactly once (counting
+// For induction variables as declarations) and never reassigned qualify.
+struct I64Const {
+  std::int64_t value = 0;
+  int decls = 0;
+  bool assigned = false;
+  bool constInit = false;
+};
+
+void scanConsts(const std::vector<lir::StmtPtr>& block,
+                std::map<std::string, I64Const>& consts) {
+  for (const auto& s : block) {
+    if (s->kind == lir::StmtKind::DeclScalar) {
+      auto& c = consts[s->name];
+      ++c.decls;
+      if (s->declType.scalar == lir::Scalar::I64 && s->declType.lanes == 1 && s->value &&
+          s->value->kind == lir::ExprKind::ConstI) {
+        c.constInit = true;
+        c.value = s->value->ival;
+      }
+    } else if (s->kind == lir::StmtKind::For) {
+      ++consts[s->name].decls;
+    } else if (s->kind == lir::StmtKind::Assign) {
+      consts[s->name].assigned = true;
+    }
+    scanConsts(s->body, consts);
+    scanConsts(s->elseBody, consts);
+  }
+}
+
+}  // namespace
+
 void constFold(lir::Function& fn) {
   for (auto& s : fn.body) foldStmt(*s);
+
+  std::map<std::string, I64Const> consts;
+  scanConsts(fn.body, consts);
+  bool propagated = false;
+  for (const auto& [name, c] : consts) {
+    if (c.decls != 1 || c.assigned || !c.constInit) continue;
+    lir::ExprPtr lit = lir::constI(c.value);
+    for (auto& s : fn.body) substituteVar(*s, name, *lit);
+    propagated = true;
+  }
+  // Propagation exposes fresh constant arithmetic (e.g. `vend - 0`).
+  if (propagated) {
+    for (auto& s : fn.body) foldStmt(*s);
+  }
 }
 
 }  // namespace mat2c::opt

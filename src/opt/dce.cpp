@@ -78,4 +78,110 @@ int eliminateDeadScalars(lir::Function& fn) {
   return rounds;
 }
 
+namespace {
+
+void countArrayRefs(const Expr& e, std::map<std::string, int>& loads) {
+  if (e.kind == ExprKind::Load) loads[e.name]++;
+  if (e.index) countArrayRefs(*e.index, loads);
+  if (e.a) countArrayRefs(*e.a, loads);
+  if (e.b) countArrayRefs(*e.b, loads);
+  if (e.c) countArrayRefs(*e.c, loads);
+}
+
+void countArrayRefs(const std::vector<StmtPtr>& block, std::map<std::string, int>& loads,
+                    std::map<std::string, int>& other) {
+  for (const auto& s : block) {
+    if (s->kind == StmtKind::BoundsCheck || s->kind == StmtKind::AllocMark) {
+      other[s->name]++;
+    }
+    if (s->value) countArrayRefs(*s->value, loads);
+    if (s->index) countArrayRefs(*s->index, loads);
+    if (s->cond) countArrayRefs(*s->cond, loads);
+    if (s->lo) countArrayRefs(*s->lo, loads);
+    if (s->hi) countArrayRefs(*s->hi, loads);
+    countArrayRefs(s->body, loads, other);
+    countArrayRefs(s->elseBody, loads, other);
+  }
+}
+
+int sweepDeadStores(std::vector<StmtPtr>& block, const std::set<std::string>& deadArrays) {
+  int removed = 0;
+  std::vector<StmtPtr> out;
+  out.reserve(block.size());
+  for (auto& sp : block) {
+    removed += sweepDeadStores(sp->body, deadArrays);
+    removed += sweepDeadStores(sp->elseBody, deadArrays);
+    bool drop = false;
+    if (sp->kind == StmtKind::Store && deadArrays.count(sp->name)) {
+      drop = true;
+    } else if (sp->kind == StmtKind::For && sp->body.empty()) {
+      drop = true;  // bounds are pure; an empty loop only burns cycles
+    } else if (sp->kind == StmtKind::For && sp->lo->kind == ExprKind::ConstI &&
+               sp->hi->kind == ExprKind::ConstI &&
+               (sp->step > 0 ? sp->lo->ival >= sp->hi->ival
+                             : sp->lo->ival <= sp->hi->ival)) {
+      drop = true;  // provably zero trips (e.g. an exact strip-mine remainder)
+    } else if (sp->kind == StmtKind::If && sp->body.empty() && sp->elseBody.empty()) {
+      drop = true;
+    }
+    if (drop) {
+      ++removed;
+    } else {
+      out.push_back(std::move(sp));
+    }
+  }
+  block = std::move(out);
+  return removed;
+}
+
+}  // namespace
+
+int eliminateDeadStores(lir::Function& fn) {
+  int removed = 0;
+  // Iterate: removing the stores of a never-loaded array can empty a loop,
+  // and removing that loop can orphan another array's only loads.
+  for (int round = 0; round < 16; ++round) {
+    std::map<std::string, int> loads, other;
+    countArrayRefs(fn.body, loads, other);
+    // Only function-local arrays qualify: outputs escape to the caller and
+    // writes through array parameters are visible there too.
+    std::set<std::string> deadArrays;
+    for (const auto& a : fn.arrays) {
+      auto it = loads.find(a.name);
+      bool neverLoaded = it == loads.end() || it->second == 0;
+      // An AllocMark or BoundsCheck models a runtime effect on the array
+      // (growth bookkeeping / a trap); keep such arrays untouched.
+      if (neverLoaded && !other.count(a.name)) deadArrays.insert(a.name);
+    }
+    int n = sweepDeadStores(fn.body, deadArrays);
+    if (n == 0) break;
+    removed += n;
+  }
+  // Drop local array declarations nothing references anymore.
+  {
+    std::map<std::string, int> loads, other;
+    countArrayRefs(fn.body, loads, other);
+    std::map<std::string, int> stores;
+    std::function<void(const std::vector<StmtPtr>&)> countStores =
+        [&](const std::vector<StmtPtr>& block) {
+          for (const auto& s : block) {
+            if (s->kind == StmtKind::Store) stores[s->name]++;
+            countStores(s->body);
+            countStores(s->elseBody);
+          }
+        };
+    countStores(fn.body);
+    std::vector<ArrayDecl> kept;
+    for (auto& a : fn.arrays) {
+      if (loads.count(a.name) || other.count(a.name) || stores.count(a.name)) {
+        kept.push_back(std::move(a));
+      } else {
+        ++removed;
+      }
+    }
+    fn.arrays = std::move(kept);
+  }
+  return removed;
+}
+
 }  // namespace mat2c::opt

@@ -15,19 +15,19 @@ bool fmaSupported(const isa::IsaDescription& isa, const VType& t) {
   return false;
 }
 
-int rewriteExpr(ExprPtr& e, const isa::IsaDescription& isa);
+int rewriteExpr(ExprPtr& e, const isa::IsaDescription& isa, bool reassoc);
 
-int rewriteChildren(Expr& e, const isa::IsaDescription& isa) {
+int rewriteChildren(Expr& e, const isa::IsaDescription& isa, bool reassoc) {
   int n = 0;
-  if (e.index) n += rewriteExpr(e.index, isa);
-  if (e.a) n += rewriteExpr(e.a, isa);
-  if (e.b) n += rewriteExpr(e.b, isa);
-  if (e.c) n += rewriteExpr(e.c, isa);
+  if (e.index) n += rewriteExpr(e.index, isa, reassoc);
+  if (e.a) n += rewriteExpr(e.a, isa, reassoc);
+  if (e.b) n += rewriteExpr(e.b, isa, reassoc);
+  if (e.c) n += rewriteExpr(e.c, isa, reassoc);
   return n;
 }
 
-int rewriteExpr(ExprPtr& e, const isa::IsaDescription& isa) {
-  int n = rewriteChildren(*e, isa);
+int rewriteExpr(ExprPtr& e, const isa::IsaDescription& isa, bool reassoc) {
+  int n = rewriteChildren(*e, isa, reassoc);
   if (e->kind != ExprKind::Binary || e->binOp != BinOp::Add) return n;
   if (!(e->type.scalar == Scalar::F64 || e->type.scalar == Scalar::C64)) return n;
   if (!fmaSupported(isa, e->type)) return n;
@@ -44,6 +44,28 @@ int rewriteExpr(ExprPtr& e, const isa::IsaDescription& isa) {
   } else if (isMul(e->b)) {
     mul = std::move(e->b);
     addend = std::move(e->a);
+  } else if (reassoc) {
+    // (a*b - y) + z  or  z + (a*b - y)  ->  fma(a, b, z) - y.
+    // Changes the association of the outer add/sub chain, so only done
+    // under the explicit reassoc option.
+    auto isMulSub = [&](const ExprPtr& x) {
+      return x->kind == ExprKind::Binary && x->binOp == BinOp::Sub && isMul(x->a);
+    };
+    ExprPtr sub;
+    ExprPtr z;
+    if (isMulSub(e->a)) {
+      sub = std::move(e->a);
+      z = std::move(e->b);
+    } else if (isMulSub(e->b)) {
+      sub = std::move(e->b);
+      z = std::move(e->a);
+    } else {
+      return n;
+    }
+    VType type = e->type;
+    ExprPtr mac = fma(std::move(sub->a->a), std::move(sub->a->b), std::move(z), type);
+    e = binary(BinOp::Sub, std::move(mac), std::move(sub->b), type);
+    return n + 1;
   } else {
     return n;
   }
@@ -51,23 +73,23 @@ int rewriteExpr(ExprPtr& e, const isa::IsaDescription& isa) {
   return n + 1;
 }
 
-int rewriteStmt(Stmt& s, const isa::IsaDescription& isa) {
+int rewriteStmt(Stmt& s, const isa::IsaDescription& isa, bool reassoc) {
   int n = 0;
-  if (s.value) n += rewriteExpr(s.value, isa);
-  if (s.index) n += rewriteExpr(s.index, isa);
-  if (s.cond) n += rewriteExpr(s.cond, isa);
-  if (s.lo) n += rewriteExpr(s.lo, isa);
-  if (s.hi) n += rewriteExpr(s.hi, isa);
-  for (auto& st : s.body) n += rewriteStmt(*st, isa);
-  for (auto& st : s.elseBody) n += rewriteStmt(*st, isa);
+  if (s.value) n += rewriteExpr(s.value, isa, reassoc);
+  if (s.index) n += rewriteExpr(s.index, isa, reassoc);
+  if (s.cond) n += rewriteExpr(s.cond, isa, reassoc);
+  if (s.lo) n += rewriteExpr(s.lo, isa, reassoc);
+  if (s.hi) n += rewriteExpr(s.hi, isa, reassoc);
+  for (auto& st : s.body) n += rewriteStmt(*st, isa, reassoc);
+  for (auto& st : s.elseBody) n += rewriteStmt(*st, isa, reassoc);
   return n;
 }
 
 }  // namespace
 
-int recognizeIdioms(lir::Function& fn, const isa::IsaDescription& isa) {
+int recognizeIdioms(lir::Function& fn, const isa::IsaDescription& isa, bool reassociate) {
   int n = 0;
-  for (auto& s : fn.body) n += rewriteStmt(*s, isa);
+  for (auto& s : fn.body) n += rewriteStmt(*s, isa, reassociate);
   return n;
 }
 

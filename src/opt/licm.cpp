@@ -1,0 +1,339 @@
+// Loop-invariant code motion + register promotion.
+//
+// Two related transforms, applied per `for` loop from the innermost out:
+//
+// 1. Register promotion: an array whose every in-loop access uses a
+//    compile-time-constant, in-bounds index (the shape recurrence unrolling
+//    produces for state arrays like the iir z1/z2 delay lines) is replaced
+//    by one scalar per touched element — preloaded before the loop,
+//    referenced/assigned inside it, and unconditionally stored back after
+//    it. The writeback is value-preserving even for zero-trip loops: the
+//    scalars still hold the preloaded values.
+//
+// 2. Invariant hoisting: the largest f64/c64 subexpressions whose variable
+//    reads and array loads are untouched by the loop are computed once into
+//    a scalar ahead of the loop. Loads may only be speculated ahead of the
+//    loop when the index is provably in bounds or the loop provably runs at
+//    least once with the load executed unconditionally (the VM faults on
+//    out-of-bounds accesses, so a blind preload could trap where the
+//    original program did not). i64 expressions are never touched: the
+//    target's AGUs make index arithmetic free, and materializing it into
+//    registers would only obscure the emitted C.
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lir/analysis.hpp"
+#include "opt/passes.hpp"
+
+namespace mat2c::opt {
+
+using namespace lir;
+
+namespace {
+
+struct Licm {
+  const Function& fn;
+  std::set<std::string> usedNames;
+  int freshId = 0;
+  int hoisted = 0;
+  int promoted = 0;
+
+  explicit Licm(Function& f) : fn(f) {
+    AccessInfo all;
+    for (const auto& s : f.body) collectAccess(*s, all);
+    for (const auto& n : all.scalarReads) usedNames.insert(n);
+    for (const auto& n : all.scalarWrites) usedNames.insert(n);
+    for (const auto& p : f.params) usedNames.insert(p.name);
+    for (const auto& o : f.outs) usedNames.insert(o.name);
+    for (const auto& a : f.arrays) usedNames.insert(a.name);
+  }
+
+  std::string fresh(const std::string& hint) {
+    std::string name;
+    do {
+      name = "h" + std::to_string(freshId++) + "_" + hint;
+    } while (usedNames.count(name));
+    usedNames.insert(name);
+    return name;
+  }
+
+  void visitBlock(std::vector<StmtPtr>& block) {
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      visitBlock(block[i]->body);
+      visitBlock(block[i]->elseBody);
+      if (block[i]->kind != StmtKind::For) continue;
+      std::vector<StmtPtr> pre, post;
+      processLoop(*block[i], pre, post);
+      if (pre.empty() && post.empty()) continue;
+      std::vector<StmtPtr> out;
+      out.reserve(block.size() + pre.size() + post.size());
+      for (std::size_t k = 0; k < i; ++k) out.push_back(std::move(block[k]));
+      std::size_t skip = pre.size();
+      for (auto& s : pre) out.push_back(std::move(s));
+      out.push_back(std::move(block[i]));
+      for (auto& s : post) out.push_back(std::move(s));
+      for (std::size_t k = i + 1; k < block.size(); ++k) out.push_back(std::move(block[k]));
+      block = std::move(out);
+      i += skip + post.size();  // continue after the loop and its writebacks
+    }
+  }
+
+  void processLoop(Stmt& loop, std::vector<StmtPtr>& pre, std::vector<StmtPtr>& post) {
+    AccessInfo info;
+    for (const auto& s : loop.body) collectAccess(*s, info);
+    info.scalarWrites.insert(loop.name);
+    if (info.hasLoopControl) return;  // break/continue: iterations differ
+
+    promoteArrays(loop, info, pre, post);
+
+    // Promotion rewrote stores into scalar assigns; recompute the write sets
+    // so the new scalars are (correctly) treated as loop-varying.
+    AccessInfo after;
+    for (const auto& s : loop.body) collectAccess(*s, after);
+    after.scalarWrites.insert(loop.name);
+    hoistInvariants(loop, after, pre);
+  }
+
+  // ---- register promotion -------------------------------------------------
+
+  bool promotable(const Stmt& loop, const std::string& array) {
+    Scalar elem;
+    std::int64_t numel = 0;
+    if (!fn.arrayInfo(array, elem, numel)) return false;
+    bool ok = true;
+    std::function<void(const Expr&)> checkExpr = [&](const Expr& e) {
+      if (e.kind == ExprKind::Load && e.name == array) {
+        if (e.type.lanes != 1 || e.index->kind != ExprKind::ConstI ||
+            e.index->ival < 0 || e.index->ival >= numel) {
+          ok = false;
+        }
+      }
+      if (e.index) checkExpr(*e.index);
+      if (e.a) checkExpr(*e.a);
+      if (e.b) checkExpr(*e.b);
+      if (e.c) checkExpr(*e.c);
+    };
+    std::function<void(const Stmt&)> checkStmt = [&](const Stmt& s) {
+      if ((s.kind == StmtKind::BoundsCheck || s.kind == StmtKind::AllocMark) &&
+          s.name == array) {
+        ok = false;
+      }
+      if (s.kind == StmtKind::Store && s.name == array) {
+        if (!s.value || s.value->type.lanes != 1 || s.index->kind != ExprKind::ConstI ||
+            s.index->ival < 0 || s.index->ival >= numel) {
+          ok = false;
+        }
+      }
+      if (s.value) checkExpr(*s.value);
+      if (s.index && !(s.kind == StmtKind::Store && s.name == array)) checkExpr(*s.index);
+      if (s.cond) checkExpr(*s.cond);
+      if (s.lo) checkExpr(*s.lo);
+      if (s.hi) checkExpr(*s.hi);
+      for (const auto& st : s.body) checkStmt(*st);
+      for (const auto& st : s.elseBody) checkStmt(*st);
+    };
+    for (const auto& s : loop.body) checkStmt(*s);
+    return ok;
+  }
+
+  void promoteArrays(Stmt& loop, const AccessInfo& info, std::vector<StmtPtr>& pre,
+                     std::vector<StmtPtr>& post) {
+    for (const auto& array : info.arrayWrites) {
+      if (!promotable(loop, array)) continue;
+      Scalar elem;
+      std::int64_t numel = 0;
+      fn.arrayInfo(array, elem, numel);
+      VType type{elem, 1};
+
+      // Collect touched element indices in first-touch order.
+      std::vector<std::int64_t> touched;
+      std::map<std::int64_t, std::string> names;
+      std::function<void(const Expr&)> scanExpr = [&](const Expr& e) {
+        if (e.kind == ExprKind::Load && e.name == array && !names.count(e.index->ival)) {
+          touched.push_back(e.index->ival);
+          names[e.index->ival] = "";
+        }
+        if (e.index) scanExpr(*e.index);
+        if (e.a) scanExpr(*e.a);
+        if (e.b) scanExpr(*e.b);
+        if (e.c) scanExpr(*e.c);
+      };
+      std::function<void(const Stmt&)> scanStmt = [&](const Stmt& s) {
+        if (s.kind == StmtKind::Store && s.name == array && !names.count(s.index->ival)) {
+          touched.push_back(s.index->ival);
+          names[s.index->ival] = "";
+        }
+        if (s.value) scanExpr(*s.value);
+        if (s.index && !(s.kind == StmtKind::Store && s.name == array)) scanExpr(*s.index);
+        if (s.cond) scanExpr(*s.cond);
+        if (s.lo) scanExpr(*s.lo);
+        if (s.hi) scanExpr(*s.hi);
+        for (const auto& st : s.body) scanStmt(*st);
+        for (const auto& st : s.elseBody) scanStmt(*st);
+      };
+      for (const auto& s : loop.body) scanStmt(*s);
+      if (touched.empty()) continue;
+
+      for (std::int64_t k : touched) {
+        names[k] = fresh(array + "_" + std::to_string(k));
+        pre.push_back(declScalar(names[k], type, load(array, constI(k), type)));
+        post.push_back(store(array, constI(k), varRef(names[k], type)));
+        ++promoted;
+        ++hoisted;
+      }
+
+      // Rewrite in-loop accesses to the scalars.
+      std::function<void(ExprPtr&)> rewriteExpr = [&](ExprPtr& e) {
+        if (e->kind == ExprKind::Load && e->name == array) {
+          e = varRef(names[e->index->ival], type);
+          return;
+        }
+        if (e->index) rewriteExpr(e->index);
+        if (e->a) rewriteExpr(e->a);
+        if (e->b) rewriteExpr(e->b);
+        if (e->c) rewriteExpr(e->c);
+      };
+      std::function<void(Stmt&)> rewriteStmt = [&](Stmt& s) {
+        if (s.value) rewriteExpr(s.value);
+        if (s.cond) rewriteExpr(s.cond);
+        if (s.lo) rewriteExpr(s.lo);
+        if (s.hi) rewriteExpr(s.hi);
+        if (s.kind == StmtKind::Store && s.name == array) {
+          s.kind = StmtKind::Assign;
+          s.name = names[s.index->ival];
+          s.index.reset();
+        } else if (s.index) {
+          rewriteExpr(s.index);
+        }
+        for (auto& st : s.body) rewriteStmt(*st);
+        for (auto& st : s.elseBody) rewriteStmt(*st);
+      };
+      for (auto& s : loop.body) rewriteStmt(*s);
+    }
+  }
+
+  // ---- invariant hoisting -------------------------------------------------
+
+  bool tripAtLeastOne(const Stmt& loop) const {
+    return loop.lo->kind == ExprKind::ConstI && loop.hi->kind == ExprKind::ConstI &&
+           (loop.step > 0 ? loop.lo->ival < loop.hi->ival
+                          : loop.lo->ival > loop.hi->ival);
+  }
+
+  /// Every Load inside `e` is provably in bounds (constant index within the
+  /// static extent).
+  bool loadsProvablyInBounds(const Expr& e) const {
+    if (e.kind == ExprKind::Load) {
+      Scalar elem;
+      std::int64_t numel = 0;
+      if (!fn.arrayInfo(e.name, elem, numel)) return false;
+      if (e.index->kind != ExprKind::ConstI) return false;
+      std::int64_t last = e.index->ival + e.type.lanes - 1;
+      if (e.index->ival < 0 || last >= numel) return false;
+    }
+    if (e.index && !loadsProvablyInBounds(*e.index)) return false;
+    if (e.a && !loadsProvablyInBounds(*e.a)) return false;
+    if (e.b && !loadsProvablyInBounds(*e.b)) return false;
+    if (e.c && !loadsProvablyInBounds(*e.c)) return false;
+    return true;
+  }
+
+  bool invariant(const Expr& e, const AccessInfo& loopInfo) const {
+    AccessInfo ei;
+    collectAccess(e, ei);
+    for (const auto& r : ei.scalarReads) {
+      if (loopInfo.scalarWrites.count(r)) return false;
+    }
+    for (const auto& a : ei.arrayReads) {
+      if (loopInfo.arrayWrites.count(a)) return false;
+    }
+    return true;
+  }
+
+  bool hoistableKind(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::Load:
+      case ExprKind::Unary:
+      case ExprKind::Binary:
+      case ExprKind::Fma:
+      case ExprKind::Splat: return true;
+      default: return false;
+    }
+  }
+
+  void hoistInvariants(Stmt& loop, const AccessInfo& info, std::vector<StmtPtr>& pre) {
+    bool safeSpeculation = tripAtLeastOne(loop);
+    // (key expr, unconditional) candidates in first-occurrence order.
+    std::vector<ExprPtr> candidates;
+    std::vector<std::string> keys;
+
+    std::function<void(const Expr&, bool)> scanExpr = [&](const Expr& e, bool uncond) {
+      if (hoistableKind(e) &&
+          (e.type.scalar == Scalar::F64 || e.type.scalar == Scalar::C64) &&
+          invariant(e, info) &&
+          (!containsLoad(e) ||
+           loadsProvablyInBounds(e) || (uncond && safeSpeculation))) {
+        std::string key = lir::print(e);
+        for (const auto& k : keys) {
+          if (k == key) return;  // already a candidate
+        }
+        keys.push_back(std::move(key));
+        candidates.push_back(e.clone());
+        return;  // take the largest subtree; children come along
+      }
+      if (e.index) scanExpr(*e.index, uncond);
+      if (e.a) scanExpr(*e.a, uncond);
+      if (e.b) scanExpr(*e.b, uncond);
+      if (e.c) scanExpr(*e.c, uncond);
+    };
+    std::function<void(const Stmt&, bool)> scanStmt = [&](const Stmt& s, bool uncond) {
+      if (s.value) scanExpr(*s.value, uncond);
+      if (s.index) scanExpr(*s.index, uncond);
+      if (s.cond) scanExpr(*s.cond, uncond);
+      if (s.lo) scanExpr(*s.lo, uncond);
+      if (s.hi) scanExpr(*s.hi, uncond);
+      for (const auto& st : s.body) scanStmt(*st, false);
+      for (const auto& st : s.elseBody) scanStmt(*st, false);
+    };
+    for (const auto& s : loop.body) scanStmt(*s, true);
+
+    for (auto& e : candidates) {
+      std::string name = fresh("inv");
+      VType type = e->type;
+      // Replace every structural occurrence in the loop body.
+      std::function<void(ExprPtr&)> replaceExpr = [&](ExprPtr& x) {
+        if (exprEquals(*x, *e)) {
+          x = varRef(name, type);
+          return;
+        }
+        if (x->index) replaceExpr(x->index);
+        if (x->a) replaceExpr(x->a);
+        if (x->b) replaceExpr(x->b);
+        if (x->c) replaceExpr(x->c);
+      };
+      std::function<void(Stmt&)> replaceStmt = [&](Stmt& s) {
+        if (s.value) replaceExpr(s.value);
+        if (s.index) replaceExpr(s.index);
+        if (s.cond) replaceExpr(s.cond);
+        if (s.lo) replaceExpr(s.lo);
+        if (s.hi) replaceExpr(s.hi);
+        for (auto& st : s.body) replaceStmt(*st);
+        for (auto& st : s.elseBody) replaceStmt(*st);
+      };
+      for (auto& s : loop.body) replaceStmt(*s);
+      pre.push_back(declScalar(name, type, std::move(e)));
+      ++hoisted;
+    }
+  }
+};
+
+}  // namespace
+
+LicmStats hoistLoopInvariants(lir::Function& fn) {
+  Licm licm(fn);
+  licm.visitBlock(fn.body);
+  return {licm.hoisted, licm.promoted};
+}
+
+}  // namespace mat2c::opt

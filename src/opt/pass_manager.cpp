@@ -60,8 +60,19 @@ PassPipeline standardPipeline(const PipelineOptions& options) {
   PassPipeline p;
   auto fold = [](lir::Function& fn, const isa::IsaDescription&, PassRecord&,
                  PipelineReport&) { constFold(fn); };
-  auto dce = [](lir::Function& fn, const isa::IsaDescription&, PassRecord&,
-                PipelineReport&) { eliminateDeadScalars(fn); };
+  // Dead-code cleanup; with deadStores enabled it also drops dead array
+  // stores and empty/zero-trip loops (then re-sweeps scalars the removal
+  // orphaned).
+  bool deadStores = options.deadStores;
+  auto dce = [deadStores](lir::Function& fn, const isa::IsaDescription&, PassRecord& rec,
+                          PipelineReport& report) {
+    eliminateDeadScalars(fn);
+    if (deadStores) {
+      rec.storesRemoved = eliminateDeadStores(fn);
+      report.storesRemoved += rec.storesRemoved;
+      if (rec.storesRemoved > 0) eliminateDeadScalars(fn);
+    }
+  };
 
   if (options.constFold) p.addPass("constfold", fold);
   if (options.deadCode) p.addPass("dce", dce);
@@ -76,10 +87,19 @@ PassPipeline standardPipeline(const PipelineOptions& options) {
     p.addPass("sinkdecls", [](lir::Function& fn, const isa::IsaDescription&, PassRecord&,
                               PipelineReport&) { sinkDecls(fn); });
   }
+  if (options.unrollRecurrences) {
+    int maxTrip = options.unrollMaxTrip;
+    p.addPass("unroll", [maxTrip](lir::Function& fn, const isa::IsaDescription&,
+                                  PassRecord& rec, PipelineReport& report) {
+      rec.loopsUnrolled = unrollRecurrences(fn, maxTrip);
+      report.loopsUnrolled += rec.loopsUnrolled;
+    });
+  }
   if (options.idioms) {
-    p.addPass("idioms", [](lir::Function& fn, const isa::IsaDescription& isa,
-                           PassRecord& rec, PipelineReport& report) {
-      rec.idiomRewrites = recognizeIdioms(fn, isa);
+    bool reassoc = options.reassoc;
+    p.addPass("idioms", [reassoc](lir::Function& fn, const isa::IsaDescription& isa,
+                                  PassRecord& rec, PipelineReport& report) {
+      rec.idiomRewrites = recognizeIdioms(fn, isa, reassoc);
       report.idiomRewrites += rec.idiomRewrites;
     });
   }
@@ -95,9 +115,38 @@ PassPipeline standardPipeline(const PipelineOptions& options) {
     });
   }
   // Vectorization introduces fresh index arithmetic; fold once more so the
-  // emitted C and the VM trace stay clean.
+  // strip-mine bounds become the literals fusion and the loop cleanups need.
   if (options.constFold) p.addPass("constfold.post", fold);
   if (options.deadCode) p.addPass("dce.post", dce);
+  if (options.fuseLoops) {
+    p.addPass("fuse", [](lir::Function& fn, const isa::IsaDescription&, PassRecord& rec,
+                         PipelineReport& report) {
+      rec.loopsFused = opt::fuseLoops(fn);
+      report.loopsFused += rec.loopsFused;
+    });
+  }
+  if (options.licm) {
+    p.addPass("licm", [](lir::Function& fn, const isa::IsaDescription&, PassRecord& rec,
+                         PipelineReport& report) {
+      LicmStats ls = hoistLoopInvariants(fn);
+      rec.exprsHoisted = ls.exprsHoisted;
+      rec.scalarsPromoted = ls.scalarsPromoted;
+      report.exprsHoisted += ls.exprsHoisted;
+      report.scalarsPromoted += ls.scalarsPromoted;
+    });
+  }
+  if (options.cse) {
+    p.addPass("cse", [](lir::Function& fn, const isa::IsaDescription&, PassRecord& rec,
+                        PipelineReport& report) {
+      rec.cseEliminated = eliminateCommonSubexprs(fn);
+      report.cseEliminated += rec.cseEliminated;
+    });
+  }
+  // The loop layer can leave dead preloads and emptied loops behind.
+  if (options.deadCode &&
+      (options.fuseLoops || options.licm || options.cse || options.unrollRecurrences)) {
+    p.addPass("dce.final", dce);
+  }
   return p;
 }
 

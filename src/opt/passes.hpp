@@ -18,8 +18,10 @@
 
 namespace mat2c::opt {
 
-/// Folds constant scalar arithmetic and canonicalizes affine i64 index
-/// expressions ((k - 1) + 1 -> k).
+/// Folds constant scalar arithmetic, canonicalizes affine i64 index
+/// expressions ((k - 1) + 1 -> k), and propagates single-assignment i64
+/// constants (strip-mine bounds) into their uses so later passes see
+/// literal loop bounds.
 void constFold(lir::Function& fn);
 
 /// Sinks frame-level declarations of loop-local temporaries into the loop
@@ -29,8 +31,12 @@ void sinkDecls(lir::Function& fn);
 
 /// Rewrites a*b + c into fused multiply-accumulate expressions when the
 /// target has the corresponding instruction (fma.f64 / cmac.c64).
-/// Returns the number of rewrites.
-int recognizeIdioms(lir::Function& fn, const isa::IsaDescription& isa);
+/// With `reassociate` set it additionally rewrites (a*b - y) + z into
+/// fma(a, b, z) - y; that changes floating-point association (bounded
+/// rounding noise, see EXPERIMENTS.md), so it is gated behind an explicit
+/// option that defaults off. Returns the number of rewrites.
+int recognizeIdioms(lir::Function& fn, const isa::IsaDescription& isa,
+                    bool reassociate = false);
 
 struct VectorizeStats {
   int loopsConsidered = 0;
@@ -49,6 +55,37 @@ VectorizeStats vectorize(lir::Function& fn, const isa::IsaDescription& isa);
 /// right-hand sides make this always safe). Returns sweep rounds.
 int eliminateDeadScalars(lir::Function& fn);
 
+/// Dead-store/dead-loop cleanup: drops stores into local arrays that are
+/// never loaded, removes For loops with empty bodies or provably zero trip
+/// counts, empty If statements, and unreferenced local array declarations.
+/// Returns the number of statements/arrays removed.
+int eliminateDeadStores(lir::Function& fn);
+
+/// Fuses adjacent For loops with affine-equal iteration spaces and no
+/// fusion-preventing dependence, hoisting independent intervening
+/// statements out of the way first. Returns the number of fusions.
+int fuseLoops(lir::Function& fn);
+
+/// Fully unrolls compile-time-constant-trip loops (trip in [2, maxTrip])
+/// that carry a non-reduction scalar recurrence, turning their indices into
+/// literals that LICM can then hoist or promote. Returns loops unrolled.
+int unrollRecurrences(lir::Function& fn, int maxTrip);
+
+struct LicmStats {
+  int exprsHoisted = 0;     // invariant subexpressions + preloaded elements
+  int scalarsPromoted = 0;  // array elements promoted to registers
+};
+
+/// Loop-invariant code motion: hoists invariant f64/c64 subexpressions out
+/// of For loops and promotes arrays whose in-loop accesses all use constant
+/// in-bounds indices to scalars (preload / writeback around the loop).
+LicmStats hoistLoopInvariants(lir::Function& fn);
+
+/// Region CSE with store-to-load forwarding (see src/opt/cse.cpp for the
+/// precise availability rules). Returns the number of re-evaluations
+/// replaced by register references.
+int eliminateCommonSubexprs(lir::Function& fn);
+
 /// Removes BoundsCheck statements whose affine index provably stays inside
 /// the (static) array extent. Returns the number of checks removed.
 int eliminateProvableChecks(lir::Function& fn);
@@ -65,6 +102,12 @@ struct PassRecord {
   int checksRemoved = 0;
   int idiomRewrites = 0;
   int loopsVectorized = 0;
+  int loopsFused = 0;
+  int loopsUnrolled = 0;
+  int exprsHoisted = 0;
+  int scalarsPromoted = 0;
+  int cseEliminated = 0;
+  int storesRemoved = 0;
 
   /// Whether the pass changed the function's *size* statistics. A pass can
   /// rewrite in place without moving these (e.g. constant folding), so false
@@ -84,6 +127,20 @@ struct PipelineOptions {
   /// Proposed style emits none). Off by default so the baseline faithfully
   /// models a dynamic-shape runtime; ablations switch it on.
   bool checkElim = false;
+  /// Loop-optimization layer (fuse/unroll/licm/cse run in that order around
+  /// the vectorizer; see standardPipeline for the rationale).
+  bool fuseLoops = true;
+  bool unrollRecurrences = true;
+  int unrollMaxTrip = 8;
+  bool licm = true;
+  bool cse = true;
+  /// Dead-store and dead-loop cleanup (folded into the dce passes). Gated
+  /// separately so the CoderLike baseline keeps its literal statement
+  /// stream.
+  bool deadStores = true;
+  /// Allow reassociating rewrites in idiom recognition ((a*b - y) + z ->
+  /// fma(a,b,z) - y). Changes rounding; off by default.
+  bool reassoc = false;
   /// Run lir::verify after every pass; a failure throws CompileError naming
   /// the offending pass and listing every verifier problem.
   bool verifyEach = false;
@@ -95,6 +152,12 @@ struct PipelineOptions {
 struct PipelineReport {
   int idiomRewrites = 0;
   int checksRemoved = 0;
+  int loopsFused = 0;
+  int loopsUnrolled = 0;
+  int exprsHoisted = 0;
+  int scalarsPromoted = 0;
+  int cseEliminated = 0;
+  int storesRemoved = 0;
   VectorizeStats vec;
   /// One record per executed pass, in execution order.
   std::vector<PassRecord> passes;
@@ -131,9 +194,15 @@ class PassPipeline {
 };
 
 /// Builds the standard pass order from the option toggles:
-///   constfold -> dce -> checkelim -> sinkdecls -> idioms -> vectorize
-///   -> constfold.post -> dce.post
-/// (the .post reruns clean up the index arithmetic vectorization introduces).
+///   constfold -> dce -> checkelim -> sinkdecls -> unroll -> idioms
+///   -> vectorize -> constfold.post -> dce.post -> fuse -> licm -> cse
+///   -> dce.final
+/// Unrolling runs before the vectorizer (it only touches loops the
+/// vectorizer rejects, and the literal indices it exposes are what LICM
+/// promotes). Fusion/LICM/CSE run after the vectorizer and after the .post
+/// cleanup: fusing earlier could trade SIMD for locality, and the cleanup's
+/// constant propagation is what turns strip-mine bounds into the literals
+/// the fusion legality test needs.
 PassPipeline standardPipeline(const PipelineOptions& options);
 
 /// Builds the standard pipeline and runs it.

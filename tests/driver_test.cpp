@@ -123,7 +123,7 @@ TEST(Driver, ReportExposesPerPassRecords) {
   const auto& passes = unit.optimizationReport().passes;
   ASSERT_FALSE(passes.empty());
   EXPECT_EQ(passes.front().name, "constfold");
-  EXPECT_EQ(passes.back().name, "dce.post");
+  EXPECT_EQ(passes.back().name, "dce.final");
   for (const auto& p : passes) EXPECT_GT(p.after.statements, 0) << p.name;
 }
 

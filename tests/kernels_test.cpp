@@ -43,7 +43,7 @@ TEST_P(KernelSuiteTest, ValidatesAndSpeedsUp) {
 INSTANTIATE_TEST_SUITE_P(
     DspSuite, KernelSuiteTest,
     ::testing::Values(SpeedupExpectation{"fir", 6.0, 40.0},
-                      SpeedupExpectation{"iir", 1.3, 4.0},
+                      SpeedupExpectation{"iir", 2.5, 8.0},
                       SpeedupExpectation{"matmul", 5.0, 40.0},
                       SpeedupExpectation{"cdot", 5.0, 40.0},
                       SpeedupExpectation{"fdeq", 5.0, 40.0},

@@ -74,6 +74,25 @@ TEST(CacheKey, EveryInputDimensionChangesTheKey) {
   EXPECT_NE(base.canonical, otherOptions.canonical);
 }
 
+TEST(CacheKey, LoopLayerOptionsChangeTheKey) {
+  // Two compiles differing in exactly one loop-layer flag must never share a
+  // cache entry — every new flag participates in passSignature().
+  auto base = CacheKey::make(kFirSource, "fir", {ArgSpec::row(64)}, CompileOptions::proposed());
+  auto vary = [&](void (*mutate)(CompileOptions&)) {
+    CompileOptions o = CompileOptions::proposed();
+    mutate(o);
+    return CacheKey::make(kFirSource, "fir", {ArgSpec::row(64)}, o);
+  };
+  EXPECT_NE(base.canonical, vary([](CompileOptions& o) { o.fuseLoops = false; }).canonical);
+  EXPECT_NE(base.canonical,
+            vary([](CompileOptions& o) { o.unrollRecurrences = false; }).canonical);
+  EXPECT_NE(base.canonical, vary([](CompileOptions& o) { o.unrollMaxTrip = 4; }).canonical);
+  EXPECT_NE(base.canonical, vary([](CompileOptions& o) { o.licm = false; }).canonical);
+  EXPECT_NE(base.canonical, vary([](CompileOptions& o) { o.cse = false; }).canonical);
+  EXPECT_NE(base.canonical, vary([](CompileOptions& o) { o.deadStores = false; }).canonical);
+  EXPECT_NE(base.canonical, vary([](CompileOptions& o) { o.reassoc = true; }).canonical);
+}
+
 TEST(CacheKey, ObservationOnlyOptionsDoNotChangeTheKey) {
   CompileOptions verified = CompileOptions::proposed();
   verified.verifyEach = true;

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Cycle-regression gate for the Table 1 benchmark.
+
+Compares a freshly generated BENCH_table1.json (bench_table1 --json) against
+the checked-in baseline and fails when any kernel's proposed cycle count
+regresses by more than the tolerance, or when the geometric-mean speedup
+drops below the baseline's. Cycle counts come from the deterministic ASIP
+cycle model, so the tolerance only needs to absorb deliberate cost-model
+retuning, not measurement noise; improvements never fail the gate and are
+reported so the baseline can be refreshed.
+
+Usage: check_perf.py <baseline.json> <current.json> [--tolerance PCT]
+Exit codes: 0 ok, 1 regression, 2 bad input.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_perf: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=2.0,
+                    help="allowed cycle regression, percent (default 2)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    tol = args.tolerance / 100.0
+
+    failures = []
+    improvements = []
+    for name, b in base.get("kernels", {}).items():
+        c = cur.get("kernels", {}).get(name)
+        if c is None:
+            failures.append(f"{name}: missing from current results")
+            continue
+        b_cycles = float(b["proposed_cycles"])
+        c_cycles = float(c["proposed_cycles"])
+        if c_cycles > b_cycles * (1.0 + tol):
+            failures.append(
+                f"{name}: proposed cycles regressed {b_cycles:.0f} -> {c_cycles:.0f} "
+                f"(+{100.0 * (c_cycles / b_cycles - 1.0):.2f}%, tolerance {args.tolerance}%)")
+        elif c_cycles < b_cycles * (1.0 - tol):
+            improvements.append(f"{name}: {b_cycles:.0f} -> {c_cycles:.0f} cycles")
+        if float(c.get("max_abs_err", 0.0)) > 1e-9:
+            failures.append(f"{name}: correctness drift, max_abs_err={c['max_abs_err']}")
+
+    b_geo = float(base.get("geomean_speedup", 0.0))
+    c_geo = float(cur.get("geomean_speedup", 0.0))
+    if c_geo < b_geo * (1.0 - tol):
+        failures.append(f"geomean speedup regressed {b_geo:.4f} -> {c_geo:.4f}")
+
+    for line in improvements:
+        print(f"check_perf: improvement: {line} (consider refreshing the baseline)")
+    if failures:
+        for line in failures:
+            print(f"check_perf: FAIL: {line}", file=sys.stderr)
+        return 1
+    print(f"check_perf: ok ({len(base.get('kernels', {}))} kernels, "
+          f"geomean {c_geo:.2f}x vs baseline {b_geo:.2f}x, tolerance {args.tolerance}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,13 @@
 //   --no-vectorize        disable the SIMD vectorizer
 //   --no-idioms           disable MAC/complex idiom mapping
 //   --no-sink-decls       disable declaration sinking
+//   --no-fuse-loops       disable cross-statement loop fusion
+//   --no-unroll           disable recurrence unrolling
+//   --no-licm             disable loop-invariant code motion / promotion
+//   --no-cse              disable common-subexpression elimination
+//   --no-dead-stores      disable dead-store / dead-loop cleanup
+//   --reassoc             allow reassociating fma rewrites (changes rounding)
+//   --unroll-max-trip <n> max trip count fully unrolled (default 8)
 //   --time-passes         print per-pass wall time and LIR stat deltas
 //   --verify-each         verify the LIR after every pass (names the
 //                         offending pass on failure)
@@ -162,6 +169,13 @@ int cmdCompile(int argc, char** argv) {
   bool noVectorize = false;
   bool noIdioms = false;
   bool noSinkDecls = false;
+  bool noFuseLoops = false;
+  bool noUnroll = false;
+  bool noLicm = false;
+  bool noCse = false;
+  bool noDeadStores = false;
+  bool reassoc = false;
+  int unrollMaxTrip = -1;
   bool timePasses = false;
   bool verifyEach = false;
   bool tracePasses = false;
@@ -203,6 +217,20 @@ int cmdCompile(int argc, char** argv) {
       noIdioms = true;
     } else if (a == "--no-sink-decls") {
       noSinkDecls = true;
+    } else if (a == "--no-fuse-loops") {
+      noFuseLoops = true;
+    } else if (a == "--no-unroll") {
+      noUnroll = true;
+    } else if (a == "--no-licm") {
+      noLicm = true;
+    } else if (a == "--no-cse") {
+      noCse = true;
+    } else if (a == "--no-dead-stores") {
+      noDeadStores = true;
+    } else if (a == "--reassoc") {
+      reassoc = true;
+    } else if (a == "--unroll-max-trip") {
+      unrollMaxTrip = std::stoi(need("--unroll-max-trip"));
     } else if (a == "--time-passes") {
       timePasses = true;
     } else if (a == "--verify-each") {
@@ -249,6 +277,13 @@ int cmdCompile(int argc, char** argv) {
   if (noVectorize) options.vectorize = false;
   if (noIdioms) options.idioms = false;
   if (noSinkDecls) options.sinkDecls = false;
+  if (noFuseLoops) options.fuseLoops = false;
+  if (noUnroll) options.unrollRecurrences = false;
+  if (noLicm) options.licm = false;
+  if (noCse) options.cse = false;
+  if (noDeadStores) options.deadStores = false;
+  if (reassoc) options.reassoc = true;
+  if (unrollMaxTrip >= 0) options.unrollMaxTrip = unrollMaxTrip;
   options.verifyEach = verifyEach;
   if (tracePasses) {
     options.tracePasses = [](const opt::PassRecord& rec, const lir::Function& fn) {
