@@ -108,4 +108,121 @@ const Function* Program::findFunction(const std::string& name) const {
   return nullptr;
 }
 
+namespace {
+
+struct StatsWalker {
+  TreeStats stats;
+
+  void block(const std::vector<StmtPtr>& stmts, int depth) {
+    for (const auto& s : stmts) visit(s.get(), depth);
+  }
+
+  void visit(const Node* n, int depth) {
+    if (!n) return;
+    ++stats.nodes;
+    if (depth > stats.depth) stats.depth = depth;
+    int d = depth + 1;
+    switch (n->kind) {
+      case NodeKind::NumberLit:
+      case NodeKind::StringLit:
+      case NodeKind::Ident:
+      case NodeKind::Colon:
+      case NodeKind::End:
+      case NodeKind::Break:
+      case NodeKind::Continue:
+      case NodeKind::Return:
+        return;
+      case NodeKind::Unary:
+        visit(static_cast<const Unary*>(n)->operand.get(), d);
+        return;
+      case NodeKind::Binary: {
+        const auto* e = static_cast<const Binary*>(n);
+        visit(e->lhs.get(), d);
+        visit(e->rhs.get(), d);
+        return;
+      }
+      case NodeKind::Transpose:
+        visit(static_cast<const Transpose*>(n)->operand.get(), d);
+        return;
+      case NodeKind::Range: {
+        const auto* e = static_cast<const Range*>(n);
+        visit(e->start.get(), d);
+        visit(e->step.get(), d);
+        visit(e->stop.get(), d);
+        return;
+      }
+      case NodeKind::CallIndex: {
+        const auto* e = static_cast<const CallIndex*>(n);
+        visit(e->base.get(), d);
+        for (const auto& a : e->args) visit(a.get(), d);
+        return;
+      }
+      case NodeKind::MatrixLit:
+        for (const auto& row : static_cast<const MatrixLit*>(n)->rows) {
+          for (const auto& e : row) visit(e.get(), d);
+        }
+        return;
+      case NodeKind::Assign: {
+        const auto* s = static_cast<const Assign*>(n);
+        for (const auto& t : s->targets) {
+          for (const auto& i : t.indices) visit(i.get(), d);
+        }
+        visit(s->rhs.get(), d);
+        return;
+      }
+      case NodeKind::ExprStmt:
+        visit(static_cast<const ExprStmt*>(n)->expr.get(), d);
+        return;
+      case NodeKind::If: {
+        const auto* s = static_cast<const If*>(n);
+        for (const auto& b : s->branches) {
+          visit(b.cond.get(), d);
+          block(b.body, d);
+        }
+        block(s->elseBody, d);
+        return;
+      }
+      case NodeKind::For: {
+        const auto* s = static_cast<const For*>(n);
+        visit(s->range.get(), d);
+        block(s->body, d);
+        return;
+      }
+      case NodeKind::While: {
+        const auto* s = static_cast<const While*>(n);
+        visit(s->cond.get(), d);
+        block(s->body, d);
+        return;
+      }
+      case NodeKind::Switch: {
+        const auto* s = static_cast<const Switch*>(n);
+        visit(s->subject.get(), d);
+        for (const auto& c : s->cases) {
+          visit(c.value.get(), d);
+          block(c.body, d);
+        }
+        block(s->otherwise, d);
+        return;
+      }
+      case NodeKind::Function:
+        block(static_cast<const Function*>(n)->body, d);
+        return;
+      case NodeKind::Program: {
+        const auto* p = static_cast<const Program*>(n);
+        for (const auto& f : p->functions) visit(f.get(), d);
+        block(p->scriptBody, d);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+TreeStats collectStats(const Node& node) {
+  StatsWalker w;
+  w.visit(&node, 1);
+  return w.stats;
+}
+
 }  // namespace mat2c::ast

@@ -242,4 +242,13 @@ using ProgramPtr = std::unique_ptr<Program>;
 /// Multi-line, indented dump used by tests and --dump-ast.
 std::string dump(const Node& node);
 
+/// Cheap size/shape statistics over a tree, used by the driver to enforce
+/// CompileLimits::maxAstNodes / maxAstDepth before lowering touches a
+/// hostile program.
+struct TreeStats {
+  std::size_t nodes = 0;  // every Node, recursively
+  int depth = 0;          // deepest Node nesting (root = 1)
+};
+TreeStats collectStats(const Node& node);
+
 }  // namespace mat2c::ast

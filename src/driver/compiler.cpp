@@ -39,24 +39,184 @@ std::string CompileOptions::passSignature() const {
   s += cse ? '1' : '0';
   s += ";deadStores=";
   s += deadStores ? '1' : '0';
+  s += ";deadCode=";
+  s += deadCode ? '1' : '0';
   s += ";reassoc=";
   s += reassoc ? '1' : '0';
+  // degrade changes what a *failing* compile produces (a degraded unit vs an
+  // error), and limits.maxLirOps gates unroll decisions — both are
+  // output-affecting, so they join the cache key. The observation-only
+  // limits (source/AST bounds, wall budget) stay out: they cannot change the
+  // result of a compile that succeeds.
+  s += ";degrade=";
+  s += degrade ? '1' : '0';
+  s += ';';
+  s += limits.outputSignature();
   return s;
 }
+
+namespace {
+
+opt::PipelineOptions makePipelineOptions(const CompileOptions& options) {
+  opt::PipelineOptions passOpts;
+  passOpts.constFold = options.constFold;
+  passOpts.idioms = options.idioms;
+  passOpts.vectorize = options.vectorize && options.style == lower::CodeStyle::Proposed;
+  passOpts.sinkDecls = options.sinkDecls;
+  passOpts.checkElim = options.checkElim;
+  passOpts.fuseLoops = options.fuseLoops;
+  passOpts.unrollRecurrences = options.unrollRecurrences;
+  passOpts.unrollMaxTrip = options.unrollMaxTrip;
+  passOpts.licm = options.licm;
+  passOpts.cse = options.cse;
+  passOpts.deadStores = options.deadStores;
+  passOpts.deadCode = options.deadCode;
+  passOpts.reassoc = options.reassoc;
+  passOpts.verifyEach = options.verifyEach;
+  passOpts.maxLirOps = options.limits.maxLirOps;
+  passOpts.trace = options.tracePasses;
+  return passOpts;
+}
+
+/// Maps a pipeline pass name (as attributed by PassPipeline::run) onto the
+/// CompileOptions toggle that removes it. Returns false for passes the
+/// ladder cannot disable.
+bool disablePass(CompileOptions& options, const std::string& pass) {
+  if (pass == "constfold" || pass == "constfold.post") {
+    options.constFold = false;
+  } else if (pass == "dce" || pass == "dce.post" || pass == "dce.final") {
+    options.deadCode = false;
+  } else if (pass == "checkelim") {
+    options.checkElim = false;
+  } else if (pass == "sinkdecls") {
+    options.sinkDecls = false;
+  } else if (pass == "unroll") {
+    options.unrollRecurrences = false;
+  } else if (pass == "idioms") {
+    options.idioms = false;
+  } else if (pass == "vectorize") {
+    options.vectorize = false;
+  } else if (pass == "fuse") {
+    options.fuseLoops = false;
+  } else if (pass == "licm") {
+    options.licm = false;
+  } else if (pass == "cse") {
+    options.cse = false;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 CompiledUnit Compiler::compileSource(const std::string& matlabSource, const std::string& entry,
                                      const std::vector<sema::ArgSpec>& args,
                                      const CompileOptions& options) {
   diags_.clear();
-  ast::ProgramPtr program = parseSource(matlabSource, diags_);
-  if (diags_.hasErrors()) throw CompileError(diags_.renderAll());
 
-  lower::LowerOptions lowerOpts;
-  lowerOpts.style = options.style;
-  lowerOpts.fuseElementwise = options.fuseElementwise;
-  lowerOpts.boundsChecks = options.boundsChecks;
-  lir::Function fn = lower::lowerProgram(*program, entry, args, lowerOpts, diags_);
-  if (diags_.hasErrors()) throw CompileError(diags_.renderAll());
+  if (options.limits.maxSourceBytes > 0 &&
+      matlabSource.size() > options.limits.maxSourceBytes) {
+    throw StructuredError(ErrorKind::ResourceExhausted,
+                          "source is " + std::to_string(matlabSource.size()) +
+                              " bytes (limit " +
+                              std::to_string(options.limits.maxSourceBytes) + ")");
+  }
+
+  // Install the compile's wall-clock budget for this thread; the parser,
+  // sema, pass boundaries, and the VM poll it.
+  DeadlineGuard guard(options.limits.wallBudgetMillis);
+  DeadlineGuard::Scope deadlineScope(guard);
+
+  // Parse once; every ladder rung reuses the same AST.
+  ast::ProgramPtr program;
+  try {
+    program = parseSource(matlabSource, diags_);
+    if (diags_.hasErrors()) throw CompileError(diags_.renderAll());
+  } catch (const StructuredError&) {
+    throw;  // Timeout from the parser's deadline poll
+  } catch (const std::bad_alloc&) {
+    throw StructuredError(ErrorKind::ResourceExhausted, "out of memory while parsing");
+  } catch (const CompileError& e) {
+    throw StructuredError(ErrorKind::ParseError, e.what());
+  }
+
+  if (options.limits.maxAstNodes > 0 || options.limits.maxAstDepth > 0) {
+    ast::TreeStats astStats = ast::collectStats(*program);
+    if (options.limits.maxAstNodes > 0 && astStats.nodes > options.limits.maxAstNodes) {
+      throw StructuredError(ErrorKind::ResourceExhausted,
+                            "program has " + std::to_string(astStats.nodes) +
+                                " AST nodes (limit " +
+                                std::to_string(options.limits.maxAstNodes) + ")");
+    }
+    if (options.limits.maxAstDepth > 0 && astStats.depth > options.limits.maxAstDepth) {
+      throw StructuredError(ErrorKind::ResourceExhausted,
+                            "program nests " + std::to_string(astStats.depth) +
+                                " AST levels deep (limit " +
+                                std::to_string(options.limits.maxAstDepth) + ")");
+    }
+  }
+
+  // Degradation ladder: rung 0 compiles as requested; a degradable failure
+  // attributed to a pass earns one retry without that pass; any further
+  // degradable failure falls back to the CoderLike baseline pipeline. The
+  // ladder is recorded in PipelineReport::degraded.
+  std::vector<std::string> degraded;
+  CompileOptions attempt = options;
+  bool triedDisable = false, triedCoderLike = false;
+  while (true) {
+    try {
+      return compileOnce(*program, entry, args, attempt, degraded);
+    } catch (const std::bad_alloc&) {
+      throw StructuredError(ErrorKind::ResourceExhausted,
+                            "out of memory during optimization");
+    } catch (const StructuredError& e) {
+      if (!options.degrade || !isDegradable(e.kind())) throw;
+      if (!triedDisable && !e.pass().empty()) {
+        triedDisable = true;
+        CompileOptions retry = attempt;
+        if (disablePass(retry, e.pass())) {
+          degraded.push_back(e.pass());
+          attempt = std::move(retry);
+          continue;
+        }
+      }
+      if (triedCoderLike || options.style == lower::CodeStyle::CoderLike) throw;
+      triedCoderLike = true;
+      CompileOptions fallback = CompileOptions::coderLike();
+      fallback.isa = options.isa;  // keep the user's target
+      fallback.limits = options.limits;
+      fallback.verifyEach = options.verifyEach;
+      degraded.push_back("coderLike");
+      attempt = std::move(fallback);
+    }
+  }
+}
+
+CompiledUnit Compiler::compileOnce(const ast::Program& program, const std::string& entry,
+                                   const std::vector<sema::ArgSpec>& args,
+                                   const CompileOptions& options,
+                                   const std::vector<std::string>& degraded) {
+  diags_.clear();
+  lir::Function fn = [&] {
+    try {
+      lir::Function lowered = lower::lowerProgram(program, entry, args, [&] {
+        lower::LowerOptions lowerOpts;
+        lowerOpts.style = options.style;
+        lowerOpts.fuseElementwise = options.fuseElementwise;
+        lowerOpts.boundsChecks = options.boundsChecks;
+        return lowerOpts;
+      }(), diags_);
+      if (diags_.hasErrors()) throw CompileError(diags_.renderAll());
+      return lowered;
+    } catch (const StructuredError&) {
+      throw;  // Timeout from sema's deadline poll
+    } catch (const std::bad_alloc&) {
+      throw StructuredError(ErrorKind::ResourceExhausted, "out of memory during lowering");
+    } catch (const CompileError& e) {
+      throw StructuredError(ErrorKind::SemaError, e.what());
+    }
+  }();
 
   // CoderLike code models MathWorks-generated C: complex arithmetic arrives
   // at the ASIP compiler as expanded re/im expressions and plain a*b+c, so
@@ -71,29 +231,24 @@ CompiledUnit Compiler::compileSource(const std::string& matlabSource, const std:
     unitIsa.setFeature("cmac", false);
   }
 
-  opt::PipelineOptions passOpts;
-  passOpts.constFold = options.constFold;
-  passOpts.idioms = options.idioms;
-  passOpts.vectorize = options.vectorize && options.style == lower::CodeStyle::Proposed;
-  passOpts.sinkDecls = options.sinkDecls;
-  passOpts.checkElim = options.checkElim;
-  passOpts.fuseLoops = options.fuseLoops;
-  passOpts.unrollRecurrences = options.unrollRecurrences;
-  passOpts.unrollMaxTrip = options.unrollMaxTrip;
-  passOpts.licm = options.licm;
-  passOpts.cse = options.cse;
-  passOpts.deadStores = options.deadStores;
-  passOpts.reassoc = options.reassoc;
-  passOpts.verifyEach = options.verifyEach;
-  passOpts.trace = options.tracePasses;
+  opt::PipelineOptions passOpts = makePipelineOptions(options);
   opt::PipelineReport report = opt::runPipeline(fn, unitIsa, passOpts);
 
   auto problems = lir::verify(fn);
   if (!problems.empty()) {
-    throw CompileError("internal error after optimization: " +
-                       std::to_string(problems.size()) + " verifier problem(s):\n  - " +
-                       join(problems, "\n  - "));
+    // Attribute the corruption to a pass so the ladder can retry without it:
+    // re-lower and re-run the same pipeline with per-pass verification on.
+    if (!passOpts.verifyEach) {
+      CompileOptions attributed = options;
+      attributed.verifyEach = true;
+      return compileOnce(program, entry, args, attributed, degraded);
+    }
+    throw StructuredError(ErrorKind::VerifyError,
+                          "internal error after optimization: " +
+                              std::to_string(problems.size()) +
+                              " verifier problem(s):\n  - " + join(problems, "\n  - "));
   }
+  report.degraded = degraded;
   return CompiledUnit(std::make_shared<lir::Function>(std::move(fn)), unitIsa, report);
 }
 

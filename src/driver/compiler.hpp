@@ -24,6 +24,8 @@
 #include "isa/isa.hpp"
 #include "lower/lowering.hpp"
 #include "opt/passes.hpp"
+#include "support/errors.hpp"
+#include "support/limits.hpp"
 #include "vm/vm.hpp"
 
 namespace mat2c {
@@ -56,6 +58,9 @@ struct CompileOptions {
   bool licm = true;
   bool cse = true;
   bool deadStores = true;
+  /// Dead-scalar elimination (the dce/dce.post/dce.final passes). Exposed so
+  /// the degradation ladder can retry a compile without it.
+  bool deadCode = true;
   /// Allow reassociating fma rewrites ((a*b - y) + z -> fma(a,b,z) - y).
   /// Changes rounding (see EXPERIMENTS.md for the measured error); off by
   /// default for bit-faithful comparisons against the interpreter.
@@ -66,6 +71,16 @@ struct CompileOptions {
   /// Observer called after each pass with its telemetry record and the
   /// function as the pass left it (CLI --trace-passes).
   std::function<void(const opt::PassRecord&, const lir::Function&)> tracePasses;
+
+  /// Resource bounds for this compilation (see support/limits.hpp). The
+  /// serving layer maps per-request deadlines onto limits.wallBudgetMillis.
+  CompileLimits limits;
+  /// Graceful degradation: when an optimization pass fails (PassError /
+  /// VerifyError), retry once with the offending pass disabled, then fall
+  /// back to the CoderLike baseline pipeline, recording the ladder in
+  /// PipelineReport::degraded. Input errors, timeouts, and resource
+  /// exhaustion are never retried.
+  bool degrade = true;
 
   /// Canonical serialization of every option that can change the compiled
   /// output: style, pass toggles, and the lowering-mechanism overrides.
@@ -127,8 +142,11 @@ class CompiledUnit {
 
 class Compiler {
  public:
-  /// Parse + type/shape-specialize + lower + optimize. Throws CompileError
-  /// (message includes the first diagnostic) on any front-end error.
+  /// Parse + type/shape-specialize + lower + optimize. Throws
+  /// StructuredError (a CompileError; message includes the first diagnostic)
+  /// on any front-end error, classified per support/errors.hpp. Honors
+  /// options.limits and, when options.degrade is set, retries pass failures
+  /// down the degradation ladder before giving up.
   CompiledUnit compileSource(const std::string& matlabSource, const std::string& entry,
                              const std::vector<sema::ArgSpec>& args,
                              const CompileOptions& options = {});
@@ -138,6 +156,13 @@ class Compiler {
   const DiagnosticEngine& diagnostics() const { return diags_; }
 
  private:
+  /// One rung of the degradation ladder: lower + optimize + verify with the
+  /// given (possibly degraded) options against an already-parsed program.
+  CompiledUnit compileOnce(const ast::Program& program, const std::string& entry,
+                           const std::vector<sema::ArgSpec>& args,
+                           const CompileOptions& options,
+                           const std::vector<std::string>& degraded);
+
   DiagnosticEngine diags_;
 };
 

@@ -11,6 +11,9 @@
 
 #include "opt/passes.hpp"
 #include "support/diagnostics.hpp"
+#include "support/errors.hpp"
+#include "support/fault_injection.hpp"
+#include "support/limits.hpp"
 #include "support/string_utils.hpp"
 
 namespace mat2c::opt {
@@ -33,21 +36,50 @@ PipelineReport PassPipeline::run(lir::Function& fn, const isa::IsaDescription& i
   PipelineReport report;
   report.passes.reserve(passes_.size());
   for (const auto& pass : passes_) {
+    // Pass boundaries are the pipeline's cooperative guard points: compile
+    // deadlines expire here, the fault injector targets them by pass name,
+    // and the alloc budget counts them.
+    DeadlineGuard::poll("pipeline");
+    fault::onAllocPoint();
+
     PassRecord rec;
     rec.name = pass.name;
     rec.before = lir::collectStats(fn);
     auto start = Clock::now();
-    pass.fn(fn, isa, rec, report);
+    try {
+      fault::atPassBoundary(pass.name);
+      pass.fn(fn, isa, rec, report);
+    } catch (const StructuredError&) {
+      throw;  // already classified (Timeout / ResourceExhausted / ...)
+    } catch (const std::exception& e) {
+      // Attribute the failure to the pass so the degradation ladder can
+      // retry without it. Unknown non-std exceptions (panics) fall through
+      // to the service's containment layer unclassified.
+      throw StructuredError(ErrorKind::PassError,
+                            "pass '" + pass.name + "' failed: " + e.what(), pass.name);
+    }
     rec.millis = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
     rec.after = lir::collectStats(fn);
     report.totalMillis += rec.millis;
 
+    if (options.maxLirOps > 0 && rec.after.statements > rec.before.statements &&
+        static_cast<std::size_t>(rec.after.statements) > options.maxLirOps) {
+      throw StructuredError(ErrorKind::ResourceExhausted,
+                            "pass '" + pass.name + "' grew the function to " +
+                                std::to_string(rec.after.statements) +
+                                " LIR statements (limit " +
+                                std::to_string(options.maxLirOps) + ")",
+                            pass.name);
+    }
+
     if (options.verifyEach) {
       auto problems = lir::verify(fn);
       if (!problems.empty()) {
-        throw CompileError("pass '" + pass.name + "' produced invalid LIR (" +
-                           std::to_string(problems.size()) + " problem(s)):\n  - " +
-                           join(problems, "\n  - "));
+        throw StructuredError(ErrorKind::VerifyError,
+                              "pass '" + pass.name + "' produced invalid LIR (" +
+                                  std::to_string(problems.size()) + " problem(s)):\n  - " +
+                                  join(problems, "\n  - "),
+                              pass.name);
       }
     }
     if (options.trace) options.trace(rec, fn);
@@ -89,9 +121,10 @@ PassPipeline standardPipeline(const PipelineOptions& options) {
   }
   if (options.unrollRecurrences) {
     int maxTrip = options.unrollMaxTrip;
-    p.addPass("unroll", [maxTrip](lir::Function& fn, const isa::IsaDescription&,
-                                  PassRecord& rec, PipelineReport& report) {
-      rec.loopsUnrolled = unrollRecurrences(fn, maxTrip);
+    std::size_t budget = options.maxLirOps;
+    p.addPass("unroll", [maxTrip, budget](lir::Function& fn, const isa::IsaDescription&,
+                                          PassRecord& rec, PipelineReport& report) {
+      rec.loopsUnrolled = unrollRecurrences(fn, maxTrip, budget);
       report.loopsUnrolled += rec.loopsUnrolled;
     });
   }

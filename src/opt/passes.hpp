@@ -9,6 +9,7 @@
 // retargeting is purely a matter of swapping the description.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -69,7 +70,10 @@ int fuseLoops(lir::Function& fn);
 /// Fully unrolls compile-time-constant-trip loops (trip in [2, maxTrip])
 /// that carry a non-reduction scalar recurrence, turning their indices into
 /// literals that LICM can then hoist or promote. Returns loops unrolled.
-int unrollRecurrences(lir::Function& fn, int maxTrip);
+/// With maxStatements > 0 an unroll whose expansion would push the
+/// function's statement count past the budget is skipped (not an error —
+/// the loop simply stays rolled).
+int unrollRecurrences(lir::Function& fn, int maxTrip, std::size_t maxStatements = 0);
 
 struct LicmStats {
   int exprsHoisted = 0;     // invariant subexpressions + preloaded elements
@@ -141,9 +145,16 @@ struct PipelineOptions {
   /// Allow reassociating rewrites in idiom recognition ((a*b - y) + z ->
   /// fma(a,b,z) - y). Changes rounding; off by default.
   bool reassoc = false;
-  /// Run lir::verify after every pass; a failure throws CompileError naming
-  /// the offending pass and listing every verifier problem.
+  /// Run lir::verify after every pass; a failure throws StructuredError
+  /// (VerifyError) naming the offending pass and listing every verifier
+  /// problem.
   bool verifyEach = false;
+  /// Resource guard: when > 0, a pass that *grows* the function past this
+  /// many LIR statements throws StructuredError(ResourceExhausted) naming
+  /// the pass. Growth-gated so a program that is already large compiles
+  /// unchanged under a tight budget; size-increasing passes (unroll) also
+  /// receive the budget and skip expansions instead of tripping it.
+  std::size_t maxLirOps = 0;
   /// Called after each pass with its record and the function as the pass
   /// left it — the CLI's --trace-passes hook (dumps via lir::print).
   std::function<void(const PassRecord&, const lir::Function&)> trace;
@@ -162,6 +173,10 @@ struct PipelineReport {
   /// One record per executed pass, in execution order.
   std::vector<PassRecord> passes;
   double totalMillis = 0.0;
+  /// Degradation-ladder markers recorded by the driver: names of passes the
+  /// compile retried without, plus "coderLike" when it fell back entirely.
+  /// Empty on a clean first-attempt compile.
+  std::vector<std::string> degraded;
 };
 
 /// An ordered, named sequence of passes run through the instrumented

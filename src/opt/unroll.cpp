@@ -73,8 +73,18 @@ void collectDeclNames(const std::vector<StmtPtr>& body, std::vector<std::string>
   }
 }
 
+std::size_t countStmts(const std::vector<StmtPtr>& body) {
+  std::size_t n = 0;
+  for (const auto& s : body) {
+    n += 1 + countStmts(s->body) + countStmts(s->elseBody);
+  }
+  return n;
+}
+
 struct Unroller {
   int maxTrip;
+  std::size_t maxStatements;  // 0 = unlimited
+  std::size_t current = 0;    // running statement count of the function
   int unrolled = 0;
   int freshId = 0;
 
@@ -105,6 +115,16 @@ struct Unroller {
     if (info.hasLoopControl || info.hasWhile) return false;
     if (!carriesRecurrence(loop.body)) return false;
 
+    // Resource guard: skip (don't error) when the expansion would push the
+    // function past the statement budget — the loop just stays rolled.
+    if (maxStatements > 0) {
+      std::size_t bodyStmts = countStmts(loop.body);
+      std::size_t expanded = static_cast<std::size_t>(trip) * bodyStmts;
+      std::size_t removed = bodyStmts + 1;  // the loop statement and its body
+      if (current + expanded > maxStatements + removed) return false;
+      current += expanded - removed;
+    }
+
     std::vector<std::string> declNames;
     collectDeclNames(loop.body, declNames);
 
@@ -130,8 +150,9 @@ struct Unroller {
 
 }  // namespace
 
-int unrollRecurrences(lir::Function& fn, int maxTrip) {
-  Unroller u{maxTrip};
+int unrollRecurrences(lir::Function& fn, int maxTrip, std::size_t maxStatements) {
+  Unroller u{maxTrip, maxStatements};
+  if (maxStatements > 0) u.current = countStmts(fn.body);
   u.visitBlock(fn.body);
   return u.unrolled;
 }

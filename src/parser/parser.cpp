@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "lexer/lexer.hpp"
+#include "support/fault_injection.hpp"
+#include "support/limits.hpp"
 
 namespace mat2c {
 
@@ -141,12 +143,15 @@ bool Parser::startsBlockTerminator() const {
 }
 
 std::vector<StmtPtr> Parser::parseBlock() {
+  ++nestDepth_;  // no decrement needed on the fatal path: fatal() throws and
+                 // the whole Parser is abandoned
   std::vector<StmtPtr> body;
   skipStatementSeparators();
   while (!startsBlockTerminator()) {
     body.push_back(parseStatement());
     skipStatementSeparators();
   }
+  --nestDepth_;
   return body;
 }
 
@@ -155,6 +160,15 @@ std::vector<StmtPtr> Parser::parseBlock() {
 // ---------------------------------------------------------------------------
 
 StmtPtr Parser::parseStatement() {
+  // Statement granularity is the parser's cooperative guard point: a compile
+  // deadline expires here (DeadlineGuard::poll is one thread-local load when
+  // no deadline is set) and the fault injector's alloc budget counts here.
+  DeadlineGuard::poll("parser");
+  fault::onAllocPoint();
+  if (nestDepth_ > kMaxNestDepth) {
+    diags_.fatal(peek().loc, "statement/expression nesting too deep (limit " +
+                                 std::to_string(kMaxNestDepth) + ")");
+  }
   switch (peek().kind) {
     case TokenKind::KwIf: return parseIf();
     case TokenKind::KwFor: return parseFor();
@@ -305,7 +319,17 @@ StmtPtr Parser::parseAssignOrExpr() {
 // Expressions
 // ---------------------------------------------------------------------------
 
-ExprPtr Parser::parseExpr() { return parseOrOr(); }
+ExprPtr Parser::parseExpr() {
+  // Deep '(' nesting re-enters here via parsePrimary; cap it before the
+  // recursion can exhaust the C++ stack.
+  if (++nestDepth_ > kMaxNestDepth) {
+    diags_.fatal(peek().loc, "statement/expression nesting too deep (limit " +
+                                 std::to_string(kMaxNestDepth) + ")");
+  }
+  ExprPtr e = parseOrOr();
+  --nestDepth_;
+  return e;
+}
 
 ExprPtr Parser::parseOrOr() {
   ExprPtr lhs = parseAndAnd();
@@ -415,22 +439,23 @@ ExprPtr Parser::parseMultiplicative() {
 }
 
 ExprPtr Parser::parseUnary() {
+  UnaryOp op;
   switch (peek().kind) {
-    case TokenKind::Minus: {
-      SourceLoc loc = advance().loc;
-      return std::make_unique<Unary>(UnaryOp::Neg, parseUnary(), loc);
-    }
-    case TokenKind::Plus: {
-      SourceLoc loc = advance().loc;
-      return std::make_unique<Unary>(UnaryOp::Plus, parseUnary(), loc);
-    }
-    case TokenKind::Not: {
-      SourceLoc loc = advance().loc;
-      return std::make_unique<Unary>(UnaryOp::Not, parseUnary(), loc);
-    }
-    default:
-      return parsePower();
+    case TokenKind::Minus: op = UnaryOp::Neg; break;
+    case TokenKind::Plus: op = UnaryOp::Plus; break;
+    case TokenKind::Not: op = UnaryOp::Not; break;
+    default: return parsePower();
   }
+  // Unary chains ('-----x') self-recurse without passing through parseExpr,
+  // so they need their own depth accounting.
+  if (++nestDepth_ > kMaxNestDepth) {
+    diags_.fatal(peek().loc, "statement/expression nesting too deep (limit " +
+                                 std::to_string(kMaxNestDepth) + ")");
+  }
+  SourceLoc loc = advance().loc;
+  ExprPtr e = std::make_unique<Unary>(op, parseUnary(), loc);
+  --nestDepth_;
+  return e;
 }
 
 ExprPtr Parser::parsePower() {

@@ -69,6 +69,11 @@ class Parser {
   int indexDepth_ = 0;   // nesting inside index argument lists (enables : / end)
   int matrixDepth_ = 0;  // nesting inside [ ... ]
   int parenDepth_ = 0;   // nesting inside ( ... ) — newlines are skippable
+
+  // Recursive descent uses the C++ stack; a hostile input (thousands of '('
+  // or 'if' in a row) must hit a diagnostic before it hits the guard page.
+  static constexpr int kMaxNestDepth = 400;
+  int nestDepth_ = 0;    // combined statement + expression nesting
 };
 
 /// Convenience: lex + parse. Errors are reported into `diags`.

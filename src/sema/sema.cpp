@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "support/fault_injection.hpp"
+#include "support/limits.hpp"
+
 namespace mat2c::sema {
 
 using namespace ast;
@@ -109,6 +112,9 @@ void TypeInference::processBlock(const std::vector<StmtPtr>& body, Env& env) {
 }
 
 void TypeInference::processStmt(const Stmt& stmt, Env& env) {
+  // Per-statement cooperative guard point, mirroring Parser::parseStatement.
+  DeadlineGuard::poll("sema");
+  fault::onAllocPoint();
   switch (stmt.kind) {
     case NodeKind::Assign: {
       const auto& s = static_cast<const Assign&>(stmt);

@@ -37,13 +37,17 @@ void CompileCache::insert(const CacheKey& key, std::shared_ptr<const CachedResul
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.bytes += value->byteSize();
+  // Key bytes are part of the footprint too: the canonical key embeds the
+  // whole source text, so for small compiled outputs it dominates. (The
+  // index's copy of the string is charged once; the Entry's copy rides along
+  // in the same count.)
+  shard.bytes += key.canonical.size() + value->byteSize();
   shard.lru.push_front(Entry{key.canonical, std::move(value)});
   shard.index.emplace(key.canonical, shard.lru.begin());
   ++shard.insertions;
   while (shard.lru.size() > perShardCapacity_) {
     Entry& victim = shard.lru.back();
-    shard.bytes -= victim.value->byteSize();
+    shard.bytes -= victim.canonical.size() + victim.value->byteSize();
     shard.index.erase(victim.canonical);
     shard.lru.pop_back();
     ++shard.evictions;
@@ -62,6 +66,18 @@ CacheStats CompileCache::stats() const {
     total.bytes += shard.bytes;
   }
   return total;
+}
+
+bool CompileCache::checkByteAccounting() const {
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::size_t expected = 0;
+    for (const Entry& e : shard.lru) {
+      expected += e.canonical.size() + e.value->byteSize();
+    }
+    if (expected != shard.bytes) return false;
+  }
+  return true;
 }
 
 void CompileCache::clear() {

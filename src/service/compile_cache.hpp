@@ -64,6 +64,10 @@ class CompileCache {
   /// own lock; the aggregate is approximate under concurrent mutation).
   CacheStats stats() const;
 
+  /// Invariant check for tests: per shard (under its lock), the byte counter
+  /// must equal the sum of key + value footprints of the live entries.
+  bool checkByteAccounting() const;
+
   void clear();
 
   std::size_t maxEntries() const { return maxEntries_; }

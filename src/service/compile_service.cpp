@@ -32,6 +32,9 @@ std::string statsJson(const ServiceStats& stats, double wallMillis) {
   os << "  \"cacheHits\": " << stats.cacheHits << ",\n";
   os << "  \"dedupJoins\": " << stats.dedupJoins << ",\n";
   os << "  \"errors\": " << stats.errors << ",\n";
+  os << "  \"timeouts\": " << stats.timeouts << ",\n";
+  os << "  \"panics\": " << stats.panics << ",\n";
+  os << "  \"degraded\": " << stats.degraded << ",\n";
   os << "  \"threads\": " << stats.threads << ",\n";
   os << "  \"compileMillis\": " << fixed(stats.compileMillis) << ",\n";
   os << "  \"cache\": {\"entries\": " << stats.cache.entries
@@ -97,6 +100,7 @@ std::future<CompileResponse> CompileService::submit(CompileRequest request) {
     Flight::Waiter waiter;
     waiter.id = std::move(request.id);
     waiter.deduped = true;
+    waiter.deadlineMillis = request.deadlineMillis;
     waiter.submitted = start;
     it->second->waiters.push_back(std::move(waiter));
     return it->second->waiters.back().promise.get_future();
@@ -105,6 +109,7 @@ std::future<CompileResponse> CompileService::submit(CompileRequest request) {
   auto flight = std::make_shared<Flight>();
   Flight::Waiter waiter;
   waiter.id = request.id;
+  waiter.deadlineMillis = request.deadlineMillis;
   waiter.submitted = start;
   flight->waiters.push_back(std::move(waiter));
   std::future<CompileResponse> future = flight->waiters.back().promise.get_future();
@@ -144,27 +149,111 @@ void CompileService::workerLoop() {
 }
 
 void CompileService::runJob(Job& job) {
+  Clock::time_point pickup = Clock::now();
+
+  // Pickup-time triage (under the lock): waiters whose per-request deadline
+  // already passed while queued — or whose queue time exceeds the service's
+  // maxQueueMillis — are resolved with Timeout NOW, so a backlogged server
+  // never leaks a future or compiles for clients that gave up. The largest
+  // remaining headroom among surviving deadline-carrying waiters becomes the
+  // compile's cooperative wall budget.
+  std::vector<Flight::Waiter> expired;
+  bool anyUnbounded = false;   // some survivor has no deadline
+  double maxHeadroom = 0.0;    // millis the most patient survivor will wait
+  bool allExpired = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& waiters = job.flight->waiters;
+    for (auto it = waiters.begin(); it != waiters.end();) {
+      double waited = std::chrono::duration<double, std::milli>(pickup - it->submitted).count();
+      bool out = (it->deadlineMillis > 0 && waited >= it->deadlineMillis) ||
+                 (config_.maxQueueMillis > 0 && waited >= config_.maxQueueMillis);
+      if (out) {
+        expired.push_back(std::move(*it));
+        it = waiters.erase(it);
+        continue;
+      }
+      if (it->deadlineMillis <= 0) {
+        anyUnbounded = true;
+      } else {
+        maxHeadroom = std::max(maxHeadroom, it->deadlineMillis - waited);
+      }
+      ++it;
+    }
+    if (waiters.empty()) {
+      // Nobody is listening: retire the flight and skip the compile.
+      allExpired = true;
+      auto it = inflight_.find(job.key.canonical);
+      if (it != inflight_.end() && it->second == job.flight) inflight_.erase(it);
+    }
+  }
+  for (Flight::Waiter& w : expired) {
+    CompileResponse r;
+    r.id = std::move(w.id);
+    r.deduped = w.deduped;
+    r.millis = millisSince(w.submitted);
+    r.error = "request timed out in queue";
+    r.errorKind = ErrorKind::Timeout;
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    w.promise.set_value(std::move(r));
+  }
+  if (allExpired) return;
+
   if (config_.onCompileStart) config_.onCompileStart(job.request);
+
+  // Bound the compile by the most patient surviving waiter, unless one of
+  // them has no deadline (then the compile must be allowed to finish).
+  // Combines with any budget the request itself carries (tighter wins).
+  CompileOptions options = job.request.options;
+  if (!anyUnbounded && maxHeadroom > 0) {
+    if (options.limits.wallBudgetMillis <= 0 ||
+        options.limits.wallBudgetMillis > maxHeadroom) {
+      options.limits.wallBudgetMillis = maxHeadroom;
+    }
+  }
 
   Clock::time_point t0 = Clock::now();
   std::shared_ptr<const CachedResult> result;
   std::string error;
+  ErrorKind errorKind = ErrorKind::None;
   try {
     Compiler compiler;  // worker-local: a Compiler instance is single-threaded
     CompiledUnit unit = compiler.compileSource(job.request.source, job.request.entry,
-                                               job.request.args, job.request.options);
+                                               job.request.args, options);
     std::string cCode = unit.cCode();
     result = std::make_shared<const CachedResult>(std::move(unit), std::move(cCode));
+  } catch (const StructuredError& e) {
+    error = e.what();
+    errorKind = e.kind();
+  } catch (const std::bad_alloc&) {
+    error = "out of memory";
+    errorKind = ErrorKind::ResourceExhausted;
   } catch (const std::exception& e) {
     error = e.what();
+    errorKind = ErrorKind::Panic;  // escaped the compiler's own classification
+    panics_.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    // Panic containment: a non-standard exception must not kill the worker
+    // (the pool has no respawn) or leak the flight's waiters.
+    error = "panic: non-standard exception escaped the compiler";
+    errorKind = ErrorKind::Panic;
+    panics_.fetch_add(1, std::memory_order_relaxed);
   }
   compiles_.fetch_add(1, std::memory_order_relaxed);
   compileMicros_.fetch_add(static_cast<std::uint64_t>(millisSince(t0) * 1000.0),
                            std::memory_order_relaxed);
-  if (result) cache_.insert(job.key, result);
+  if (result) {
+    cache_.insert(job.key, result);
+    if (!result->unit.optimizationReport().degraded.empty())
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Retire the flight first (under the lock), so later identical submits
   // either hit the cache or start a fresh flight — then fulfill everyone.
+  // A slow-but-successful compile is still delivered as success even to
+  // waiters whose deadline lapsed mid-compile: the work is done and the
+  // result is strictly more useful than a Timeout.
   std::vector<Flight::Waiter> waiters;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -182,7 +271,9 @@ void CompileService::runJob(Job& job) {
       r.result = result;
     } else {
       r.error = error;
+      r.errorKind = errorKind;
       errors_.fetch_add(1, std::memory_order_relaxed);
+      if (errorKind == ErrorKind::Timeout) timeouts_.fetch_add(1, std::memory_order_relaxed);
     }
     w.promise.set_value(std::move(r));
   }
@@ -195,6 +286,9 @@ ServiceStats CompileService::stats() const {
   s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
   s.dedupJoins = dedupJoins_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.panics = panics_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
   s.compileMillis = static_cast<double>(compileMicros_.load(std::memory_order_relaxed)) / 1000.0;
   s.threads = workers_.size();
   s.cache = cache_.stats();

@@ -38,6 +38,12 @@ struct CompileRequest {
   std::string entry;
   std::vector<sema::ArgSpec> args;
   CompileOptions options;
+  /// Per-request deadline in milliseconds from submit (0 = none). Covers
+  /// queue time and the compile itself: a request still queued past its
+  /// deadline is resolved with Timeout at pickup (the future is never
+  /// leaked), and a running compile is bounded cooperatively via
+  /// CompileLimits::wallBudgetMillis.
+  double deadlineMillis = 0.0;
 };
 
 struct CompileResponse {
@@ -46,6 +52,9 @@ struct CompileResponse {
   bool cacheHit = false;  ///< served straight from the cache
   bool deduped = false;   ///< joined another request's in-flight compile
   std::string error;      ///< CompileError text when !ok
+  /// Structured classification of `error` (ErrorKind::None when ok); see
+  /// support/errors.hpp for the taxonomy.
+  ErrorKind errorKind = ErrorKind::None;
   std::shared_ptr<const CachedResult> result;  ///< non-null when ok
   double millis = 0.0;    ///< latency from submit to fulfillment
 };
@@ -56,6 +65,9 @@ struct ServiceStats {
   std::uint64_t cacheHits = 0;   ///< submit-time fast-path hits
   std::uint64_t dedupJoins = 0;  ///< requests that joined an in-flight compile
   std::uint64_t errors = 0;
+  std::uint64_t timeouts = 0;    ///< responses resolved with ErrorKind::Timeout
+  std::uint64_t panics = 0;      ///< non-standard exceptions contained by a worker
+  std::uint64_t degraded = 0;    ///< successful compiles that used the degradation ladder
   double compileMillis = 0.0;    ///< wall time spent inside compileSource
   std::size_t threads = 0;
   CacheStats cache;
@@ -73,6 +85,11 @@ class CompileService {
     std::size_t queueCapacity = 1024;
     std::size_t cacheEntries = 1024;
     std::size_t cacheShards = 8;
+    /// Cap on time a job may sit in the queue before a worker picks it up
+    /// (0 = unlimited). Waiters queued longer are resolved with Timeout at
+    /// pickup even when they carry no per-request deadline — the bound that
+    /// keeps a backlogged server from compiling for clients that gave up.
+    double maxQueueMillis = 0.0;
     /// Test/instrumentation hook: runs on the worker thread immediately
     /// before each underlying compile (lets tests stall the worker to prove
     /// single-flight dedup deterministically).
@@ -108,6 +125,7 @@ class CompileService {
     struct Waiter {
       std::string id;
       bool deduped = false;
+      double deadlineMillis = 0.0;  ///< 0 = none
       std::chrono::steady_clock::time_point submitted;
       std::promise<CompileResponse> promise;
     };
@@ -137,6 +155,9 @@ class CompileService {
   std::atomic<std::uint64_t> cacheHits_{0};
   std::atomic<std::uint64_t> dedupJoins_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> panics_{0};
+  std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> compileMicros_{0};
 
   std::vector<std::thread> workers_;

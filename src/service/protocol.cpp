@@ -296,7 +296,18 @@ bool parseArgSpecList(const std::string& text, std::vector<sema::ArgSpec>& out,
   return true;
 }
 
-bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string& error) {
+bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string& error,
+                         ErrorKind* kind, const ProtocolLimits& limits) {
+  // Failures below are the client's malformed input unless re-classified.
+  if (kind) *kind = ErrorKind::ParseError;
+
+  if (limits.maxRequestBytes > 0 && line.size() > limits.maxRequestBytes) {
+    error = "request line is " + std::to_string(line.size()) + " bytes (limit " +
+            std::to_string(limits.maxRequestBytes) + ")";
+    if (kind) *kind = ErrorKind::ResourceExhausted;
+    return false;
+  }
+
   auto doc = parseJson(line, error);
   if (!doc) return false;
   if (doc->kind != JsonValue::Kind::Object) {
@@ -309,7 +320,7 @@ bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string
   std::string isaPreset = "dspx";
   std::string isaText;
   std::string style = "proposed";
-  std::optional<bool> constFold, idioms, vectorize, sinkDecls, checkElim;
+  std::optional<bool> constFold, idioms, vectorize, sinkDecls, checkElim, degrade;
 
   for (const auto& [key, value] : doc->members) {
     auto wantString = [&](std::string& dst) {
@@ -352,6 +363,14 @@ bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string
       if (!wantBool(sinkDecls)) return false;
     } else if (key == "checkElim") {
       if (!wantBool(checkElim)) return false;
+    } else if (key == "degrade") {
+      if (!wantBool(degrade)) return false;
+    } else if (key == "deadline_ms") {
+      if (value.kind != JsonValue::Kind::Number || value.number < 0) {
+        error = "field 'deadline_ms' must be a non-negative number";
+        return false;
+      }
+      out.deadlineMillis = value.number;
     } else {
       error = "unknown request field '" + key + "'";
       return false;
@@ -400,6 +419,8 @@ bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string
   if (vectorize) out.options.vectorize = *vectorize;
   if (sinkDecls) out.options.sinkDecls = *sinkDecls;
   if (checkElim) out.options.checkElim = *checkElim;
+  if (degrade) out.options.degrade = *degrade;
+  if (kind) *kind = ErrorKind::None;
   return true;
 }
 
@@ -421,8 +442,17 @@ std::string responseJson(const CompileResponse& response) {
     out += ", \"cBytes\": " + std::to_string(response.result->cCode.size());
     out += ", \"loopsVectorized\": " + std::to_string(report.vec.loopsVectorized);
     out += ", \"idiomRewrites\": " + std::to_string(report.idiomRewrites);
+    if (!report.degraded.empty()) {
+      out += ", \"degraded\": [";
+      for (std::size_t i = 0; i < report.degraded.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += jsonQuote(report.degraded[i]);
+      }
+      out += "]";
+    }
   } else {
     out += ", \"error\": " + jsonQuote(response.error);
+    out += ", \"errorKind\": " + jsonQuote(toString(response.errorKind));
   }
   out += "}";
   return out;

@@ -43,16 +43,27 @@ std::string jsonQuote(std::string_view s);
 bool parseArgSpecList(const std::string& text, std::vector<sema::ArgSpec>& out,
                       std::string& badSpec);
 
+/// Wire-level resource bounds, enforced before the request body is parsed.
+struct ProtocolLimits {
+  /// Reject request lines larger than this many bytes (0 = unlimited).
+  std::size_t maxRequestBytes = 4u << 20;
+};
+
 /// Parses one JSON-lines request into a CompileRequest. Recognized fields:
 ///   source (required), entry (required), id, args ("1x32,c1x8"),
 ///   isa (preset name), isa_text (inline ISA description, overrides isa),
 ///   style ("proposed"|"coder"), constFold/idioms/vectorize/sinkDecls/
-///   checkElim (bools). Unknown fields are an error, so typos cannot
-///   silently compile with default options.
-bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string& error);
+///   checkElim/degrade (bools), deadline_ms (number, per-request deadline).
+/// Unknown fields are an error, so typos cannot silently compile with
+/// default options. On failure sets `error` and, when `kind` is non-null,
+/// classifies it (ResourceExhausted for an oversized line, ParseError for
+/// everything else).
+bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string& error,
+                         ErrorKind* kind = nullptr, const ProtocolLimits& limits = {});
 
 /// One response line (no trailing newline): id, ok, cached, deduped, millis,
-/// and on success isa/cBytes/loopsVectorized/idiomRewrites, else error.
+/// and on success isa/cBytes/loopsVectorized/idiomRewrites (plus degraded
+/// when the compile used the degradation ladder), else error + errorKind.
 std::string responseJson(const CompileResponse& response);
 
 }  // namespace mat2c::service

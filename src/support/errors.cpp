@@ -1,0 +1,32 @@
+#include "support/errors.hpp"
+
+namespace mat2c {
+
+const char* toString(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::None: return "None";
+    case ErrorKind::ParseError: return "ParseError";
+    case ErrorKind::SemaError: return "SemaError";
+    case ErrorKind::PassError: return "PassError";
+    case ErrorKind::VerifyError: return "VerifyError";
+    case ErrorKind::ResourceExhausted: return "ResourceExhausted";
+    case ErrorKind::Timeout: return "Timeout";
+    case ErrorKind::Panic: return "Panic";
+  }
+  return "None";
+}
+
+ErrorKind errorKindFromString(std::string_view name) {
+  for (ErrorKind k : {ErrorKind::ParseError, ErrorKind::SemaError, ErrorKind::PassError,
+                      ErrorKind::VerifyError, ErrorKind::ResourceExhausted, ErrorKind::Timeout,
+                      ErrorKind::Panic}) {
+    if (name == toString(k)) return k;
+  }
+  return ErrorKind::None;
+}
+
+bool isDegradable(ErrorKind kind) {
+  return kind == ErrorKind::PassError || kind == ErrorKind::VerifyError;
+}
+
+}  // namespace mat2c

@@ -1,0 +1,56 @@
+// Structured error taxonomy for the compile pipeline.
+//
+// Every failure the compiler or the serving layer can produce is classified
+// into one ErrorKind, carried by StructuredError (a CompileError subclass,
+// so existing catch sites keep working) and surfaced through
+// CompileResponse::errorKind and the serve-mode JSON protocol. The taxonomy
+// is what lets callers tell "your program is wrong" (ParseError/SemaError)
+// from "the compiler is wrong" (PassError/VerifyError/Panic) from "the
+// request hit an operational bound" (ResourceExhausted/Timeout) — only the
+// middle group is eligible for the graceful-degradation ladder in
+// Compiler::compileSource (see docs/robustness.md).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/diagnostics.hpp"
+
+namespace mat2c {
+
+enum class ErrorKind {
+  None,               ///< no error (successful response)
+  ParseError,         ///< lexer/parser rejected the input
+  SemaError,          ///< type/shape inference or lowering rejected the input
+  PassError,          ///< an optimization pass threw
+  VerifyError,        ///< the LIR verifier rejected a pass's output
+  ResourceExhausted,  ///< a CompileLimits bound (or allocation) was exceeded
+  Timeout,            ///< a cooperative deadline expired
+  Panic,              ///< a non-standard exception escaped a worker
+};
+
+const char* toString(ErrorKind kind);
+/// Inverse of toString; ErrorKind::None for unknown spellings.
+ErrorKind errorKindFromString(std::string_view name);
+
+/// True for the kinds the degradation ladder may retry around: a failure of
+/// the compiler's own making, attributable to a disableable pass. Input
+/// errors and resource/deadline violations are never retried — the retry
+/// would fail (or stall) identically.
+bool isDegradable(ErrorKind kind);
+
+class StructuredError : public CompileError {
+ public:
+  StructuredError(ErrorKind kind, std::string what, std::string pass = {})
+      : CompileError(std::move(what)), kind_(kind), pass_(std::move(pass)) {}
+
+  ErrorKind kind() const { return kind_; }
+  /// Offending pass name when the failure is attributable to one ("" else).
+  const std::string& pass() const { return pass_; }
+
+ private:
+  ErrorKind kind_;
+  std::string pass_;
+};
+
+}  // namespace mat2c

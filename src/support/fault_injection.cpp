@@ -1,0 +1,183 @@
+#include "support/fault_injection.hpp"
+
+#ifdef MAT2C_FAULT_INJECTION
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "support/errors.hpp"
+#include "support/limits.hpp"
+#include "support/string_utils.hpp"
+
+namespace mat2c::fault {
+
+namespace {
+
+enum class ClauseType { PassThrow, PassPanic, PassSleep, PassDeadline, AllocAfter };
+
+struct Clause {
+  ClauseType type;
+  std::string pass;  // pass-name pattern ("*" matches every pass)
+  long arg = 0;      // sleep millis / alloc budget
+};
+
+struct State {
+  std::mutex mu;
+  std::string spec;
+  std::vector<Clause> clauses;
+  bool envLoaded = false;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+// Fast path: pass boundaries and alloc points are on the compile hot path,
+// so when no spec is active they must cost one atomic load. -1 means
+// MAT2C_FAULT has not been examined yet — the first guard point resolves it
+// (the CLI never calls setSpec(), so the env load cannot be left to it).
+std::atomic<int> g_active{-1};
+std::atomic<long> g_allocCount{0};
+
+bool parseLong(const std::string& text, long& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  long v = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || v < 0) return false;
+  out = v;
+  return true;
+}
+
+/// Parses the spec in place; malformed clauses are ignored (the spec is a
+/// test/debug surface, not user input worth diagnosing).
+void parseSpecLocked(State& s) {
+  s.clauses.clear();
+  for (const auto& part : split(s.spec, ',')) {
+    std::string clause{trim(part)};
+    if (clause.empty()) continue;
+    std::vector<std::string> f = split(clause, ':');
+    Clause c;
+    if (f.size() >= 3 && f[0] == "pass") {
+      c.pass = f[1];
+      if (f[2] == "throw") {
+        c.type = ClauseType::PassThrow;
+      } else if (f[2] == "panic") {
+        c.type = ClauseType::PassPanic;
+      } else if (f[2] == "sleep" && f.size() == 4 && parseLong(f[3], c.arg)) {
+        c.type = ClauseType::PassSleep;
+      } else {
+        continue;
+      }
+      s.clauses.push_back(std::move(c));
+    } else if (f.size() == 3 && f[0] == "deadline" && f[1] == "pass") {
+      c.type = ClauseType::PassDeadline;
+      c.pass = f[2];
+      s.clauses.push_back(std::move(c));
+    } else if (f.size() == 3 && f[0] == "alloc" && f[1] == "after" && parseLong(f[2], c.arg)) {
+      c.type = ClauseType::AllocAfter;
+      s.clauses.push_back(std::move(c));
+    }
+  }
+  g_allocCount.store(0, std::memory_order_relaxed);
+  g_active.store(s.clauses.empty() ? 0 : 1, std::memory_order_release);
+}
+
+void loadEnvOnceLocked(State& s) {
+  if (s.envLoaded) return;
+  s.envLoaded = true;
+  if (const char* env = std::getenv("MAT2C_FAULT"); env && *env) {
+    s.spec = env;
+    parseSpecLocked(s);
+  } else {
+    g_active.store(0, std::memory_order_release);
+  }
+}
+
+/// The hot-path gate: one acquire load once the spec (or its absence) is
+/// known; the -1 sentinel routes the very first guard point through the env
+/// load.
+bool isActive() {
+  int v = g_active.load(std::memory_order_acquire);
+  if (v >= 0) return v > 0;
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  loadEnvOnceLocked(s);
+  return g_active.load(std::memory_order_acquire) > 0;
+}
+
+bool passMatches(const Clause& c, const std::string& name) {
+  return c.pass == "*" || c.pass == name;
+}
+
+}  // namespace
+
+bool enabled() {
+  return isActive();
+}
+
+void setSpec(const std::string& spec) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.envLoaded = true;  // programmatic spec overrides the environment
+  s.spec = spec;
+  parseSpecLocked(s);
+}
+
+std::string activeSpec() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  loadEnvOnceLocked(s);
+  return s.spec;
+}
+
+void atPassBoundary(const std::string& passName) {
+  if (!isActive()) return;
+  long sleepMillis = 0;
+  bool doThrow = false, doPanic = false, doDeadline = false;
+  {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const Clause& c : s.clauses) {
+      if (c.type == ClauseType::AllocAfter || !passMatches(c, passName)) continue;
+      switch (c.type) {
+        case ClauseType::PassSleep: sleepMillis += c.arg; break;
+        case ClauseType::PassThrow: doThrow = true; break;
+        case ClauseType::PassPanic: doPanic = true; break;
+        case ClauseType::PassDeadline: doDeadline = true; break;
+        case ClauseType::AllocAfter: break;
+      }
+    }
+  }
+  if (sleepMillis > 0) std::this_thread::sleep_for(std::chrono::milliseconds(sleepMillis));
+  if (doDeadline) {
+    if (DeadlineGuard* g = DeadlineGuard::current()) g->forceExpire();
+    throw StructuredError(ErrorKind::Timeout,
+                          "compile deadline expired (injected at pass '" + passName + "')");
+  }
+  if (doPanic) throw InjectedPanic{};
+  if (doThrow) throw CompileError("injected fault in pass '" + passName + "'");
+}
+
+void onAllocPoint() {
+  if (!isActive()) return;
+  long budget = -1;
+  {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const Clause& c : s.clauses) {
+      if (c.type == ClauseType::AllocAfter) budget = c.arg;
+    }
+  }
+  if (budget < 0) return;
+  if (g_allocCount.fetch_add(1, std::memory_order_relaxed) >= budget) throw std::bad_alloc();
+}
+
+}  // namespace mat2c::fault
+
+#endif  // MAT2C_FAULT_INJECTION

@@ -1,0 +1,65 @@
+// Deterministic, seeded fault injection for the robustness test suite.
+//
+// Compiled in under the MAT2C_FAULT_INJECTION CMake option (default ON; the
+// hooks reduce to inline no-ops when OFF). Faults are described by a spec
+// string — from the MAT2C_FAULT environment variable, or set
+// programmatically by tests via setSpec() — as a comma-separated list of
+// clauses:
+//
+//   pass:<name|*>:throw       the named pass throws CompileError at entry
+//   pass:<name|*>:panic       the named pass throws InjectedPanic (a type
+//                             NOT derived from std::exception — exercises
+//                             worker panic containment)
+//   pass:<name|*>:sleep:<ms>  sleep <ms> at the pass boundary (trips real
+//                             request deadlines deterministically)
+//   deadline:pass:<name|*>    force the active DeadlineGuard to expire at
+//                             that pass boundary (Timeout without waiting)
+//   alloc:after:<N>           the (N+1)-th cooperative allocation guard
+//                             point (parser/sema statements, pass
+//                             boundaries) throws std::bad_alloc
+//
+// Every clause is exact — no randomness — so each recovery path in the
+// degradation ladder and the service has a test that reaches it on purpose.
+#pragma once
+
+#include <string>
+
+namespace mat2c::fault {
+
+/// Deliberately not derived from std::exception: models a foreign/unknown
+/// exception escaping a worker ("panic"); only catch (...) contains it.
+struct InjectedPanic {
+  const char* what = "injected panic";
+};
+
+#ifdef MAT2C_FAULT_INJECTION
+
+/// True when a spec with at least one clause is active.
+bool enabled();
+
+/// Installs `spec` (replacing any previous spec and the environment's);
+/// empty string clears all injection and resets the alloc counter.
+void setSpec(const std::string& spec);
+
+/// The active spec text ("" when none).
+std::string activeSpec();
+
+/// Runs the injected action for this pass boundary, if any (sleep first, so
+/// sleep + deadline clauses compose).
+void atPassBoundary(const std::string& passName);
+
+/// Cooperative allocation guard point; throws std::bad_alloc past the
+/// alloc:after:<N> budget.
+void onAllocPoint();
+
+#else
+
+inline bool enabled() { return false; }
+inline void setSpec(const std::string&) {}
+inline std::string activeSpec() { return {}; }
+inline void atPassBoundary(const std::string&) {}
+inline void onAllocPoint() {}
+
+#endif
+
+}  // namespace mat2c::fault

@@ -1,0 +1,51 @@
+#include "support/limits.hpp"
+
+#include "support/errors.hpp"
+
+namespace mat2c {
+
+namespace {
+thread_local DeadlineGuard* tlsGuard = nullptr;
+}  // namespace
+
+std::string CompileLimits::outputSignature() const {
+  return "maxLirOps=" + std::to_string(maxLirOps);
+}
+
+DeadlineGuard::DeadlineGuard(double budgetMillis) {
+  if (budgetMillis > 0) {
+    active_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(budgetMillis));
+  }
+}
+
+bool DeadlineGuard::expired() const {
+  if (!active_) return false;
+  if (forced_.load(std::memory_order_relaxed)) return true;
+  return std::chrono::steady_clock::now() >= deadline_;
+}
+
+double DeadlineGuard::remainingMillis() const {
+  if (!active_) return 0.0;
+  if (forced_.load(std::memory_order_relaxed)) return 0.0;
+  return std::chrono::duration<double, std::milli>(deadline_ -
+                                                   std::chrono::steady_clock::now())
+      .count();
+}
+
+void DeadlineGuard::check(const char* where) const {
+  if (expired()) {
+    throw StructuredError(ErrorKind::Timeout,
+                          std::string("compile deadline expired (in ") + where + ")");
+  }
+}
+
+DeadlineGuard* DeadlineGuard::current() { return tlsGuard; }
+
+DeadlineGuard::Scope::Scope(DeadlineGuard& guard) : prev_(tlsGuard) { tlsGuard = &guard; }
+
+DeadlineGuard::Scope::~Scope() { tlsGuard = prev_; }
+
+}  // namespace mat2c

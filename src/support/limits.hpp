@@ -1,0 +1,85 @@
+// Resource guards for hostile or pathological compile requests.
+//
+// CompileLimits is the per-compilation resource contract: how big the input
+// may be, how deep/large the AST may get, how far expansion passes may grow
+// the LIR, and how long the whole compile may run. The bounds are enforced
+// cooperatively — the parser, sema, every pass boundary in PassPipeline, and
+// the VM step loop poll the active DeadlineGuard — so a stuck request turns
+// into a structured Timeout instead of a hung worker. All checks are
+// zero-cost when no bound is active: DeadlineGuard::poll is one thread-local
+// load and null test.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace mat2c {
+
+struct CompileLimits {
+  /// Reject sources larger than this before parsing (0 = unlimited).
+  std::size_t maxSourceBytes = 16u << 20;
+  /// Reject programs whose AST exceeds this node count / nesting depth after
+  /// parsing (0 = unlimited). The parser additionally hard-caps expression
+  /// nesting so a depth bomb cannot blow the stack before this check runs.
+  std::size_t maxAstNodes = 4'000'000;
+  int maxAstDepth = 256;
+  /// Bound on LIR growth: a pass that leaves more than this many statements
+  /// behind (while growing the function) aborts the compile, and the unroll
+  /// pass refuses expansions that would cross it (skip, not error; 0 = off).
+  std::size_t maxLirOps = 1'000'000;
+  /// Wall-clock budget for the whole compile in milliseconds (0 = none).
+  /// The serving layer derives this from the per-request deadline.
+  double wallBudgetMillis = 0.0;
+
+  /// The subset of limits that can change the *output* of a successful
+  /// compile (maxLirOps gates unroll decisions); part of passSignature().
+  std::string outputSignature() const;
+};
+
+/// Cooperative wall-clock deadline, installed for the current thread with
+/// DeadlineGuard::Scope and polled from the pipeline's hot boundaries.
+/// Expiry throws StructuredError(ErrorKind::Timeout).
+class DeadlineGuard {
+ public:
+  /// budgetMillis <= 0 constructs an inactive guard (polls are no-ops).
+  explicit DeadlineGuard(double budgetMillis);
+
+  bool active() const { return active_; }
+  bool expired() const;
+  double remainingMillis() const;
+  /// Trips the guard regardless of the clock (fault injection).
+  void forceExpire() { forced_.store(true, std::memory_order_relaxed); }
+  /// Throws StructuredError(Timeout) naming `where` when expired.
+  void check(const char* where) const;
+
+  /// The guard installed for this thread, or nullptr.
+  static DeadlineGuard* current();
+  /// check() on the current guard, if one is installed and active.
+  static void poll(const char* where) {
+    DeadlineGuard* g = current();
+    if (g && g->active_) g->check(where);
+  }
+
+  /// RAII installation as the thread's current guard (restores the previous
+  /// one on destruction, so nested compiles keep the tighter outer bound
+  /// only for their own scope).
+  class Scope {
+   public:
+    explicit Scope(DeadlineGuard& guard);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    DeadlineGuard* prev_;
+  };
+
+ private:
+  bool active_ = false;
+  std::atomic<bool> forced_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace mat2c

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "support/limits.hpp"
+
 namespace mat2c::vm {
 
 using lir::BinOp;
@@ -164,6 +166,9 @@ class Exec {
   void budget(double n = 1.0) {
     opBudget_ += static_cast<std::uint64_t>(n);
     if (opBudget_ > maxOps_) throw RuntimeError("VM: op budget exceeded (runaway loop?)");
+    // Cooperative deadline poll, amortized so the hot step loop pays one
+    // counter increment per op and a thread-local load every 16k ops.
+    if ((++pollTick_ & 0x3FFF) == 0) DeadlineGuard::poll("vm");
   }
 
   void charge(Op op, CostCategory cat, double count = 1.0) {
@@ -678,6 +683,7 @@ class Exec {
   const lir::Function& fn_;
   std::uint64_t maxOps_;
   std::uint64_t opBudget_ = 0;
+  std::uint64_t pollTick_ = 0;
   CycleStats stats_;
   std::map<std::string, Value> scalars_;
   std::map<std::string, ArrayStore> arrays_;

@@ -1,0 +1,696 @@
+// Robustness tests: the structured error taxonomy, resource guards
+// (CompileLimits + DeadlineGuard), the graceful-degradation ladder, service
+// hardening (deadlines, queue timeouts, panic containment, single-flight
+// leak regression), protocol input rejection, and cache byte accounting.
+//
+// These tests carry the `robustness` ctest label; most fault paths are
+// reached deterministically through support/fault_injection.hpp, so every
+// ladder rung and every ErrorKind has a test that hits it on purpose.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/compiler.hpp"
+#include "driver/kernels.hpp"
+#include "parser/parser.hpp"
+#include "service/compile_service.hpp"
+#include "service/protocol.hpp"
+#include "support/fault_injection.hpp"
+#include "support/limits.hpp"
+
+namespace mat2c {
+namespace {
+
+using sema::ArgSpec;
+using namespace service;
+
+const char* kFirSource =
+    "function y = fir(x, h)\n"
+    "y = 0;\n"
+    "for k = 1:length(x)\n"
+    "  y = y + x(k) * h(k);\n"
+    "end\n"
+    "end\n";
+
+CompileRequest firRequest(const std::string& id) {
+  CompileRequest r;
+  r.id = id;
+  r.source = kFirSource;
+  r.entry = "fir";
+  r.args = {ArgSpec::row(64), ArgSpec::row(64)};
+  r.options = CompileOptions::proposed();
+  return r;
+}
+
+std::vector<Matrix> firArgs() {
+  auto k = kernels::makeFir(64, 64);
+  return k.args;
+}
+
+/// The fault spec is process-global; every test that installs one must clear
+/// it even when an assertion throws.
+struct FaultScope {
+  explicit FaultScope(const std::string& spec) { fault::setSpec(spec); }
+  ~FaultScope() { fault::setSpec(""); }
+};
+
+// ---- DeadlineGuard -------------------------------------------------------
+
+TEST(DeadlineGuard, InactiveGuardPollsAreNoOps) {
+  DeadlineGuard guard(0);
+  EXPECT_FALSE(guard.active());
+  DeadlineGuard::Scope scope(guard);
+  EXPECT_NO_THROW(DeadlineGuard::poll("test"));
+}
+
+TEST(DeadlineGuard, NoGuardInstalledPollsAreNoOps) {
+  EXPECT_EQ(DeadlineGuard::current(), nullptr);
+  EXPECT_NO_THROW(DeadlineGuard::poll("test"));
+}
+
+TEST(DeadlineGuard, ForcedExpiryThrowsTimeoutNamingTheSite) {
+  DeadlineGuard guard(60000);
+  DeadlineGuard::Scope scope(guard);
+  EXPECT_TRUE(guard.active());
+  EXPECT_FALSE(guard.expired());
+  guard.forceExpire();
+  EXPECT_TRUE(guard.expired());
+  try {
+    DeadlineGuard::poll("unit-test-site");
+    FAIL() << "expected StructuredError(Timeout)";
+  } catch (const StructuredError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::Timeout);
+    EXPECT_NE(std::string(e.what()).find("unit-test-site"), std::string::npos) << e.what();
+  }
+}
+
+TEST(DeadlineGuard, ScopeRestoresThePreviousGuard) {
+  DeadlineGuard outer(60000);
+  DeadlineGuard::Scope outerScope(outer);
+  EXPECT_EQ(DeadlineGuard::current(), &outer);
+  {
+    DeadlineGuard inner(60000);
+    DeadlineGuard::Scope innerScope(inner);
+    EXPECT_EQ(DeadlineGuard::current(), &inner);
+  }
+  EXPECT_EQ(DeadlineGuard::current(), &outer);
+}
+
+// ---- ErrorKind taxonomy --------------------------------------------------
+
+TEST(ErrorTaxonomy, KindStringsRoundTrip) {
+  for (ErrorKind k : {ErrorKind::None, ErrorKind::ParseError, ErrorKind::SemaError,
+                      ErrorKind::PassError, ErrorKind::VerifyError,
+                      ErrorKind::ResourceExhausted, ErrorKind::Timeout, ErrorKind::Panic}) {
+    EXPECT_EQ(errorKindFromString(toString(k)), k);
+  }
+  EXPECT_EQ(errorKindFromString("NoSuchKind"), ErrorKind::None);
+}
+
+TEST(ErrorTaxonomy, OnlyPassAndVerifyErrorsAreDegradable) {
+  EXPECT_TRUE(isDegradable(ErrorKind::PassError));
+  EXPECT_TRUE(isDegradable(ErrorKind::VerifyError));
+  EXPECT_FALSE(isDegradable(ErrorKind::ParseError));
+  EXPECT_FALSE(isDegradable(ErrorKind::SemaError));
+  EXPECT_FALSE(isDegradable(ErrorKind::ResourceExhausted));
+  EXPECT_FALSE(isDegradable(ErrorKind::Timeout));
+  EXPECT_FALSE(isDegradable(ErrorKind::Panic));
+}
+
+ErrorKind kindOf(const std::string& source, const std::string& entry,
+                 const std::vector<ArgSpec>& args, const CompileOptions& options) {
+  Compiler compiler;
+  try {
+    compiler.compileSource(source, entry, args, options);
+  } catch (const StructuredError& e) {
+    return e.kind();
+  }
+  return ErrorKind::None;
+}
+
+TEST(ErrorTaxonomy, SyntaxErrorClassifiesAsParseError) {
+  EXPECT_EQ(kindOf("function y = f(x\ny = 1;\nend\n", "f", {ArgSpec::scalar()},
+                   CompileOptions::proposed()),
+            ErrorKind::ParseError);
+}
+
+TEST(ErrorTaxonomy, UndefinedVariableClassifiesAsSemaError) {
+  EXPECT_EQ(kindOf("function y = f(x)\ny = nosuch + 1;\nend\n", "f", {ArgSpec::scalar()},
+                   CompileOptions::proposed()),
+            ErrorKind::SemaError);
+}
+
+TEST(ErrorTaxonomy, MissingEntryClassifiesAsSemaError) {
+  EXPECT_EQ(kindOf("function y = g(x)\ny = x;\nend\n", "f", {ArgSpec::scalar()},
+                   CompileOptions::proposed()),
+            ErrorKind::SemaError);
+}
+
+TEST(ErrorTaxonomy, VerifyFailureNamesThePassAndClassifiesAsVerifyError) {
+  DiagnosticEngine diags;
+  auto prog = parseSource(kFirSource, diags);
+  lir::Function fn =
+      lower::lowerProgram(*prog, "fir", {ArgSpec::row(64), ArgSpec::row(64)}, {}, diags);
+  ASSERT_FALSE(diags.hasErrors()) << diags.renderAll();
+
+  opt::PassPipeline pipeline;
+  pipeline.addPass("breaker", [](lir::Function& f, const isa::IsaDescription&,
+                                 opt::PassRecord&, opt::PipelineReport&) {
+    f.body.push_back(lir::assign("no_such_var", lir::constF(1.0)));
+  });
+  opt::PipelineOptions opts;
+  opts.verifyEach = true;
+  try {
+    pipeline.run(fn, isa::IsaDescription::preset("dspx"), opts);
+    FAIL() << "expected StructuredError(VerifyError)";
+  } catch (const StructuredError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::VerifyError);
+    EXPECT_EQ(e.pass(), "breaker");
+    EXPECT_NE(std::string(e.what()).find("no_such_var"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ErrorTaxonomy, PassExceptionIsWrappedWithAttribution) {
+  DiagnosticEngine diags;
+  auto prog = parseSource(kFirSource, diags);
+  lir::Function fn =
+      lower::lowerProgram(*prog, "fir", {ArgSpec::row(64), ArgSpec::row(64)}, {}, diags);
+  ASSERT_FALSE(diags.hasErrors()) << diags.renderAll();
+
+  opt::PassPipeline pipeline;
+  pipeline.addPass("thrower", [](lir::Function&, const isa::IsaDescription&,
+                                 opt::PassRecord&, opt::PipelineReport&) {
+    throw std::runtime_error("boom");
+  });
+  try {
+    pipeline.run(fn, isa::IsaDescription::preset("dspx"), {});
+    FAIL() << "expected StructuredError(PassError)";
+  } catch (const StructuredError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::PassError);
+    EXPECT_EQ(e.pass(), "thrower");
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos) << e.what();
+  }
+}
+
+// ---- Resource limits -----------------------------------------------------
+
+TEST(ResourceLimits, OversizedSourceIsRejectedBeforeParsing) {
+  CompileOptions o = CompileOptions::proposed();
+  o.limits.maxSourceBytes = 8;
+  EXPECT_EQ(kindOf(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)}, o),
+            ErrorKind::ResourceExhausted);
+}
+
+TEST(ResourceLimits, AstNodeBudgetIsEnforced) {
+  CompileOptions o = CompileOptions::proposed();
+  o.limits.maxAstNodes = 3;
+  EXPECT_EQ(kindOf(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)}, o),
+            ErrorKind::ResourceExhausted);
+}
+
+TEST(ResourceLimits, AstDepthBudgetIsEnforced) {
+  CompileOptions o = CompileOptions::proposed();
+  o.limits.maxAstDepth = 4;
+  // Nested unary minus grows AST depth without tripping the node budget.
+  EXPECT_EQ(kindOf("function y = f(x)\ny = - - - - - - - - x;\nend\n", "f",
+                   {ArgSpec::scalar()}, o),
+            ErrorKind::ResourceExhausted);
+}
+
+TEST(ResourceLimits, ParserNestingCapStopsDepthBombs) {
+  // Deeper than the parser's hard recursion cap: must fail with a ParseError
+  // diagnostic, not exhaust the stack (the AST depth limit never gets to run
+  // because parsing itself is the recursive phase).
+  std::string src = "function y = f(x)\ny = ";
+  src += std::string(500, '(');
+  src += "x";
+  src += std::string(500, ')');
+  src += ";\nend\n";
+  Compiler compiler;
+  try {
+    compiler.compileSource(src, "f", {ArgSpec::scalar()}, CompileOptions::proposed());
+    FAIL() << "expected StructuredError(ParseError)";
+  } catch (const StructuredError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::ParseError);
+    EXPECT_NE(std::string(e.what()).find("nesting too deep"), std::string::npos) << e.what();
+  }
+}
+
+// ---- Unroll under an LIR budget (downward / zero-trip loops) -------------
+
+const char* kRecurrenceSource =
+    "function y = f(x)\ns = 0;\nfor k = 1:4\n  s = s * 0.5 + x(k);\nend\ny = s;\nend\n";
+const char* kDownwardSource =
+    "function y = f(x)\ns = 0;\nfor k = 4:-1:1\n  s = s * 0.5 + x(k);\nend\ny = s;\nend\n";
+const char* kZeroTripSource =
+    "function y = f(x)\ns = 7;\nfor k = 6:5\n  s = s * 0.5 + x(k);\nend\ny = s;\nend\n";
+
+/// Unroll is the only size-increasing pass left on: a tiny maxLirOps budget
+/// then isolates the unroll/budget interaction.
+CompileOptions unrollOnly() {
+  CompileOptions o = CompileOptions::proposed();
+  o.vectorize = false;
+  o.fuseLoops = false;
+  o.licm = false;
+  o.cse = false;
+  o.deadStores = false;
+  return o;
+}
+
+TEST(UnrollBudget, TinyBudgetSkipsTheUnrollInsteadOfFailing) {
+  Compiler compiler;
+  auto baseline =
+      compiler.compileSource(kRecurrenceSource, "f", {ArgSpec::row(4)}, unrollOnly());
+  EXPECT_EQ(baseline.optimizationReport().loopsUnrolled, 1);
+
+  CompileOptions tight = unrollOnly();
+  tight.limits.maxLirOps = 1;  // growth-gated: nothing may grow, ever
+  auto unit = compiler.compileSource(kRecurrenceSource, "f", {ArgSpec::row(4)}, tight);
+  EXPECT_EQ(unit.optimizationReport().loopsUnrolled, 0);
+  EXPECT_TRUE(unit.optimizationReport().degraded.empty());
+  EXPECT_LE(validateAgainstInterpreter(kRecurrenceSource, "f", unit,
+                                       {kernels::makeFir(4, 2).args[0]}),
+            1e-12);
+}
+
+TEST(UnrollBudget, DownwardLoopUnderTinyBudgetCompilesUnchanged) {
+  Compiler compiler;
+  CompileOptions tight = unrollOnly();
+  tight.limits.maxLirOps = 1;
+  auto unit = compiler.compileSource(kDownwardSource, "f", {ArgSpec::row(4)}, tight);
+  EXPECT_EQ(unit.optimizationReport().loopsUnrolled, 0);
+  EXPECT_LE(validateAgainstInterpreter(kDownwardSource, "f", unit,
+                                       {kernels::makeFir(4, 2).args[0]}),
+            1e-12);
+}
+
+TEST(UnrollBudget, ZeroTripLoopUnderTinyBudgetCompilesUnchanged) {
+  Compiler compiler;
+  CompileOptions tight = unrollOnly();
+  tight.limits.maxLirOps = 1;
+  auto unit = compiler.compileSource(kZeroTripSource, "f", {ArgSpec::row(8)}, tight);
+  EXPECT_EQ(unit.optimizationReport().loopsUnrolled, 0);
+  auto run = unit.run({kernels::makeFir(8, 2).args[0]});
+  EXPECT_DOUBLE_EQ(run.outputs[0].scalarValue(), 7.0);  // body never executes
+}
+
+#ifdef MAT2C_FAULT_INJECTION
+
+// ---- Fault injection plumbing --------------------------------------------
+
+TEST(FaultInjection, SpecInstallAndClear) {
+  EXPECT_FALSE(fault::enabled());
+  {
+    FaultScope f("pass:licm:throw");
+    EXPECT_TRUE(fault::enabled());
+    EXPECT_EQ(fault::activeSpec(), "pass:licm:throw");
+  }
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_EQ(fault::activeSpec(), "");
+}
+
+TEST(FaultInjection, AllocBudgetClassifiesAsResourceExhausted) {
+  FaultScope f("alloc:after:0");
+  EXPECT_EQ(kindOf(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)},
+                   CompileOptions::proposed()),
+            ErrorKind::ResourceExhausted);
+}
+
+TEST(FaultInjection, InjectedPassThrowClassifiesAsPassErrorWhenDegradeOff) {
+  FaultScope f("pass:licm:throw");
+  CompileOptions o = CompileOptions::proposed();
+  o.degrade = false;
+  Compiler compiler;
+  try {
+    compiler.compileSource(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)}, o);
+    FAIL() << "expected StructuredError(PassError)";
+  } catch (const StructuredError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::PassError);
+    EXPECT_EQ(e.pass(), "licm");
+    EXPECT_NE(std::string(e.what()).find("licm"), std::string::npos) << e.what();
+  }
+}
+
+// ---- Timeouts ------------------------------------------------------------
+
+TEST(Timeouts, DeadlineFaultAtPassBoundaryClassifiesAsTimeout) {
+  FaultScope f("deadline:pass:fuse");
+  CompileOptions o = CompileOptions::proposed();
+  o.limits.wallBudgetMillis = 60000;  // guard active; the fault trips it early
+  EXPECT_EQ(kindOf(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)}, o),
+            ErrorKind::Timeout);
+}
+
+TEST(Timeouts, StuckPassAgainstTinyBudgetClassifiesAsTimeout) {
+  FaultScope f("pass:constfold:sleep:30");
+  CompileOptions o = CompileOptions::proposed();
+  o.limits.wallBudgetMillis = 5;
+  EXPECT_EQ(kindOf(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)}, o),
+            ErrorKind::Timeout);
+}
+
+// ---- The degradation ladder ----------------------------------------------
+
+TEST(DegradationLadder, RetriesWithTheOffendingPassDisabled) {
+  FaultScope f("pass:licm:throw");
+  Compiler compiler;
+  auto unit = compiler.compileSource(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)},
+                                     CompileOptions::proposed());
+  EXPECT_EQ(unit.optimizationReport().degraded, (std::vector<std::string>{"licm"}));
+  for (const auto& p : unit.optimizationReport().passes) EXPECT_NE(p.name, "licm");
+  EXPECT_LE(validateAgainstInterpreter(kFirSource, "fir", unit, firArgs()), 1e-9);
+}
+
+TEST(DegradationLadder, FallsBackToCoderLikeWhenRetryFailsToo) {
+  // Two distinct failing passes: disabling the first (vectorize) is not
+  // enough — the second failure lands on the coderLike rung, whose pipeline
+  // contains neither pass.
+  FaultScope f("pass:vectorize:throw,pass:licm:throw");
+  Compiler compiler;
+  auto unit = compiler.compileSource(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)},
+                                     CompileOptions::proposed());
+  EXPECT_EQ(unit.optimizationReport().degraded,
+            (std::vector<std::string>{"vectorize", "coderLike"}));
+  EXPECT_LE(validateAgainstInterpreter(kFirSource, "fir", unit, firArgs()), 1e-9);
+}
+
+TEST(DegradationLadder, ExhaustedLadderPropagatesTheError) {
+  // Every pass throws, including the coderLike baseline's: the ladder runs
+  // out of rungs and the PassError surfaces.
+  FaultScope f("pass:*:throw");
+  EXPECT_EQ(kindOf(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)},
+                   CompileOptions::proposed()),
+            ErrorKind::PassError);
+}
+
+TEST(DegradationLadder, CleanCompileRecordsNoDegradation) {
+  Compiler compiler;
+  auto unit = compiler.compileSource(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)},
+                                     CompileOptions::proposed());
+  EXPECT_TRUE(unit.optimizationReport().degraded.empty());
+}
+
+// ---- Service hardening ---------------------------------------------------
+
+TEST(ServiceHardening, StuckCompileResolvesAsTimeoutAndWorkerSurvives) {
+  CompileService::Config cfg;
+  cfg.threads = 1;
+  CompileService svc(cfg);
+
+  {
+    FaultScope f("pass:*:sleep:30");
+    CompileRequest r = firRequest("stuck");
+    r.deadlineMillis = 50;
+    CompileResponse resp = svc.submit(std::move(r)).get();
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.errorKind, ErrorKind::Timeout);
+  }
+
+  // The worker must still be alive and compiling after the timeout.
+  CompileRequest clean = firRequest("after");
+  clean.source = kRecurrenceSource;
+  clean.entry = "f";
+  clean.args = {ArgSpec::row(4)};
+  CompileResponse resp = svc.submit(std::move(clean)).get();
+  EXPECT_TRUE(resp.ok) << resp.error;
+  EXPECT_GE(svc.stats().timeouts, 1u);
+}
+
+TEST(ServiceHardening, QueuedPastDeadlineIsResolvedAtPickupWithoutCompiling) {
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<int> started{0};
+  CompileService::Config cfg;
+  cfg.threads = 1;
+  cfg.onCompileStart = [&](const CompileRequest&) {
+    if (started.fetch_add(1) == 0) opened.wait();
+  };
+  CompileService svc(cfg);
+
+  auto blocker = svc.submit(firRequest("blocker"));
+  while (started.load() == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  CompileRequest doomed = firRequest("doomed");
+  doomed.source = kRecurrenceSource;
+  doomed.entry = "f";
+  doomed.args = {ArgSpec::row(4)};
+  doomed.deadlineMillis = 1;
+  auto doomedFuture = svc.submit(std::move(doomed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.set_value();
+
+  CompileResponse blocked = blocker.get();
+  EXPECT_TRUE(blocked.ok) << blocked.error;
+  CompileResponse timedOut = doomedFuture.get();
+  EXPECT_FALSE(timedOut.ok);
+  EXPECT_EQ(timedOut.errorKind, ErrorKind::Timeout);
+  EXPECT_NE(timedOut.error.find("queue"), std::string::npos) << timedOut.error;
+  // The doomed request never reached the compiler.
+  EXPECT_EQ(svc.stats().compiles, 1u);
+}
+
+TEST(ServiceHardening, LeaderPanicStillFulfillsSingleFlightWaiters) {
+  // Leak regression for single-flight dedup: a waiter joined to a flight
+  // whose leader compile panics (non-std exception) must still get a
+  // response, and the worker must survive to serve the next request.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<int> started{0};
+  CompileService::Config cfg;
+  cfg.threads = 1;
+  cfg.onCompileStart = [&](const CompileRequest&) {
+    if (started.fetch_add(1) == 0) opened.wait();
+  };
+  CompileService svc(cfg);
+
+  auto leader = svc.submit(firRequest("leader"));
+  while (started.load() == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto joiner = svc.submit(firRequest("joiner"));  // identical → joins the flight
+
+  fault::setSpec("pass:*:panic");
+  gate.set_value();
+
+  CompileResponse leaderResp = leader.get();
+  CompileResponse joinerResp = joiner.get();
+  fault::setSpec("");
+
+  EXPECT_FALSE(leaderResp.ok);
+  EXPECT_EQ(leaderResp.errorKind, ErrorKind::Panic);
+  EXPECT_FALSE(joinerResp.ok);
+  EXPECT_EQ(joinerResp.errorKind, ErrorKind::Panic);
+  EXPECT_TRUE(joinerResp.deduped);
+  EXPECT_GE(svc.stats().panics, 1u);
+  EXPECT_GE(svc.stats().dedupJoins, 1u);
+
+  CompileRequest clean = firRequest("after-panic");
+  clean.source = kRecurrenceSource;
+  clean.entry = "f";
+  clean.args = {ArgSpec::row(4)};
+  CompileResponse resp = svc.submit(std::move(clean)).get();
+  EXPECT_TRUE(resp.ok) << resp.error;
+}
+
+TEST(ServiceHardening, DegradedCompilesAreSurfacedAndCounted) {
+  FaultScope f("pass:licm:throw");
+  CompileService::Config cfg;
+  cfg.threads = 1;
+  CompileService svc(cfg);
+  CompileResponse resp = svc.submit(firRequest("degraded")).get();
+  ASSERT_TRUE(resp.ok) << resp.error;
+  ASSERT_NE(resp.result, nullptr);
+  EXPECT_EQ(resp.result->unit.optimizationReport().degraded,
+            (std::vector<std::string>{"licm"}));
+  EXPECT_EQ(svc.stats().degraded, 1u);
+
+  std::string json = responseJson(resp);
+  EXPECT_NE(json.find("\"degraded\""), std::string::npos) << json;
+  EXPECT_NE(json.find("licm"), std::string::npos) << json;
+}
+
+#endif  // MAT2C_FAULT_INJECTION
+
+TEST(ServiceHardening, StatsJsonCarriesTheRobustnessCounters) {
+  CompileService svc(CompileService::Config{});
+  std::string json = statsJson(svc.stats());
+  EXPECT_NE(json.find("\"timeouts\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"panics\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"degraded\""), std::string::npos) << json;
+}
+
+// ---- Protocol hardening --------------------------------------------------
+
+TEST(ProtocolHardening, OversizedRequestLineClassifiesAsResourceExhausted) {
+  ProtocolLimits limits;
+  limits.maxRequestBytes = 64;
+  std::string line = "{\"source\": \"" + std::string(100, 'x') + "\", \"entry\": \"f\"}";
+  CompileRequest out;
+  std::string error;
+  ErrorKind kind = ErrorKind::None;
+  EXPECT_FALSE(parseCompileRequest(line, out, error, &kind, limits));
+  EXPECT_EQ(kind, ErrorKind::ResourceExhausted);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ProtocolHardening, MalformedInputsClassifyAsParseError) {
+  struct Case {
+    std::string name;
+    std::string line;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"embedded NUL byte",
+                   std::string("{\"entry\": \"a") + '\0' + "b\"}"});
+  cases.push_back({"unterminated string", "{\"entry\": \"abc"});
+  cases.push_back({"array depth bomb", std::string(100, '[')});
+  cases.push_back({"object depth bomb", [] {
+                     std::string s;
+                     for (int i = 0; i < 100; ++i) s += "{\"k\":";
+                     return s;
+                   }()});
+  cases.push_back({"unknown field", "{\"source\": \"x\", \"entry\": \"f\", \"bogus\": 1}"});
+  cases.push_back({"non-object top level", "42"});
+  cases.push_back({"trailing junk", "{\"source\": \"x\", \"entry\": \"f\"} extra"});
+  cases.push_back({"missing required fields", "{}"});
+  cases.push_back({"empty line", ""});
+  cases.push_back({"negative deadline",
+                   "{\"source\": \"x\", \"entry\": \"f\", \"deadline_ms\": -5}"});
+
+  for (const Case& c : cases) {
+    CompileRequest out;
+    std::string error;
+    ErrorKind kind = ErrorKind::None;
+    EXPECT_FALSE(parseCompileRequest(c.line, out, error, &kind)) << c.name;
+    EXPECT_EQ(kind, ErrorKind::ParseError) << c.name;
+    EXPECT_FALSE(error.empty()) << c.name;
+  }
+}
+
+TEST(ProtocolHardening, DeadlineAndDegradeFieldsParse) {
+  CompileRequest out;
+  std::string error;
+  ErrorKind kind = ErrorKind::ParseError;
+  std::string line =
+      "{\"source\": \"function y = f(x)\\ny = x;\\nend\\n\", \"entry\": \"f\","
+      " \"args\": \"1x1\", \"deadline_ms\": 250, \"degrade\": false}";
+  ASSERT_TRUE(parseCompileRequest(line, out, error, &kind)) << error;
+  EXPECT_EQ(kind, ErrorKind::None);
+  EXPECT_DOUBLE_EQ(out.deadlineMillis, 250.0);
+  EXPECT_FALSE(out.options.degrade);
+}
+
+TEST(ProtocolHardening, ErrorResponsesCarryTheErrorKind) {
+  CompileResponse resp;
+  resp.id = "r1";
+  resp.ok = false;
+  resp.error = "request timed out in queue";
+  resp.errorKind = ErrorKind::Timeout;
+  std::string json = responseJson(resp);
+  EXPECT_NE(json.find("\"errorKind\": \"Timeout\""), std::string::npos) << json;
+}
+
+// ---- Cache byte accounting -----------------------------------------------
+
+std::shared_ptr<const CachedResult> paddedResult(const CompiledUnit& unit,
+                                                 std::size_t padding) {
+  return std::make_shared<const CachedResult>(unit,
+                                              unit.cCode() + std::string(padding, ' '));
+}
+
+TEST(CacheAccounting, KeyBytesAreChargedAndReleased) {
+  Compiler compiler;
+  auto unit = compiler.compileSource(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)},
+                                     CompileOptions::proposed());
+  CompileCache cache(4, 1);  // single shard: eviction order is deterministic
+  EXPECT_EQ(cache.stats().bytes, 0u);
+
+  auto key = CacheKey::make(kFirSource, "fir", {ArgSpec::row(64)}, CompileOptions::proposed());
+  auto small = paddedResult(unit, 0);
+  auto large = paddedResult(unit, 4096);
+
+  cache.insert(key, small);
+  EXPECT_EQ(cache.stats().bytes, key.canonical.size() + small->byteSize());
+  EXPECT_TRUE(cache.checkByteAccounting());
+
+  // Refresh with a different value: key bytes stay charged exactly once.
+  cache.insert(key, large);
+  EXPECT_EQ(cache.stats().bytes, key.canonical.size() + large->byteSize());
+  EXPECT_TRUE(cache.checkByteAccounting());
+
+  // Fill past capacity: the evicted entry's key+value bytes are released.
+  for (int i = 0; i < 5; ++i) {
+    auto k = CacheKey::make(std::string(kFirSource) + std::string(i + 1, ' '), "fir",
+                            {ArgSpec::row(64)}, CompileOptions::proposed());
+    cache.insert(k, small);
+  }
+  EXPECT_EQ(cache.stats().entries, 4u);
+  EXPECT_GE(cache.stats().evictions, 2u);
+  EXPECT_TRUE(cache.checkByteAccounting());
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_TRUE(cache.checkByteAccounting());
+}
+
+TEST(CacheAccounting, InvariantHoldsUnderEightThreadChurn) {
+  Compiler compiler;
+  auto unit = compiler.compileSource(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)},
+                                     CompileOptions::proposed());
+  std::vector<std::shared_ptr<const CachedResult>> results;
+  for (int i = 0; i < 4; ++i) results.push_back(paddedResult(unit, i * 37u));
+
+  CompileCache cache(16, 4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        int variant = (t * 131 + i * 7) % 40;
+        auto key = CacheKey::make(std::string(kFirSource) + std::string(variant, ' '),
+                                  "fir", {ArgSpec::row(64), ArgSpec::row(64)},
+                                  CompileOptions::proposed());
+        if ((t + i) % 3 == 0) {
+          cache.lookup(key);
+        } else {
+          cache.insert(key, results[static_cast<std::size_t>(t + i) % results.size()]);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_TRUE(cache.checkByteAccounting());
+  EXPECT_LE(cache.stats().entries, 16u);
+  cache.clear();
+  EXPECT_TRUE(cache.checkByteAccounting());
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+// ---- Cache key coverage of the new options -------------------------------
+
+TEST(CacheAccounting, RobustnessOptionsParticipateInTheKey) {
+  auto base = CacheKey::make(kFirSource, "fir", {ArgSpec::row(64)}, CompileOptions::proposed());
+  auto vary = [&](void (*mutate)(CompileOptions&)) {
+    CompileOptions o = CompileOptions::proposed();
+    mutate(o);
+    return CacheKey::make(kFirSource, "fir", {ArgSpec::row(64)}, o);
+  };
+  // Output-affecting: must change the key.
+  EXPECT_NE(base.canonical, vary([](CompileOptions& o) { o.degrade = false; }).canonical);
+  EXPECT_NE(base.canonical, vary([](CompileOptions& o) { o.deadCode = false; }).canonical);
+  EXPECT_NE(base.canonical,
+            vary([](CompileOptions& o) { o.limits.maxLirOps = 123; }).canonical);
+  // Observation/operational-only: a successful compile's output is identical,
+  // so these must NOT fragment the cache.
+  EXPECT_EQ(base.canonical,
+            vary([](CompileOptions& o) { o.limits.wallBudgetMillis = 5000; }).canonical);
+  EXPECT_EQ(base.canonical,
+            vary([](CompileOptions& o) { o.limits.maxSourceBytes = 99; }).canonical);
+  EXPECT_EQ(base.canonical,
+            vary([](CompileOptions& o) { o.limits.maxAstNodes = 99; }).canonical);
+}
+
+}  // namespace
+}  // namespace mat2c

@@ -1,0 +1,200 @@
+// Deterministic fuzz smoke test for the hardened front end.
+//
+// 10,000 seeded-mutation iterations split between the two untrusted-input
+// surfaces: MATLAB source through Compiler::compileSource (under tight
+// CompileLimits, so pathological mutants hit the resource guards instead of
+// the OOM killer) and JSON-lines requests through parseCompileRequest. The
+// contract under test is *containment*: every input either succeeds or is
+// rejected with a classified StructuredError — nothing may crash, hang, or
+// escape as an unclassified exception.
+//
+// Fully deterministic: a fixed xorshift64 seed (override: argv[1] seed,
+// argv[2] iterations) and no wall-clock- or address-dependent decisions, so
+// a failure reproduces by rerunning the same binary. Prints an outcome
+// digest and "fuzz-smoke-ok" (the ctest pass pattern) on success.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "driver/compiler.hpp"
+#include "service/protocol.hpp"
+
+using namespace mat2c;
+
+namespace {
+
+struct Rng {
+  std::uint64_t s;
+  explicit Rng(std::uint64_t seed) : s(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  std::size_t below(std::size_t n) { return n ? static_cast<std::size_t>(next() % n) : 0; }
+};
+
+const char* kSourceCorpus[] = {
+    "function y = f(x, h)\ny = 0;\nfor k = 1:length(x)\n  y = y + x(k) * h(k);\nend\nend\n",
+    "function y = f(x)\ns = 0;\nfor k = 1:4\n  s = s * 0.5 + x(k);\nend\ny = s;\nend\n",
+    "function y = f(x)\ns = 0;\nfor k = 4:-1:1\n  s = s * 0.5 + x(k);\nend\ny = s;\nend\n",
+    "function y = f(x)\nif x(1) > 0\n  y = x .* 2;\nelse\n  y = x + 1;\nend\nend\n",
+    "function y = f(a)\ny = zeros(1, 8);\nfor k = 1:8\n  y(k) = a(k) * a(k);\nend\nend\n",
+    "function [y, n] = f(x)\ny = x * 2;\nn = sum(x);\nend\n",
+};
+
+const char* kRequestCorpus[] = {
+    "{\"id\": \"a\", \"source\": \"function y = f(x)\\ny = x;\\nend\\n\", \"entry\": \"f\","
+    " \"args\": \"1x8\"}",
+    "{\"source\": \"function y = f(x)\\ny = x .* 2;\\nend\\n\", \"entry\": \"f\","
+    " \"args\": \"1x16\", \"style\": \"coder\", \"deadline_ms\": 100}",
+    "{\"source\": \"function y = f(x)\\ny = x;\\nend\\n\", \"entry\": \"f\","
+    " \"args\": \"c1x4\", \"vectorize\": false, \"degrade\": false}",
+    "{\"source\": \"s\", \"entry\": \"f\", \"isa\": \"scalar\"}",
+};
+
+const char* kDictionary[] = {"for",  "end", "function", "if",  "else", "while", "(",
+                             ")",    "[",   "]",        "{",   "}",    ":",     ";",
+                             "\"",   "\\",  ",",        "=",   "..",   "1e999", "0x",
+                             "'",    "%",   "\n",       "\0x", ".*",   "deadline_ms"};
+
+std::string mutate(std::string s, Rng& rng) {
+  int edits = 1 + static_cast<int>(rng.below(4));
+  for (int e = 0; e < edits; ++e) {
+    switch (rng.below(6)) {
+      case 0: {  // flip one byte
+        if (s.empty()) break;
+        s[rng.below(s.size())] = static_cast<char>(rng.next() & 0xFF);
+        break;
+      }
+      case 1: {  // insert a byte (biased printable, occasionally control/NUL)
+        char c = (rng.below(8) == 0) ? static_cast<char>(rng.below(32))
+                                     : static_cast<char>(32 + rng.below(95));
+        s.insert(s.begin() + static_cast<std::ptrdiff_t>(rng.below(s.size() + 1)), c);
+        break;
+      }
+      case 2: {  // erase a span
+        if (s.empty()) break;
+        std::size_t at = rng.below(s.size());
+        s.erase(at, rng.below(s.size() - at) + 1);
+        break;
+      }
+      case 3: {  // duplicate a span (nesting amplifier)
+        if (s.empty()) break;
+        std::size_t at = rng.below(s.size());
+        std::size_t len = rng.below(std::min<std::size_t>(s.size() - at, 16)) + 1;
+        s.insert(at, s.substr(at, len));
+        break;
+      }
+      case 4: {  // truncate
+        s.resize(rng.below(s.size() + 1));
+        break;
+      }
+      default: {  // splice a dictionary token
+        const char* tok = kDictionary[rng.below(sizeof(kDictionary) / sizeof(*kDictionary))];
+        s.insert(rng.below(s.size() + 1), tok);
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+/// Limits tight enough that amplifier mutants (nesting bombs, duplicated
+/// loops) hit a structured guard instead of real resource pressure.
+CompileOptions fuzzOptions(Rng& rng) {
+  CompileOptions o = rng.below(4) == 0 ? CompileOptions::coderLike()
+                                       : CompileOptions::proposed();
+  o.limits.maxSourceBytes = 1u << 16;
+  o.limits.maxAstNodes = 50'000;
+  o.limits.maxAstDepth = 128;
+  o.limits.maxLirOps = 50'000;
+  o.limits.wallBudgetMillis = 1000;
+  o.degrade = rng.below(2) == 0;
+  return o;
+}
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * 0x100000001b3ull;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 0xC0FFEEull;
+  long iterations = argc > 2 ? std::strtol(argv[2], nullptr, 0) : 10000;
+
+  Rng rng(seed);
+  std::uint64_t digest = 0xcbf29ce484222325ull;
+  long compiled = 0, rejected = 0, parsed = 0, refused = 0;
+
+  for (long i = 0; i < iterations; ++i) {
+    if (i % 10 < 7) {
+      // --- protocol surface -------------------------------------------
+      std::string line =
+          kRequestCorpus[rng.below(sizeof(kRequestCorpus) / sizeof(*kRequestCorpus))];
+      if (rng.below(8) != 0) line = mutate(std::move(line), rng);
+      service::ProtocolLimits limits;
+      limits.maxRequestBytes = 8192;
+      service::CompileRequest out;
+      std::string error;
+      ErrorKind kind = ErrorKind::None;
+      bool ok;
+      try {
+        ok = service::parseCompileRequest(line, out, error, &kind, limits);
+      } catch (...) {
+        std::fprintf(stderr, "FUZZ FAIL iter %ld: parseCompileRequest threw on %zu-byte line\n",
+                     i, line.size());
+        return 1;
+      }
+      if (ok) {
+        ++parsed;
+      } else {
+        ++refused;
+        if (error.empty() || kind == ErrorKind::None) {
+          std::fprintf(stderr, "FUZZ FAIL iter %ld: rejection without message/kind\n", i);
+          return 1;
+        }
+      }
+      digest = fnv(digest, ok ? 1 : 0x100u + static_cast<unsigned>(kind));
+    } else {
+      // --- compiler surface -------------------------------------------
+      std::string src =
+          kSourceCorpus[rng.below(sizeof(kSourceCorpus) / sizeof(*kSourceCorpus))];
+      if (rng.below(8) != 0) src = mutate(std::move(src), rng);
+      std::vector<sema::ArgSpec> args;
+      std::size_t nargs = rng.below(3);
+      for (std::size_t a = 0; a < nargs; ++a)
+        args.push_back(sema::ArgSpec::row(static_cast<std::int64_t>(1 + rng.below(16))));
+      Compiler compiler;
+      try {
+        compiler.compileSource(src, "f", args, fuzzOptions(rng));
+        ++compiled;
+        digest = fnv(digest, 1);
+      } catch (const StructuredError& e) {
+        ++rejected;
+        if (e.kind() == ErrorKind::None || std::string(e.what()).empty()) {
+          std::fprintf(stderr, "FUZZ FAIL iter %ld: unclassified StructuredError\n", i);
+          return 1;
+        }
+        digest = fnv(digest, 0x100u + static_cast<unsigned>(e.kind()));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "FUZZ FAIL iter %ld: unclassified exception escaped: %s\n", i,
+                     e.what());
+        return 1;
+      } catch (...) {
+        std::fprintf(stderr, "FUZZ FAIL iter %ld: non-standard exception escaped\n", i);
+        return 1;
+      }
+    }
+  }
+
+  std::printf("fuzz-smoke-ok seed=0x%llx iterations=%ld compiled=%ld rejected=%ld "
+              "parsed=%ld refused=%ld digest=0x%016llx\n",
+              static_cast<unsigned long long>(seed), iterations, compiled, rejected, parsed,
+              refused, static_cast<unsigned long long>(digest));
+  return 0;
+}

@@ -3,7 +3,8 @@
 // Usage:
 //   mat2c compile <file.m> --entry <name> --args <spec,...> [options]
 //   mat2c serve [<requests.jsonl>|-] [--jobs <n>] [--cache-entries <n>]
-//               [--stats-json <file>]
+//               [--stats-json <file>] [--max-request-bytes <n>]
+//               [--deadline-ms <ms>]
 //   mat2c isa [--preset <name> | --isa-file <file>]
 //   mat2c list-kernels
 //
@@ -72,6 +73,7 @@ int usage() {
                "  mat2c compile -e '<matlab source>' --entry <name> --args <spec,...>\n"
                "  mat2c serve [<requests.jsonl>|-] [--jobs <n>] [--cache-entries <n>]"
                " [--stats-json <file>]\n"
+               "              [--max-request-bytes <n>] [--deadline-ms <ms>]\n"
                "  mat2c isa [--preset <name>] [--isa-file <file>]\n"
                "  mat2c list-kernels\n"
                "run `head tools/mat2c_cli.cpp` for the full option list\n");
@@ -366,6 +368,8 @@ int cmdServe(int argc, char** argv) {
   std::string inputPath = "-";
   bool sawInput = false;
   service::CompileService::Config config;
+  service::ProtocolLimits protocolLimits;
+  double defaultDeadlineMillis = 0.0;  // applied to requests without their own
   std::string statsPath;
 
   for (int i = 2; i < argc; ++i) {
@@ -383,6 +387,11 @@ int cmdServe(int argc, char** argv) {
       config.cacheEntries = static_cast<std::size_t>(std::stoul(need("--cache-entries")));
     } else if (a == "--stats-json") {
       statsPath = need("--stats-json");
+    } else if (a == "--max-request-bytes") {
+      protocolLimits.maxRequestBytes =
+          static_cast<std::size_t>(std::stoul(need("--max-request-bytes")));
+    } else if (a == "--deadline-ms") {
+      defaultDeadlineMillis = std::stod(need("--deadline-ms"));
     } else if ((a == "-" || a[0] != '-') && !sawInput) {
       inputPath = a;
       sawInput = true;
@@ -423,15 +432,18 @@ int cmdServe(int argc, char** argv) {
     if (stripped.empty() || stripped[0] == '#') continue;
     service::CompileRequest request;
     std::string error;
+    ErrorKind errorKind = ErrorKind::None;
     Slot slot;
-    if (!service::parseCompileRequest(stripped, request, error)) {
+    if (!service::parseCompileRequest(stripped, request, error, &errorKind, protocolLimits)) {
       slot.ready = true;
       slot.response.id = "line" + std::to_string(lineNo);
       slot.response.error = "bad request: " + error;
+      slot.response.errorKind = errorKind;
       slots.push_back(std::move(slot));
       continue;
     }
     if (request.id.empty()) request.id = "line" + std::to_string(lineNo);
+    if (request.deadlineMillis <= 0) request.deadlineMillis = defaultDeadlineMillis;
     slot.future = serviceInstance.submit(std::move(request));
     slots.push_back(std::move(slot));
   }
