@@ -1,12 +1,23 @@
 // Extended corpus — kernels from the authors' journal follow-up
 // ("A MATLAB Vectorizing Compiler Targeting Application-Specific Instruction
-//  Set Processors", 2017): sliding cross-correlation, blockwise DCT-II and
-// windowed frame power. Exercises the dynamic-start slice path, integer
-// index-alias tracking (base = (j-1)*8 temporaries) and nested-loop
-// declaration sinking that the six headline kernels do not cover.
+//  Set Processors", 2017) plus the 5G/comms expansion (ROADMAP item 3):
+// sliding cross-correlation, blockwise DCT-II, windowed frame power, the
+// loop-style radix-2 FFT, QR and Cholesky factorizations, and a fused OFDM
+// uplink chain built on the compiled fft builtin. Exercises the
+// dynamic-start slice path, integer index-alias tracking, nested-loop
+// declaration sinking, triangular loop nests and the c64 transform path
+// that the six headline kernels do not cover.
+//
+// `--json <path>` writes the same machine-readable schema as bench_table1
+// (per-kernel cycles, speedups, geomean) so tools/check_perf.py can gate the
+// extended corpus against BENCH_extended.json.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "driver/compiler.hpp"
 #include "driver/kernels.hpp"
@@ -16,38 +27,90 @@ namespace {
 
 using namespace mat2c;
 
+struct Row {
+  kernels::KernelSpec spec;
+  CompiledUnit proposed;
+  CompiledUnit baseline;
+};
+
+std::vector<Row>& rows() {
+  static std::vector<Row> r = [] {
+    std::vector<Row> out;
+    Compiler compiler;
+    for (auto& k : kernels::extendedKernelSuite()) {
+      auto prop = compiler.compileSource(k.source, k.entry, k.argSpecs,
+                                         CompileOptions::proposed());
+      auto base = compiler.compileSource(k.source, k.entry, k.argSpecs,
+                                         CompileOptions::coderLike());
+      out.push_back(Row{std::move(k), std::move(prop), std::move(base)});
+    }
+    return out;
+  }();
+  return r;
+}
+
 void printTable() {
   std::printf("\n=== Extended kernels: proposed vs CoderLike baseline (dspx) ===\n\n");
   report::Table table({"kernel", "description", "baseline cycles", "proposed cycles",
                        "speedup", "max |err|", "vectorized loops"});
-  Compiler compiler;
-  for (auto& k : kernels::extendedKernelSuite()) {
-    auto prop = compiler.compileSource(k.source, k.entry, k.argSpecs,
-                                       CompileOptions::proposed());
-    auto base = compiler.compileSource(k.source, k.entry, k.argSpecs,
-                                       CompileOptions::coderLike());
-    double err = std::max(validateAgainstInterpreter(k.source, k.entry, prop, k.args),
-                          validateAgainstInterpreter(k.source, k.entry, base, k.args));
-    auto rp = prop.run(k.args);
-    auto rb = base.run(k.args);
-    table.addRow({k.name, k.title, report::Table::cycles(rb.cycles.total),
+  for (auto& row : rows()) {
+    double err = std::max(
+        validateAgainstInterpreter(row.spec.source, row.spec.entry, row.proposed,
+                                   row.spec.args),
+        validateAgainstInterpreter(row.spec.source, row.spec.entry, row.baseline,
+                                   row.spec.args));
+    auto rp = row.proposed.run(row.spec.args);
+    auto rb = row.baseline.run(row.spec.args);
+    table.addRow({row.spec.name, row.spec.title, report::Table::cycles(rb.cycles.total),
                   report::Table::cycles(rp.cycles.total),
                   report::Table::num(rb.cycles.total / rp.cycles.total, 1) + "x",
                   report::Table::num(err, 15),
-                  std::to_string(prop.optimizationReport().vec.loopsVectorized)});
+                  std::to_string(row.proposed.optimizationReport().vec.loopsVectorized)});
   }
   std::printf("%s\n", table.toString().c_str());
 }
 
-void BM_Extended(benchmark::State& state, std::string name, bool proposed) {
-  auto k = kernels::kernelByName(name);
-  Compiler compiler;
-  auto unit = compiler.compileSource(
-      k.source, k.entry, k.argSpecs,
-      proposed ? CompileOptions::proposed() : CompileOptions::coderLike());
+/// Writes the extended-corpus numbers as JSON for the perf-regression gate
+/// (same schema as bench_table1).
+bool writeJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_extended: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  double logSum = 0.0;
+  std::string kernelsJson;
+  for (auto& row : rows()) {
+    auto rp = row.proposed.run(row.spec.args);
+    auto rb = row.baseline.run(row.spec.args);
+    double speedup = rb.cycles.total / rp.cycles.total;
+    logSum += std::log(speedup);
+    double err = validateAgainstInterpreter(row.spec.source, row.spec.entry, row.proposed,
+                                            row.spec.args);
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    \"%s\": {\"baseline_cycles\": %.0f, \"proposed_cycles\": %.0f, "
+                  "\"speedup\": %.4f, \"max_abs_err\": %.3e},\n",
+                  row.spec.name.c_str(), rb.cycles.total, rp.cycles.total, speedup, err);
+    kernelsJson += buf;
+  }
+  if (!kernelsJson.empty()) kernelsJson.erase(kernelsJson.size() - 2, 1);  // drop last comma
+  double geomean = std::exp(logSum / static_cast<double>(rows().size()));
+  out << "{\n  \"bench\": \"extended\",\n  \"isa\": \"dspx\",\n  \"kernels\": {\n"
+      << kernelsJson << "  },\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", geomean);
+  out << "  \"geomean_speedup\": " << buf << "\n}\n";
+  std::fprintf(stderr, "bench_extended: wrote %s (geomean %.2fx)\n", path.c_str(), geomean);
+  return true;
+}
+
+void BM_Extended(benchmark::State& state, std::size_t idx, bool proposed) {
+  Row& row = rows()[idx];
+  const CompiledUnit& unit = proposed ? row.proposed : row.baseline;
   double cycles = 0;
   for (auto _ : state) {
-    auto r = unit.run(k.args);
+    auto r = unit.run(row.spec.args);
     cycles = r.cycles.total;
     benchmark::DoNotOptimize(r.outputs.data());
   }
@@ -57,12 +120,23 @@ void BM_Extended(benchmark::State& state, std::string name, bool proposed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string jsonPath;
+  // Strip --json <path> before google-benchmark sees the argument list.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
   printTable();
-  for (const char* name : {"xcorr", "blockdct", "framepow"}) {
-    benchmark::RegisterBenchmark(("extended/" + std::string(name) + "/proposed").c_str(),
-                                 BM_Extended, std::string(name), true);
-    benchmark::RegisterBenchmark(("extended/" + std::string(name) + "/coder").c_str(),
-                                 BM_Extended, std::string(name), false);
+  if (!jsonPath.empty() && !writeJson(jsonPath)) return 1;
+  for (std::size_t i = 0; i < rows().size(); ++i) {
+    benchmark::RegisterBenchmark(("extended/" + rows()[i].spec.name + "/proposed").c_str(),
+                                 BM_Extended, i, true);
+    benchmark::RegisterBenchmark(("extended/" + rows()[i].spec.name + "/coder").c_str(),
+                                 BM_Extended, i, false);
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -398,8 +398,164 @@ end
   return k;
 }
 
+KernelSpec makeQrDecomp(std::int64_t n, unsigned seed) {
+  KernelSpec k;
+  k.name = "qr_decomp";
+  k.title = "QR decomposition, modified Gram-Schmidt (" + std::to_string(n) + "x" +
+            std::to_string(n) + ")";
+  k.entry = "qr_mgs";
+  k.source = R"(
+function [q, r] = qr_mgs(a)
+% Modified Gram-Schmidt QR: column-at-a-time projections keep every inner
+% loop a unit-stride dot product or axpy over a single column.
+n = size(a, 1);
+q = zeros(n, n);
+r = zeros(n, n);
+v = zeros(n, 1);
+for j = 1:n
+  for i = 1:n
+    v(i) = a(i, j);
+  end
+  for k = 1:j - 1
+    acc = 0;
+    for i = 1:n
+      acc = acc + q(i, k) * v(i);
+    end
+    r(k, j) = acc;
+    for i = 1:n
+      v(i) = v(i) - acc * q(i, k);
+    end
+  end
+  acc = 0;
+  for i = 1:n
+    acc = acc + v(i) * v(i);
+  end
+  nrm = sqrt(acc);
+  r(j, j) = nrm;
+  for i = 1:n
+    q(i, j) = v(i) / nrm;
+  end
+end
+end
+)";
+  k.argSpecs = {sema::ArgSpec::matrix(n, n)};
+  InputGen gen(seed);
+  // Random matrix with a boosted diagonal so the factorization is
+  // well-conditioned at every problem size.
+  Matrix a = gen.matrix(n, n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    auto ii = static_cast<std::size_t>(i);
+    a.set(ii, ii, a.at(ii, ii) + Complex{2.0, 0.0});
+  }
+  k.args = {std::move(a)};
+  return k;
+}
+
+KernelSpec makeCholesky(std::int64_t n, unsigned seed) {
+  KernelSpec k;
+  k.name = "cholesky";
+  k.title = "Cholesky factorization (" + std::to_string(n) + "x" + std::to_string(n) + " SPD)";
+  k.entry = "chol_ll";
+  k.source = R"(
+function l = chol_ll(a)
+% Left-looking Cholesky a = l * l'. The k loops run zero-trip for the
+% first column - exactly the downward/empty-range shape earlier corpus
+% expansions flushed bugs out of.
+n = size(a, 1);
+l = zeros(n, n);
+for j = 1:n
+  acc = a(j, j);
+  for k = 1:j - 1
+    acc = acc - l(j, k) * l(j, k);
+  end
+  d = sqrt(acc);
+  l(j, j) = d;
+  for i = j + 1:n
+    s = a(i, j);
+    for k = 1:j - 1
+      s = s - l(i, k) * l(j, k);
+    end
+    l(i, j) = s / d;
+  end
+end
+end
+)";
+  k.argSpecs = {sema::ArgSpec::matrix(n, n)};
+  InputGen gen(seed);
+  // SPD input: B * B' + n * I.
+  Matrix b = gen.matrix(n, n);
+  Matrix a = Matrix::zeros(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = i == j ? static_cast<double>(n) : 0.0;
+      for (std::int64_t p = 0; p < n; ++p) {
+        acc += b.at(static_cast<std::size_t>(i), static_cast<std::size_t>(p)).real() *
+               b.at(static_cast<std::size_t>(j), static_cast<std::size_t>(p)).real();
+      }
+      a.set(static_cast<std::size_t>(i), static_cast<std::size_t>(j), Complex{acc, 0.0});
+    }
+  }
+  k.args = {std::move(a)};
+  return k;
+}
+
+KernelSpec makeUplink(std::int64_t n, unsigned seed) {
+  KernelSpec k;
+  k.name = "uplink_chain";
+  k.title = "OFDM uplink chain: FFT + channel estimate + MMSE equalize + demod (" +
+            std::to_string(n) + " subcarriers)";
+  k.entry = "uplink";
+  k.source = R"(
+function s = uplink(y, yp, p, np)
+% Fused uplink symbol chain. y is the received data symbol (time domain),
+% yp the received pilot symbol (frequency domain), p the transmitted pilot,
+% np the noise power. The fft builtin feeds a single elementwise dataflow:
+% least-squares channel estimate, MMSE equalizer, hard QPSK decision.
+yf = fft(y);
+h = yp .* conj(p) ./ (abs(p) .* abs(p));
+g = conj(h) ./ (abs(h) .* abs(h) + np);
+xe = g .* yf;
+s = complex(sign(real(xe)), sign(imag(xe)));
+end
+)";
+  k.argSpecs = {sema::ArgSpec::row(n, /*complex=*/true),
+                sema::ArgSpec::row(n, /*complex=*/true),
+                sema::ArgSpec::row(n, /*complex=*/true), sema::ArgSpec::scalar()};
+  InputGen gen(seed);
+  auto un = static_cast<std::size_t>(n);
+  auto qpsk = [](double u) { return u >= 0.0 ? std::numbers::sqrt2 / 2.0
+                                             : -std::numbers::sqrt2 / 2.0; };
+  Matrix p = Matrix::zeros(1, un, /*complex=*/true);   // transmitted pilot
+  Matrix yp = Matrix::zeros(1, un, /*complex=*/true);  // received pilot (freq)
+  std::vector<Complex> yfTrue(un);                     // received data (freq)
+  for (std::size_t i = 0; i < un; ++i) {
+    // Smooth frequency-selective channel, |H| in [0.5, 1.5].
+    double t = 2.0 * std::numbers::pi * static_cast<double>(i) / static_cast<double>(n);
+    Complex hch = Complex{1.0 + 0.5 * std::cos(3.0 * t), 0.5 * std::sin(2.0 * t)};
+    Complex pilot{qpsk(gen.next()), qpsk(gen.next())};
+    Complex data{qpsk(gen.next()), qpsk(gen.next())};
+    p.set(i, pilot);
+    yp.set(i, hch * pilot);
+    yfTrue[i] = hch * data;
+  }
+  // Time-domain data symbol y = idft(yfTrue).
+  Matrix y = Matrix::zeros(1, un, /*complex=*/true);
+  for (std::size_t i = 0; i < un; ++i) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t j = 0; j < un; ++j) {
+      double ang = 2.0 * std::numbers::pi * static_cast<double>(i) *
+                   static_cast<double>(j) / static_cast<double>(n);
+      acc += yfTrue[j] * Complex{std::cos(ang), std::sin(ang)};
+    }
+    y.set(i, acc / static_cast<double>(n));
+  }
+  k.args = {std::move(y), std::move(yp), std::move(p), Matrix::scalar(0.1)};
+  return k;
+}
+
 std::vector<KernelSpec> extendedKernelSuite() {
-  return {makeXcorr(), makeBlockDct(), makeFramePow(), makeFft()};
+  return {makeXcorr(),    makeBlockDct(), makeFramePow(), makeFft(),
+          makeQrDecomp(), makeCholesky(), makeUplink()};
 }
 
 std::vector<KernelSpec> dspBenchmarkSuite() {
@@ -417,6 +573,9 @@ KernelSpec kernelByName(const std::string& name) {
   if (name == "blockdct") return makeBlockDct();
   if (name == "framepow") return makeFramePow();
   if (name == "fft") return makeFft();
+  if (name == "qr_decomp") return makeQrDecomp();
+  if (name == "cholesky") return makeCholesky();
+  if (name == "uplink_chain") return makeUplink();
   throw std::invalid_argument("unknown kernel '" + name + "'");
 }
 

@@ -45,6 +45,13 @@ KernelSpec makeBlockDct(std::int64_t blocks = 256, unsigned seed = 8);
 KernelSpec makeFramePow(std::int64_t frames = 128, std::int64_t frameLen = 32,
                         unsigned seed = 9);
 KernelSpec makeFft(std::int64_t n = 1024, unsigned seed = 10);
+
+/// 5G/comms corpus (ROADMAP item 3): matrix factorizations and a fused
+/// uplink symbol chain built on the compiled fft builtin.
+KernelSpec makeQrDecomp(std::int64_t n = 32, unsigned seed = 11);
+KernelSpec makeCholesky(std::int64_t n = 32, unsigned seed = 12);
+KernelSpec makeUplink(std::int64_t n = 512, unsigned seed = 13);
+
 std::vector<KernelSpec> extendedKernelSuite();
 
 /// Kernel by name with default size ("fir", "iir", "matmul", "cdot",

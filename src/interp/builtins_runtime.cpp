@@ -160,35 +160,69 @@ void fftRadix2(std::vector<Complex>& a, bool inverse) {
   }
 }
 
-Matrix fftImpl(const Matrix& in, bool inverse) {
-  if (!in.isVector() && !in.empty())
-    throw RuntimeError("fft: only vectors are supported");
-  const std::size_t n = in.numel();
-  std::vector<Complex> buf(n);
-  for (std::size_t i = 0; i < n; ++i) buf[i] = in.at(i);
-  bool pow2 = n != 0 && (n & (n - 1)) == 0;
-  if (pow2) {
+// One length-m transform in place; radix-2 when m is a power of two,
+// O(m^2) DFT otherwise.
+void fftBuffer(std::vector<Complex>& buf, bool inverse) {
+  const std::size_t m = buf.size();
+  if (m != 0 && (m & (m - 1)) == 0) {
     fftRadix2(buf, inverse);
-  } else {
-    // O(n^2) DFT fallback for non-power-of-two lengths.
-    std::vector<Complex> out(n);
-    double sign = inverse ? 1.0 : -1.0;
-    for (std::size_t k = 0; k < n; ++k) {
-      Complex acc{0.0, 0.0};
-      for (std::size_t t = 0; t < n; ++t) {
-        double ang = sign * 2.0 * std::numbers::pi * static_cast<double>(k) *
-                     static_cast<double>(t) / static_cast<double>(n);
-        acc += buf[t] * Complex(std::cos(ang), std::sin(ang));
-      }
-      out[k] = inverse ? acc / static_cast<double>(n) : acc;
-    }
-    buf = std::move(out);
+    return;
   }
-  Matrix out = Matrix::zeros(in.isRow() ? 1 : n, in.isRow() ? n : (n ? 1 : 0),
-                             /*complex=*/true);
-  for (std::size_t i = 0; i < n; ++i) out.set(i, buf[i]);
+  std::vector<Complex> out(m);
+  double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t t = 0; t < m; ++t) {
+      double ang = sign * 2.0 * std::numbers::pi * static_cast<double>(k) *
+                   static_cast<double>(t) / static_cast<double>(m);
+      acc += buf[t] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = inverse ? acc / static_cast<double>(m) : acc;
+  }
+  buf = std::move(out);
+}
+
+// MATLAB semantics: vectors transform along their length keeping orientation
+// (scalars count as rows), matrices column-wise. n > 0 zero-pads or truncates
+// every transform to length n.
+Matrix fftImpl(const Matrix& in, bool inverse, std::size_t n = 0) {
+  const bool vec = in.isVector() || in.empty();
+  const std::size_t inLen = vec ? in.numel() : in.rows();
+  const std::size_t m = n ? n : inLen;
+  const std::size_t cols = vec ? (m ? 1 : 0) : in.cols();
+  const bool colVec = vec && in.rows() > 1;
+
+  Matrix out = vec ? Matrix::zeros(colVec ? m : (m ? 1 : 0), colVec ? (m ? 1 : 0) : m,
+                                   /*complex=*/true)
+                   : Matrix::zeros(m, cols, /*complex=*/true);
+  std::vector<Complex> buf;
+  for (std::size_t c = 0; c < cols; ++c) {
+    buf.assign(m, Complex{0.0, 0.0});
+    for (std::size_t i = 0; i < std::min(inLen, m); ++i)
+      buf[i] = vec ? in.at(i) : in.at(i, c);
+    fftBuffer(buf, inverse);
+    for (std::size_t k = 0; k < m; ++k) {
+      if (vec)
+        out.set(k, buf[k]);
+      else
+        out.set(k, c, buf[k]);
+    }
+  }
   out.dropZeroImag();
   return out;
+}
+
+// Shared fft/ifft argument handling: optional second arg is the transform
+// length, a positive integer.
+std::size_t fftLengthArg(const std::vector<Matrix>& args, const char* name) {
+  requireArgs(args, 1, 2, name);
+  if (args.size() < 2) return 0;
+  if (!args[1].isScalar())
+    throw RuntimeError(std::string(name) + ": transform length must be a scalar");
+  double v = args[1].scalarValue();
+  if (!(v >= 1.0) || v != std::floor(v))
+    throw RuntimeError(std::string(name) + ": transform length must be a positive integer");
+  return static_cast<std::size_t>(v);
 }
 
 const std::map<std::string, BuiltinFn>& makeTable() {
@@ -485,12 +519,10 @@ const std::map<std::string, BuiltinFn>& makeTable() {
 
     // -- transforms -----------------------------------------------------------
     t["fft"] = [](const std::vector<Matrix>& args, std::size_t) {
-      requireArgs(args, 1, 1, "fft");
-      return one(fftImpl(args[0], /*inverse=*/false));
+      return one(fftImpl(args[0], /*inverse=*/false, fftLengthArg(args, "fft")));
     };
     t["ifft"] = [](const std::vector<Matrix>& args, std::size_t) {
-      requireArgs(args, 1, 1, "ifft");
-      return one(fftImpl(args[0], /*inverse=*/true));
+      return one(fftImpl(args[0], /*inverse=*/true, fftLengthArg(args, "ifft")));
     };
 
     // -- ordering / accumulation ----------------------------------------------

@@ -174,6 +174,10 @@ class Lowerer {
                      const Binding& base);
   void emitColumnReduction(const std::string& dst, const std::string& name,
                            const CallIndex& call, const Type& argType);
+  /// fft/ifft of a vector (or column-wise of a matrix) into dst: radix-2
+  /// DIT loop nest for power-of-two lengths, O(n^2) DFT otherwise.
+  void emitFft(const std::string& dst, const Type& dstType, const CallIndex& call,
+               bool inverse);
 
   /// Reductions (sum/prod/mean/dot/norm/min/max over a vector) to a scalar
   /// LIR variable; returns a VarRef to it.
@@ -692,6 +696,18 @@ ExprPtr Lowerer::scalarBuiltinCall(const std::string& name, const CallIndex& cal
         return lir::unary(UnOp::Arg, std::move(v), VType::f64());
       }
       fail(call.loc, "unhandled complex-part builtin");
+    }
+
+    case sema::BuiltinKind::Transform: {
+      // Scalar context means a length-1 transform, which is the identity
+      // (and the ifft 1/m scale is 1): just the first element as c64.
+      Type argT = typeOf(arg(0));
+      if (argT.isScalar()) return coerceTo(scalarExpr(arg(0)), Scalar::C64, call.loc);
+      TensorRef ref = materializeTensor(arg(0));
+      emitBoundsCheck(ref.storage, lir::constI(0));
+      return coerceTo(lir::load(ref.storage, lir::constI(0),
+                                VType{lirElem(ref.type.elem), 1}),
+                      Scalar::C64, call.loc);
     }
 
     case sema::BuiltinKind::Constructor:
@@ -1453,6 +1469,261 @@ void Lowerer::emitColumnReduction(const std::string& dst, const std::string& nam
   emit(lir::forLoop(ci, lir::constI(0), lir::constI(cols), 1, std::move(colBody)));
 }
 
+void Lowerer::emitFft(const std::string& dst, const Type& dstType, const CallIndex& call,
+                      bool inverse) {
+  const ast::Expr& argExpr = *call.args.at(0);
+  Type argT = typeOf(argExpr);
+  knownNumel(argT.shape, call.loc, "fft argument");
+
+  // Geometry. Vectors transform along their length; matrices column-wise.
+  // The transform length m comes from the (sema-inferred) destination shape,
+  // so the two-arg zero-pad/truncate form needs no special casing here.
+  bool matrixInput = !argT.shape.isVector();
+  std::int64_t cols = matrixInput ? argT.shape.cols.extent() : 1;
+  std::int64_t inLen = matrixInput ? argT.shape.rows.extent() : argT.shape.numel();
+  std::int64_t m = matrixInput ? dstType.shape.rows.extent() : dstType.shape.numel();
+  bool pow2 = m != 0 && (m & (m - 1)) == 0;
+  double sign = inverse ? 1.0 : -1.0;
+
+  auto I = [](std::int64_t v) { return lir::constI(v); };
+  auto iv = [](const std::string& n) { return lir::varRef(n, VType::i64()); };
+  auto iAdd = [](ExprPtr a, ExprPtr b) {
+    return lir::binary(BinOp::Add, std::move(a), std::move(b), VType::i64());
+  };
+  auto iMul = [](ExprPtr a, ExprPtr b) {
+    return lir::binary(BinOp::Mul, std::move(a), std::move(b), VType::i64());
+  };
+  auto cLoad = [&](const std::string& arr, ExprPtr idx) {
+    emitBoundsCheck(arr, idx);
+    return lir::load(arr, std::move(idx), VType::c64());
+  };
+  auto cStore = [&](const std::string& arr, ExprPtr idx, ExprPtr v) {
+    emitBoundsCheck(arr, idx);
+    emit(lir::store(arr, std::move(idx), std::move(v)));
+  };
+
+  // Input storage: scalars go through a 1x1 buffer so every path below is an
+  // array-to-array transform.
+  std::string src;
+  Scalar srcElem;
+  if (argT.isScalar()) {
+    src = declareArray("fftin", Scalar::C64, 1, 1);
+    srcElem = Scalar::C64;
+    emit(lir::store(src, I(0), coerceTo(scalarExpr(argExpr), Scalar::C64, call.loc)));
+  } else {
+    TensorRef ref = materializeTensor(argExpr);
+    src = ref.storage;
+    srcElem = lirElem(ref.type.elem);
+  }
+
+  // The radix-2 path runs in place on dst; the DFT fallback reads a padded
+  // scratch copy (dst may alias src for same-shape `y = fft(y)`).
+  std::string buf = dst;
+  if (!pow2) buf = declareArray("fftin", Scalar::C64, m, cols);
+
+  // Stage 1 — copy (and zero-pad or truncate) each column into `buf`.
+  std::int64_t copyN = std::min(inLen, m);
+  {
+    std::string c = fresh("c");
+    std::vector<StmtPtr> colBody;
+    std::vector<StmtPtr>* saved = cur_;
+    cur_ = &colBody;
+    if (buf != src) {
+      std::string i = fresh("i");
+      std::vector<StmtPtr> body;
+      std::vector<StmtPtr>* savedCol = cur_;
+      cur_ = &body;
+      ExprPtr v = lir::load(src, iAdd(iMul(iv(c), I(inLen)), iv(i)), VType{srcElem, 1});
+      emitBoundsCheck(src, v->index);
+      cStore(buf, iAdd(iMul(iv(c), I(m)), iv(i)),
+             coerceTo(std::move(v), Scalar::C64, call.loc));
+      cur_ = savedCol;
+      emit(lir::forLoop(i, I(0), I(copyN), 1, std::move(body)));
+    }
+    if (m > copyN) {
+      std::string i = fresh("i");
+      std::vector<StmtPtr> body;
+      std::vector<StmtPtr>* savedCol = cur_;
+      cur_ = &body;
+      cStore(buf, iAdd(iMul(iv(c), I(m)), iv(i)), lir::constC(0.0, 0.0));
+      cur_ = savedCol;
+      emit(lir::forLoop(i, I(copyN), I(m), 1, std::move(body)));
+    }
+    cur_ = saved;
+    emit(lir::forLoop(c, I(0), I(cols), 1, std::move(colBody)));
+  }
+
+  if (pow2 && m >= 2) {
+    // Stage 2 — twiddle table tw[k] = exp(sign*2i*pi*k/m), k = 0..m/2-1.
+    std::string tw = declareArray("ffttw", Scalar::C64, 1, m / 2);
+    {
+      std::string k = fresh("k");
+      std::vector<StmtPtr> body;
+      std::vector<StmtPtr>* saved = cur_;
+      cur_ = &body;
+      std::string ang = fresh("ang");
+      emit(lir::declScalar(
+          ang, VType::f64(),
+          lir::binary(BinOp::Mul, lir::constF(sign * 2.0 * 3.14159265358979323846 /
+                                              static_cast<double>(m)),
+                      lir::unary(UnOp::ToF64, iv(k), VType::f64()), VType::f64())));
+      cStore(tw, iv(k),
+             lir::binary(BinOp::MakeComplex,
+                         lir::unary(UnOp::Cos, lir::varRef(ang, VType::f64()), VType::f64()),
+                         lir::unary(UnOp::Sin, lir::varRef(ang, VType::f64()), VType::f64()),
+                         VType::c64()));
+      cur_ = saved;
+      emit(lir::forLoop(k, I(0), I(m / 2), 1, std::move(body)));
+    }
+
+    std::string c = fresh("c");
+    std::vector<StmtPtr> colBody;
+    std::vector<StmtPtr>* savedTop = cur_;
+    cur_ = &colBody;
+    auto base = [&]() { return iMul(iv(c), I(m)); };
+
+    // Stage 3 — bit-reversal permutation. LIR has no bitwise ops, so the
+    // classic add-with-carry counter uses compare/subtract/divide; with the
+    // invariant j <= 2*bit - 2 on entry the while always exits before
+    // bit reaches zero.
+    {
+      std::string j = fresh("j");
+      emit(lir::declScalar(j, VType::i64(), I(0)));
+      std::string i = fresh("i");
+      std::vector<StmtPtr> body;
+      std::vector<StmtPtr>* saved = cur_;
+      cur_ = &body;
+      std::string bit = fresh("bit");
+      emit(lir::declScalar(bit, VType::i64(), I(m / 2)));
+      {
+        std::vector<StmtPtr> wBody;
+        wBody.push_back(lir::assign(
+            j, lir::binary(BinOp::Sub, iv(j), iv(bit), VType::i64())));
+        wBody.push_back(lir::assign(
+            bit, lir::binary(BinOp::Div, iv(bit), I(2), VType::i64())));
+        emit(lir::whileStmt(lir::binary(BinOp::Ge, iv(j), iv(bit), VType::b1()),
+                            std::move(wBody)));
+      }
+      emit(lir::assign(j, iAdd(iv(j), iv(bit))));
+      {
+        std::vector<StmtPtr> thenBody;
+        std::vector<StmtPtr>* savedIf = cur_;
+        cur_ = &thenBody;
+        std::string t = fresh("swap");
+        emit(lir::declScalar(t, VType::c64(), cLoad(buf, iAdd(base(), iv(i)))));
+        cStore(buf, iAdd(base(), iv(i)), cLoad(buf, iAdd(base(), iv(j))));
+        cStore(buf, iAdd(base(), iv(j)), lir::varRef(t, VType::c64()));
+        cur_ = savedIf;
+        emit(lir::ifStmt(lir::binary(BinOp::Lt, iv(i), iv(j), VType::b1()),
+                         std::move(thenBody)));
+      }
+      cur_ = saved;
+      emit(lir::forLoop(i, I(1), I(m), 1, std::move(body)));
+    }
+
+    // Stage 4 — butterflies; the log2(m) stages unroll at compile time so
+    // every loop has static bounds and a static step.
+    for (std::int64_t len = 2; len <= m; len <<= 1) {
+      std::int64_t half = len / 2;
+      std::int64_t step = m / len;
+      std::string s = fresh("s");
+      std::vector<StmtPtr> sBody;
+      std::vector<StmtPtr>* saved = cur_;
+      cur_ = &sBody;
+      std::string q = fresh("q");
+      std::vector<StmtPtr> qBody;
+      std::vector<StmtPtr>* savedS = cur_;
+      cur_ = &qBody;
+      auto p = [&]() { return iAdd(iAdd(base(), iv(s)), iv(q)); };
+      std::string u = fresh("u");
+      std::string v = fresh("v");
+      emit(lir::declScalar(u, VType::c64(), cLoad(buf, p())));
+      emit(lir::declScalar(
+          v, VType::c64(),
+          lir::binary(BinOp::Mul, cLoad(buf, iAdd(p(), I(half))),
+                      cLoad(tw, iMul(iv(q), I(step))), VType::c64())));
+      cStore(buf, p(),
+             lir::binary(BinOp::Add, lir::varRef(u, VType::c64()),
+                         lir::varRef(v, VType::c64()), VType::c64()));
+      cStore(buf, iAdd(p(), I(half)),
+             lir::binary(BinOp::Sub, lir::varRef(u, VType::c64()),
+                         lir::varRef(v, VType::c64()), VType::c64()));
+      cur_ = savedS;
+      emit(lir::forLoop(q, I(0), I(half), 1, std::move(qBody)));
+      cur_ = saved;
+      emit(lir::forLoop(s, I(0), I(m), len, std::move(sBody)));
+    }
+    cur_ = savedTop;
+    emit(lir::forLoop(c, I(0), I(cols), 1, std::move(colBody)));
+
+    // Stage 5 — ifft scales by 1/m.
+    if (inverse && m > 1) {
+      std::string i = fresh("i");
+      std::vector<StmtPtr> body;
+      std::vector<StmtPtr>* saved = cur_;
+      cur_ = &body;
+      cStore(buf, iv(i),
+             lir::binary(BinOp::Mul, cLoad(buf, iv(i)),
+                         lir::constC(1.0 / static_cast<double>(m), 0.0), VType::c64()));
+      cur_ = saved;
+      emit(lir::forLoop(i, I(0), I(m * cols), 1, std::move(body)));
+    }
+    return;
+  }
+
+  // Non-power-of-two fallback: direct O(m^2) DFT per column from the padded
+  // scratch copy (never in place).
+  if (m == 0) return;
+  {
+    std::string c = fresh("c");
+    std::vector<StmtPtr> colBody;
+    std::vector<StmtPtr>* savedTop = cur_;
+    cur_ = &colBody;
+    std::string k = fresh("k");
+    std::vector<StmtPtr> kBody;
+    std::vector<StmtPtr>* savedCol = cur_;
+    cur_ = &kBody;
+    std::string acc = fresh("acc");
+    emit(lir::declScalar(acc, VType::c64(), lir::constC(0.0, 0.0)));
+    {
+      std::string t = fresh("t");
+      std::vector<StmtPtr> tBody;
+      std::vector<StmtPtr>* savedK = cur_;
+      cur_ = &tBody;
+      std::string ang = fresh("ang");
+      emit(lir::declScalar(
+          ang, VType::f64(),
+          lir::binary(BinOp::Mul, lir::constF(sign * 2.0 * 3.14159265358979323846 /
+                                              static_cast<double>(m)),
+                      lir::unary(UnOp::ToF64, iMul(iv(k), iv(t)), VType::f64()),
+                      VType::f64())));
+      ExprPtr w = lir::binary(
+          BinOp::MakeComplex,
+          lir::unary(UnOp::Cos, lir::varRef(ang, VType::f64()), VType::f64()),
+          lir::unary(UnOp::Sin, lir::varRef(ang, VType::f64()), VType::f64()),
+          VType::c64());
+      emit(lir::assign(
+          acc, lir::binary(BinOp::Add, lir::varRef(acc, VType::c64()),
+                           lir::binary(BinOp::Mul,
+                                       cLoad(buf, iAdd(iMul(iv(c), I(m)), iv(t))),
+                                       std::move(w), VType::c64()),
+                           VType::c64())));
+      cur_ = savedK;
+      emit(lir::forLoop(t, I(0), I(m), 1, std::move(tBody)));
+    }
+    ExprPtr result = lir::varRef(acc, VType::c64());
+    if (inverse) {
+      result = lir::binary(BinOp::Mul, std::move(result),
+                           lir::constC(1.0 / static_cast<double>(m), 0.0), VType::c64());
+    }
+    cStore(dst, iAdd(iMul(iv(c), I(m)), iv(k)), std::move(result));
+    cur_ = savedCol;
+    emit(lir::forLoop(k, I(0), I(m), 1, std::move(kBody)));
+    cur_ = savedTop;
+    emit(lir::forLoop(c, I(0), I(cols), 1, std::move(colBody)));
+  }
+}
+
 void Lowerer::emitTensorAssign(const std::string& dst, const Type& dstType, const Expr& rhs) {
   knownNumel(dstType.shape, rhs.loc, "assignment target");
   switch (rhs.kind) {
@@ -1556,6 +1827,10 @@ void Lowerer::emitTensorAssign(const std::string& dst, const Type& dstType, cons
           }
           fail(rhs.loc, "unhandled constructor '" + name + "'");
         }
+        case sema::BuiltinKind::Transform:
+          emitFft(dst, dstType, call, name == "ifft");
+          return;
+
         case sema::BuiltinKind::Reduction:
         case sema::BuiltinKind::MinMax: {
           // Tensor-valued reduction = column reduction of a matrix.

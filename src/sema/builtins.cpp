@@ -52,6 +52,9 @@ std::optional<BuiltinInfo> findCompilableBuiltin(const std::string& name) {
       {"eye", {BuiltinKind::Constructor}},
       {"linspace", {BuiltinKind::Constructor}},
 
+      {"fft", {BuiltinKind::Transform}},
+      {"ifft", {BuiltinKind::Transform}},
+
       {"real", {BuiltinKind::ComplexPart}},
       {"imag", {BuiltinKind::ComplexPart}},
       {"conj", {BuiltinKind::ComplexPart}},

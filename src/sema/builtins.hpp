@@ -2,9 +2,9 @@
 //
 // The reference interpreter supports a superset (see interp/builtins_runtime);
 // this table describes what the code generator can lower and how. Builtins
-// not listed here (fft, ...) remain interpreter-only: kernels that want them
-// compiled must spell them as MATLAB loops, which is exactly what the paper's
-// DSP benchmarks do.
+// not listed here remain interpreter-only: kernels that want them compiled
+// must spell them as MATLAB loops, which is exactly what the paper's DSP
+// benchmarks do.
 #pragma once
 
 #include <optional>
@@ -21,6 +21,7 @@ enum class BuiltinKind {
   Query,        // length, numel, size, isreal, isempty
   Constructor,  // zeros, ones, eye, linspace
   ComplexPart,  // real, imag, conj, angle, complex
+  Transform,    // fft, ifft — whole-tensor transforms with their own loop nests
 };
 
 struct BuiltinInfo {

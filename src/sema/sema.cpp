@@ -695,6 +695,25 @@ Type TypeInference::inferBuiltin(const std::string& name, const BuiltinInfo& inf
       if (name == "conj") return {args[0].elem, args[0].shape};
       return {Elem::Real, args[0].shape};  // real/imag/angle
     }
+
+    case BuiltinKind::Transform: {
+      // fft(x) / fft(x, n): complex result; vectors keep their orientation,
+      // matrices transform column-wise. The transform length must be static
+      // (one-arg: the input extent; two-arg: a compile-time constant n).
+      need(1, 2);
+      const Shape& s = args[0].shape;
+      if (args.size() == 2) {
+        if (!argConsts[1])
+          fail(loc, "'" + name + "': transform length must be a compile-time constant");
+        auto n = static_cast<std::int64_t>(*argConsts[1]);
+        if (n < 1 || static_cast<double>(n) != *argConsts[1])
+          fail(loc, "'" + name + "': transform length must be a positive integer");
+        if (s.isScalar() || s.isRow()) return {Elem::Complex, Shape::row(n)};
+        if (s.isCol()) return {Elem::Complex, Shape::col(n)};
+        return {Elem::Complex, Shape{Dim::of(n), s.cols}};
+      }
+      return {Elem::Complex, s};
+    }
   }
   fail(loc, "'" + name + "': unhandled builtin kind");
 }

@@ -3,10 +3,13 @@
 #ifdef MAT2C_FAULT_INJECTION
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <new>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -45,19 +48,29 @@ State& state() {
 std::atomic<int> g_active{-1};
 std::atomic<long> g_allocCount{0};
 
+// Counts (sleep millis, alloc budgets) must be exact: strtol without an
+// errno check would silently saturate "9999999999999" to LONG_MAX and a
+// trailing-junk check alone still accepts it, turning a typo'd spec into a
+// fault that never (or always) fires. Cap well below any meaningful value.
+constexpr long kMaxCount = 1000000000L;  // 1e9: ~11 days of sleep, any budget
+
 bool parseLong(const std::string& text, long& out) {
   if (text.empty()) return false;
+  errno = 0;
   char* end = nullptr;
   long v = std::strtol(text.c_str(), &end, 10);
-  if (end != text.c_str() + text.size() || v < 0) return false;
+  if (end != text.c_str() + text.size() || errno == ERANGE || v < 0 || v > kMaxCount)
+    return false;
   out = v;
   return true;
 }
 
-/// Parses the spec in place; malformed clauses are ignored (the spec is a
-/// test/debug surface, not user input worth diagnosing).
-void parseSpecLocked(State& s) {
+/// Parses the spec in place. Returns the first malformed clause ("" when the
+/// whole spec parsed) so callers can reject bad specs loudly instead of
+/// silently running with the fault disabled.
+std::string parseSpecLocked(State& s) {
   s.clauses.clear();
+  std::string badClause;
   for (const auto& part : split(s.spec, ',')) {
     std::string clause{trim(part)};
     if (clause.empty()) continue;
@@ -65,13 +78,14 @@ void parseSpecLocked(State& s) {
     Clause c;
     if (f.size() >= 3 && f[0] == "pass") {
       c.pass = f[1];
-      if (f[2] == "throw") {
+      if (f.size() == 3 && f[2] == "throw") {
         c.type = ClauseType::PassThrow;
-      } else if (f[2] == "panic") {
+      } else if (f.size() == 3 && f[2] == "panic") {
         c.type = ClauseType::PassPanic;
       } else if (f[2] == "sleep" && f.size() == 4 && parseLong(f[3], c.arg)) {
         c.type = ClauseType::PassSleep;
       } else {
+        if (badClause.empty()) badClause = clause;
         continue;
       }
       s.clauses.push_back(std::move(c));
@@ -82,10 +96,13 @@ void parseSpecLocked(State& s) {
     } else if (f.size() == 3 && f[0] == "alloc" && f[1] == "after" && parseLong(f[2], c.arg)) {
       c.type = ClauseType::AllocAfter;
       s.clauses.push_back(std::move(c));
+    } else {
+      if (badClause.empty()) badClause = clause;
     }
   }
   g_allocCount.store(0, std::memory_order_relaxed);
   g_active.store(s.clauses.empty() ? 0 : 1, std::memory_order_release);
+  return badClause;
 }
 
 void loadEnvOnceLocked(State& s) {
@@ -93,7 +110,12 @@ void loadEnvOnceLocked(State& s) {
   s.envLoaded = true;
   if (const char* env = std::getenv("MAT2C_FAULT"); env && *env) {
     s.spec = env;
-    parseSpecLocked(s);
+    // The env load runs lazily on the compile hot path where throwing would
+    // surface as a spurious compile failure — warn loudly instead.
+    std::string bad = parseSpecLocked(s);
+    if (!bad.empty())
+      std::fprintf(stderr, "mat2c: invalid MAT2C_FAULT clause '%s' (ignored)\n",
+                   bad.c_str());
   } else {
     g_active.store(0, std::memory_order_release);
   }
@@ -126,7 +148,15 @@ void setSpec(const std::string& spec) {
   std::lock_guard<std::mutex> lock(s.mu);
   s.envLoaded = true;  // programmatic spec overrides the environment
   s.spec = spec;
-  parseSpecLocked(s);
+  std::string bad = parseSpecLocked(s);
+  if (!bad.empty()) {
+    // Don't leave the valid half of a rejected spec armed.
+    s.spec.clear();
+    s.clauses.clear();
+    g_active.store(0, std::memory_order_release);
+    throw std::invalid_argument("fault::setSpec: invalid clause '" + bad +
+                                "' in spec '" + spec + "'");
+  }
 }
 
 std::string activeSpec() {

@@ -38,7 +38,9 @@ struct InjectedPanic {
 bool enabled();
 
 /// Installs `spec` (replacing any previous spec and the environment's);
-/// empty string clears all injection and resets the alloc counter.
+/// empty string clears all injection and resets the alloc counter. Throws
+/// std::invalid_argument on a malformed clause (unknown action, non-numeric
+/// or overflowing count) — a typo'd spec must not silently disable a fault.
 void setSpec(const std::string& spec);
 
 /// The active spec text ("" when none).

@@ -178,6 +178,50 @@ TEST(Builtins, FftMatchesDftForNonPow2) {
   EXPECT_NEAR(lhs.scalarValue(), rhs.scalarValue(), 1e-9);
 }
 
+TEST(Builtins, FftOfMatrixIsColumnwise) {
+  // fft of a matrix must equal fft applied to each column independently.
+  Matrix m = runVar("a = [1 5; 2 6; 3 7; 4 8]; x = fft(a);");
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 2u);
+  Matrix c0 = runVar("x = fft([1; 2; 3; 4]);");
+  Matrix c1 = runVar("x = fft([5; 6; 7; 8]);");
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_NEAR(std::abs(m.at(r, 0) - c0.at(r)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(m.at(r, 1) - c1.at(r)), 0.0, 1e-12);
+  }
+}
+
+TEST(Builtins, FftTwoArgZeroPadsAndTruncates) {
+  // Padding: fft(v, 8) == fft([v zeros]) elementwise.
+  Matrix err = runVar(
+      "v = [1 2 3]; x = max(abs(fft(v, 8) - fft([v 0 0 0 0 0])));");
+  EXPECT_LT(err.scalarValue(), 1e-12);
+  // Truncation: fft(v, 2) == fft(v(1:2)).
+  Matrix err2 = runVar("v = [1 2 3 4]; x = max(abs(fft(v, 2) - fft([1 2])));");
+  EXPECT_LT(err2.scalarValue(), 1e-12);
+  // Orientation follows the input; a padded column stays a column.
+  Matrix col = runVar("x = fft([1; 2], 4);");
+  EXPECT_EQ(col.rows(), 4u);
+  EXPECT_EQ(col.cols(), 1u);
+  // Matrices pad column-wise.
+  Matrix m = runVar("x = fft([1 2; 3 4], 8);");
+  EXPECT_EQ(m.rows(), 8u);
+  EXPECT_EQ(m.cols(), 2u);
+}
+
+TEST(Builtins, FftIfftTwoArgRoundTrip) {
+  Matrix err = runVar("v = [1 2 3 4 5]; x = max(abs(ifft(fft(v, 8), 8) - [v 0 0 0]));");
+  EXPECT_LT(err.scalarValue(), 1e-12);
+}
+
+TEST(Builtins, FftRejectsBadLengthArg) {
+  EXPECT_THROW(runVar("x = fft([1 2 3], 0);"), RuntimeError);
+  EXPECT_THROW(runVar("x = fft([1 2 3], -4);"), RuntimeError);
+  EXPECT_THROW(runVar("x = fft([1 2 3], 2.5);"), RuntimeError);
+  EXPECT_THROW(runVar("x = fft([1 2 3], [4 8]);"), RuntimeError);
+  EXPECT_THROW(runVar("x = fft([1 2 3], 4, 1);"), RuntimeError);
+}
+
 TEST(Builtins, FlipLrUd) {
   Matrix m = runVar("x = fliplr([1 2 3]);");
   EXPECT_DOUBLE_EQ(m.real(0), 3.0);

@@ -52,7 +52,14 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
-class ExtendedKernelTest : public ::testing::TestWithParam<SpeedupExpectation> {};
+struct ExtendedExpectation {
+  const char* name;
+  double minSpeedup;
+  double maxSpeedup;
+  int minVecLoops;  // vectorized-loop floor; deeper loop nests must fire
+};
+
+class ExtendedKernelTest : public ::testing::TestWithParam<ExtendedExpectation> {};
 
 TEST_P(ExtendedKernelTest, ValidatesAndSpeedsUp) {
   const auto& expect = GetParam();
@@ -69,21 +76,24 @@ TEST_P(ExtendedKernelTest, ValidatesAndSpeedsUp) {
   EXPECT_LE(speedup, expect.maxSpeedup) << k.title;
   // These kernels exist to exercise deeper loop structure — vectorization
   // must actually fire.
-  EXPECT_GE(prop.optimizationReport().vec.loopsVectorized, 2);
+  EXPECT_GE(prop.optimizationReport().vec.loopsVectorized, expect.minVecLoops);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     ExtendedSuite, ExtendedKernelTest,
-    ::testing::Values(SpeedupExpectation{"xcorr", 6.0, 40.0},
-                      SpeedupExpectation{"blockdct", 3.0, 30.0},
-                      SpeedupExpectation{"framepow", 4.0, 30.0},
-                      SpeedupExpectation{"fft", 1.2, 4.0}),
-    [](const ::testing::TestParamInfo<SpeedupExpectation>& info) {
+    ::testing::Values(ExtendedExpectation{"xcorr", 6.0, 40.0, 2},
+                      ExtendedExpectation{"blockdct", 3.0, 30.0, 2},
+                      ExtendedExpectation{"framepow", 4.0, 30.0, 2},
+                      ExtendedExpectation{"fft", 1.2, 4.0, 2},
+                      ExtendedExpectation{"qr_decomp", 4.0, 40.0, 2},
+                      ExtendedExpectation{"cholesky", 1.2, 8.0, 1},
+                      ExtendedExpectation{"uplink_chain", 1.5, 10.0, 1}),
+    [](const ::testing::TestParamInfo<ExtendedExpectation>& info) {
       return info.param.name;
     });
 
-TEST(Kernels, ExtendedSuiteHasFour) {
-  EXPECT_EQ(kernels::extendedKernelSuite().size(), 4u);
+TEST(Kernels, ExtendedSuiteHasSeven) {
+  EXPECT_EQ(kernels::extendedKernelSuite().size(), 7u);
 }
 
 TEST(Kernels, FftMatchesBuiltinOracle) {

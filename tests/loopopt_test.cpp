@@ -162,6 +162,59 @@ TEST(LoopOpt, IirSpeedupComesFromTheLoopLayer) {
   EXPECT_GE(speedup, 2.5);
 }
 
+TEST(LoopOpt, FftBuiltinMatchesOracleUnderEveryPass) {
+  // The compiled fft/ifft builtin emits its own loop nests (bit reversal,
+  // butterfly stages, DFT fallback), so every loop pass gets a shot at it.
+  // Each variant runs with --verify-each semantics and is differenced
+  // against the interpreter oracle under every pass toggle.
+  struct Variant {
+    const char* name;
+    const char* source;
+    std::vector<sema::ArgSpec> specs;
+  };
+  const Variant variants[] = {
+      {"row_pow2", "function y = f(x)\ny = fft(x);\nend\n",
+       {sema::ArgSpec::row(16, /*complex=*/true)}},
+      {"two_arg_pad", "function y = f(x)\ny = fft(x, 16);\nend\n",
+       {sema::ArgSpec::row(11, /*complex=*/true)}},
+      {"two_arg_truncate_nonpow2", "function y = f(x)\ny = fft(x, 6);\nend\n",
+       {sema::ArgSpec::row(9, /*complex=*/true)}},
+      {"matrix_columnwise", "function y = f(x)\ny = fft(x);\nend\n",
+       {sema::ArgSpec::matrix(8, 3, /*complex=*/true)}},
+      {"ifft_roundtrip", "function y = f(x)\ny = ifft(fft(x));\nend\n",
+       {sema::ArgSpec::row(16, /*complex=*/true)}},
+      {"nonpow2_real", "function y = f(x)\ny = fft(x);\nend\n",
+       {sema::ArgSpec::row(10)}},
+      {"inplace_alias", "function y = f(x)\ny = x;\ny = fft(y);\nend\n",
+       {sema::ArgSpec::row(8, /*complex=*/true)}},
+  };
+  Compiler compiler;
+  for (const auto& v : variants) {
+    std::vector<Matrix> args;
+    kernels::InputGen gen(42);
+    for (const auto& spec : v.specs) {
+      auto rows = spec.type.shape.rows.extent();
+      auto cols = spec.type.shape.cols.extent();
+      if (spec.type.elem == sema::Elem::Complex) {
+        Matrix m = Matrix::zeros(static_cast<std::size_t>(rows),
+                                 static_cast<std::size_t>(cols), /*complex=*/true);
+        for (std::size_t i = 0; i < m.numel(); ++i)
+          m.set(i, Complex{gen.next(), gen.next()});
+        args.push_back(std::move(m));
+      } else {
+        args.push_back(gen.matrix(rows, cols));
+      }
+    }
+    for (const auto& cfg : kConfigs) {
+      CompileOptions o = loopLayerOff();
+      cfg.enable(o);
+      auto unit = compiler.compileSource(v.source, "f", v.specs, o);
+      EXPECT_LE(validateAgainstInterpreter(v.source, "f", unit, args), 1e-12)
+          << v.name << " under " << cfg.name;
+    }
+  }
+}
+
 TEST(LoopOpt, ReassocStaysAccurateAndIsOffByDefault) {
   EXPECT_FALSE(CompileOptions::proposed().reassoc);
   Compiler compiler;

@@ -314,6 +314,26 @@ TEST(FaultInjection, SpecInstallAndClear) {
   EXPECT_EQ(fault::activeSpec(), "");
 }
 
+TEST(FaultInjection, MalformedSpecIsRejectedNotIgnored) {
+  // A typo'd spec must fail loudly; silently dropping the clause would run
+  // the test without the fault and pass vacuously.
+  EXPECT_THROW(fault::setSpec("pass:*:sleep:9999999999999"), std::invalid_argument);
+  EXPECT_THROW(fault::setSpec("pass:*:sleep:10ms"), std::invalid_argument);
+  EXPECT_THROW(fault::setSpec("pass:*:explode"), std::invalid_argument);
+  EXPECT_THROW(fault::setSpec("alloc:after:x7"), std::invalid_argument);
+  EXPECT_THROW(fault::setSpec("alloc:after:-1"), std::invalid_argument);
+  EXPECT_THROW(fault::setSpec("bogus"), std::invalid_argument);
+  // One bad clause poisons the whole spec even next to a valid one.
+  EXPECT_THROW(fault::setSpec("pass:licm:throw,alloc:after:zzz"), std::invalid_argument);
+  fault::setSpec("");  // leave no residue for later tests
+  EXPECT_FALSE(fault::enabled());
+}
+
+TEST(FaultInjection, ValidSpecsStillInstall) {
+  FaultScope f("pass:licm:sleep:5,alloc:after:1000000,deadline:pass:*");
+  EXPECT_TRUE(fault::enabled());
+}
+
 TEST(FaultInjection, AllocBudgetClassifiesAsResourceExhausted) {
   FaultScope f("alloc:after:0");
   EXPECT_EQ(kindOf(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)},

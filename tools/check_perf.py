@@ -40,6 +40,14 @@ def main():
 
     failures = []
     improvements = []
+    # A kernel only in the current run has no baseline to gate against — that
+    # is exactly how a new benchmark silently escapes the cycle gate, so it
+    # is an error until the baseline is refreshed.
+    for name in cur.get("kernels", {}):
+        if name not in base.get("kernels", {}):
+            failures.append(
+                f"{name}: kernel not in baseline — refresh {args.baseline} "
+                f"(rerun the bench with --json and check the result in)")
     for name, b in base.get("kernels", {}).items():
         c = cur.get("kernels", {}).get(name)
         if c is None:
@@ -56,10 +64,20 @@ def main():
         if float(c.get("max_abs_err", 0.0)) > 1e-9:
             failures.append(f"{name}: correctness drift, max_abs_err={c['max_abs_err']}")
 
-    b_geo = float(base.get("geomean_speedup", 0.0))
-    c_geo = float(cur.get("geomean_speedup", 0.0))
-    if c_geo < b_geo * (1.0 - tol):
-        failures.append(f"geomean speedup regressed {b_geo:.4f} -> {c_geo:.4f}")
+    # A missing geomean would make the geomean check pass vacuously (0 < x),
+    # so treat it as malformed input rather than defaulting.
+    b_geo = c_geo = 0.0
+    geo_missing = False
+    for doc, path, which in ((base, args.baseline, "baseline"),
+                             (cur, args.current, "current")):
+        if "geomean_speedup" not in doc:
+            failures.append(f"{which} {path}: missing geomean_speedup")
+            geo_missing = True
+    if not geo_missing:
+        b_geo = float(base["geomean_speedup"])
+        c_geo = float(cur["geomean_speedup"])
+        if c_geo < b_geo * (1.0 - tol):
+            failures.append(f"geomean speedup regressed {b_geo:.4f} -> {c_geo:.4f}")
 
     for line in improvements:
         print(f"check_perf: improvement: {line} (consider refreshing the baseline)")

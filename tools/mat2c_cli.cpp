@@ -44,9 +44,11 @@
 // worker pool with a content-addressed compile cache, writes one JSON
 // response line per request to stdout in input order, and finishes with a
 // cache/throughput stats JSON (stderr, or --stats-json <file>).
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -78,6 +80,34 @@ int usage() {
                "  mat2c list-kernels\n"
                "run `head tools/mat2c_cli.cpp` for the full option list\n");
   return 2;
+}
+
+/// Strict numeric-flag parsing: the whole token must parse and land in
+/// [lo, hi]; anything else ("abc", "1e999", trailing junk, overflow) is the
+/// same usage error (exit 2) a missing value produces. Bare std::stoi-family
+/// calls would instead die with an uncaught std::invalid_argument.
+long long parseIntFlag(const char* flag, const char* text, long long lo, long long hi) {
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < lo || v > hi) {
+    std::fprintf(stderr, "mat2c: %s expects an integer in [%lld, %lld], got '%s'\n", flag,
+                 lo, hi, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+double parseDoubleFlag(const char* flag, const char* text, double lo, double hi) {
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !(v >= lo) || !(v <= hi)) {
+    std::fprintf(stderr, "mat2c: %s expects a number in [%g, %g], got '%s'\n", flag, lo,
+                 hi, text);
+    std::exit(2);
+  }
+  return v;
 }
 
 /// Reads and parses a textual ISA description file, printing the open error
@@ -206,7 +236,7 @@ int cmdCompile(int argc, char** argv) {
     } else if (a == "--style") {
       coder = std::string(need("--style")) == "coder";
     } else if (a == "--seed") {
-      seed = static_cast<unsigned>(std::stoul(need("--seed")));
+      seed = static_cast<unsigned>(parseIntFlag("--seed", need("--seed"), 0, 4294967295LL));
     } else if (a == "--dump-lir") {
       dumpLir = true;
     } else if (a == "--run") {
@@ -232,7 +262,8 @@ int cmdCompile(int argc, char** argv) {
     } else if (a == "--reassoc") {
       reassoc = true;
     } else if (a == "--unroll-max-trip") {
-      unrollMaxTrip = std::stoi(need("--unroll-max-trip"));
+      unrollMaxTrip = static_cast<int>(
+          parseIntFlag("--unroll-max-trip", need("--unroll-max-trip"), 0, 1 << 20));
     } else if (a == "--time-passes") {
       timePasses = true;
     } else if (a == "--verify-each") {
@@ -382,16 +413,19 @@ int cmdServe(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--jobs") {
-      config.threads = static_cast<std::size_t>(std::stoul(need("--jobs")));
+      config.threads =
+          static_cast<std::size_t>(parseIntFlag("--jobs", need("--jobs"), 1, 4096));
     } else if (a == "--cache-entries") {
-      config.cacheEntries = static_cast<std::size_t>(std::stoul(need("--cache-entries")));
+      config.cacheEntries = static_cast<std::size_t>(
+          parseIntFlag("--cache-entries", need("--cache-entries"), 0, 1 << 30));
     } else if (a == "--stats-json") {
       statsPath = need("--stats-json");
     } else if (a == "--max-request-bytes") {
-      protocolLimits.maxRequestBytes =
-          static_cast<std::size_t>(std::stoul(need("--max-request-bytes")));
+      protocolLimits.maxRequestBytes = static_cast<std::size_t>(
+          parseIntFlag("--max-request-bytes", need("--max-request-bytes"), 1, 1LL << 40));
     } else if (a == "--deadline-ms") {
-      defaultDeadlineMillis = std::stod(need("--deadline-ms"));
+      defaultDeadlineMillis =
+          parseDoubleFlag("--deadline-ms", need("--deadline-ms"), 0.0, 1e9);
     } else if ((a == "-" || a[0] != '-') && !sawInput) {
       inputPath = a;
       sawInput = true;
