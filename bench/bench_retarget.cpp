@@ -9,13 +9,24 @@
 // intrinsic spellings, then shows that the emitted C switches intrinsic
 // vocabularies with zero compiler changes and that cycle counts follow the
 // described datapaths.
+//
+// It is also the DSE harness (ROADMAP item 5): --json <path> runs the full
+// src/dse exploration loop over the nine-kernel corpus and writes
+// BENCH_dse.json — the best auto-designed ISA's per-kernel cycles vs the
+// scalar baseline plus the dspx reference block — which tools/check_perf.py
+// gates in CI (ctest perf_dse_regression).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "driver/compiler.hpp"
 #include "driver/kernels.hpp"
 #include "driver/report.hpp"
+#include "dse/dse.hpp"
 
 namespace {
 
@@ -136,9 +147,44 @@ void BM_Retarget(benchmark::State& state, std::string label) {
   state.counters["asip_cycles"] = cycles;
 }
 
+/// Runs the src/dse exploration loop over the nine-kernel corpus and writes
+/// the BENCH_dse.json regression baseline (schema mirrors BENCH_table1.json
+/// plus the hw_cost / reference fields check_perf.py gates).
+bool writeDseJson(const std::string& path) {
+  try {
+    dse::ExploreResult r = dse::explore(dse::ExploreOptions{});
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench_retarget: cannot write '%s'\n", path.c_str());
+      return false;
+    }
+    out << dse::benchJson(r);
+    std::fprintf(stderr,
+                 "bench_retarget: wrote %s (auto ISA '%s': geomean %.2fx at hw %.0f; "
+                 "dspx %.2fx at %.0f; %d points)\n",
+                 path.c_str(), r.bestIsa.name().c_str(), r.best.geomean, r.best.hwCost,
+                 r.dspxRef.geomean, r.dspxRef.hwCost, r.pointsEvaluated);
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_retarget: explore failed: %s\n", e.what());
+    return false;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string jsonPath;
+  // Strip --json <path> before google-benchmark sees the argument list.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  if (!jsonPath.empty() && !writeDseJson(jsonPath)) return 1;
   printTable();
   for (const char* t : {"scalar", "dspx", "vecstar"}) {
     benchmark::RegisterBenchmark(("retarget/fir/" + std::string(t)).c_str(), BM_Retarget,

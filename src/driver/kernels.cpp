@@ -562,6 +562,12 @@ std::vector<KernelSpec> dspBenchmarkSuite() {
   return {makeFir(), makeIir(), makeMatmul(), makeCdot(), makeFdeq(), makeFmdemod()};
 }
 
+std::vector<KernelSpec> dseCorpus() {
+  return {makeFir(512, 32, 1), makeIir(1024, 8, 2),     makeMatmul(32, 32, 32, 3),
+          makeCdot(2048, 4),   makeFdeq(2048, 5),       makeFmdemod(2048, 6),
+          makeXcorr(1024, 48, 7), makeBlockDct(128, 8), makeFramePow(96, 32, 9)};
+}
+
 KernelSpec kernelByName(const std::string& name) {
   if (name == "fir") return makeFir();
   if (name == "iir") return makeIir();

@@ -54,6 +54,12 @@ KernelSpec makeUplink(std::int64_t n = 512, unsigned seed = 13);
 
 std::vector<KernelSpec> extendedKernelSuite();
 
+/// The nine-kernel design-space-exploration corpus (src/dse): the six paper
+/// kernels plus xcorr/blockdct/framepow at reduced problem sizes, so one
+/// structural design point compiles and runs the whole corpus in well under a
+/// second while keeping every op-mix the full suites exercise.
+std::vector<KernelSpec> dseCorpus();
+
 /// Kernel by name with default size ("fir", "iir", "matmul", "cdot",
 /// "fdeq", "fmdemod"); throws std::invalid_argument otherwise.
 KernelSpec kernelByName(const std::string& name);

@@ -1,0 +1,380 @@
+// Layer 3 — design-space exploration and emission.
+//
+// Structural dimensions (SIMD width, fma/cmul/cmac) change what the compiler
+// emits, so each structural configuration is compiled and VM-measured once
+// per kernel (with the statement profile feeding the idiom miner). Cost-only
+// dimensions (zol/agu, memory-port width, fused-op subsets) are rescored
+// analytically from the measured per-op issue counts; that reconstruction is
+// exact because the VM total is exactly sum(count[op] * cost[op]) and zeroed
+// ops still record their counts.
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "driver/compiler.hpp"
+#include "driver/report.hpp"
+#include "dse/dse.hpp"
+#include "support/string_utils.hpp"
+
+namespace mat2c::dse {
+namespace {
+
+struct KernelEval {
+  std::map<std::string, double> countByOp;
+  std::vector<IdiomInstance> instances;
+  std::shared_ptr<CompiledUnit> unit;  // keeps instance node pointers alive
+};
+
+struct StructuralEval {
+  DesignPoint base;  // lanes + features; zol/agu/mem fixed at the run config
+  std::vector<KernelEval> kernels;  // corpus order
+};
+
+CompiledUnit compileKernel(Compiler& compiler, const kernels::KernelSpec& spec,
+                           const isa::IsaDescription& isa) {
+  CompileOptions opts;
+  opts.isa = isa;
+  return compiler.compileSource(spec.source, spec.entry, spec.argSpecs, opts);
+}
+
+vm::RunResult runKernel(const CompiledUnit& unit, const kernels::KernelSpec& spec,
+                        vm::StmtProfile* profile = nullptr) {
+  vm::Machine machine(unit.isa());
+  if (profile) machine.setProfile(profile);
+  return machine.run(unit.fn(), spec.args);
+}
+
+double rescore(const std::map<std::string, double>& countByOp,
+               const isa::IsaDescription& variant) {
+  double total = 0.0;
+  for (const auto& [mn, count] : countByOp) {
+    auto op = isa::opFromMnemonic(mn);
+    if (!op) throw std::runtime_error("dse: unknown mnemonic in VM counts: " + mn);
+    total += variant.cost(*op) * count;
+  }
+  return total;
+}
+
+double geomeanOf(const std::vector<double>& xs) {
+  double logSum = 0.0;
+  for (double x : xs) logSum += std::log(x);
+  return xs.empty() ? 0.0 : std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+/// Incremental hardware cost of one fused candidate at a design point: the
+/// per-lane unit sum scaled by the SIMD width it is replicated across.
+double fusedHwCost(const CandidateInstr& c, const DesignPoint& p) {
+  bool vec = false, cplx = false;
+  for (isa::Op op : c.ops) {
+    vec = vec || isa::isVectorOp(op);
+    cplx = cplx || isa::isComplexOp(op);
+  }
+  int lanes = vec ? (cplx ? p.lanesC64 : p.lanesF64) : 1;
+  return c.hwUnits * lanes;
+}
+
+std::string fmt(double v, int precision = 2) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+void progressLine(const ExploreOptions& opts, const std::string& line) {
+  if (opts.progress) *opts.progress << line << "\n";
+}
+
+}  // namespace
+
+ExploreResult explore(const ExploreOptions& opts) {
+  ExploreResult r;
+  std::vector<kernels::KernelSpec> corpus =
+      opts.corpus.empty() ? kernels::dseCorpus() : opts.corpus;
+  if (corpus.empty()) throw std::invalid_argument("dse: empty corpus");
+  Compiler compiler;
+
+  // -- measured references: scalar baseline and the hand-written dspx --------
+  progressLine(opts, "dse: measuring scalar and dspx references over " +
+                         std::to_string(corpus.size()) + " kernels");
+  isa::IsaDescription scalarIsa = isa::IsaDescription::preset("scalar");
+  isa::IsaDescription dspxIsa = isa::IsaDescription::preset("dspx");
+  PointScore scalarRef, dspxRef;
+  scalarRef.point = DesignPoint{};  // w1 plain m8
+  scalarRef.point.memLanes = scalarIsa.memLanes();
+  dspxRef.point = DesignPoint{dspxIsa.lanesF64(), dspxIsa.lanesC64(), dspxIsa.memLanes(),
+                              true, true, true, true, true, {}};
+  scalarRef.measured = dspxRef.measured = true;
+  scalarRef.hwCost = hwCostEstimate(scalarIsa);
+  dspxRef.hwCost = hwCostEstimate(dspxIsa);
+  std::vector<double> dspxSpeedups;
+  for (const auto& spec : corpus) {
+    auto scalarUnit = compileKernel(compiler, spec, scalarIsa);
+    double scalarCycles = runKernel(scalarUnit, spec).cycles.total;
+    r.scalarCycles[spec.name] = scalarCycles;
+    scalarRef.kernelCycles[spec.name] = scalarCycles;
+    auto dspxUnit = compileKernel(compiler, spec, dspxIsa);
+    double dspxCycles = runKernel(dspxUnit, spec).cycles.total;
+    dspxRef.kernelCycles[spec.name] = dspxCycles;
+    dspxSpeedups.push_back(scalarCycles / dspxCycles);
+  }
+  scalarRef.geomean = 1.0;
+  dspxRef.geomean = geomeanOf(dspxSpeedups);
+  r.dspxRef = dspxRef;
+
+  // -- structural sweep: compile + measure + mine ----------------------------
+  struct FeatureSet { bool fma, cmul, cmac; };
+  const FeatureSet featureSets[] = {{false, false, false}, {true, false, false},
+                                    {false, true, false},  {true, true, false},
+                                    {false, true, true},   {true, true, true}};
+  std::vector<StructuralEval> structurals;
+  for (int w : opts.laneWidths) {
+    for (const FeatureSet& fs : featureSets) {
+      StructuralEval se;
+      se.base = DesignPoint{w, std::max(1, w / 2), 8, fs.fma, fs.cmul, fs.cmac,
+                            true, true, {}};
+      isa::IsaDescription runIsa = toIsa(se.base, "dse_probe");
+      for (const auto& spec : corpus) {
+        KernelEval ke;
+        ke.unit = std::make_shared<CompiledUnit>(compileKernel(compiler, spec, runIsa));
+        vm::StmtProfile profile;
+        auto run = runKernel(*ke.unit, spec, &profile);
+        ke.countByOp = run.cycles.countByOp;
+        ke.instances = mineFunction(ke.unit->fn(), profile);
+        se.kernels.push_back(std::move(ke));
+      }
+      std::string label = se.base.label();
+      structurals.push_back(std::move(se));
+      progressLine(opts, "dse: measured structural point " + label + " (" +
+                             std::to_string(structurals.size()) + "/" +
+                             std::to_string(opts.laneWidths.size() * 6) + ")");
+    }
+  }
+
+  // -- idiom aggregation + candidate synthesis -------------------------------
+  // Mine on the widest featureless configuration: with no fma/cmul/cmac the
+  // idiom pass leaves mul->add and conj->mul chains unfused in the LIR, so
+  // the miner rediscovers exactly the patterns the hand-written ASIP turned
+  // into custom instructions.
+  const StructuralEval* miningConfig = nullptr;
+  for (const auto& se : structurals) {
+    if (se.base.fma || se.base.cmul || se.base.cmac) continue;
+    if (!miningConfig || se.base.lanesF64 > miningConfig->base.lanesF64)
+      miningConfig = &se;
+  }
+  if (!miningConfig) throw std::logic_error("dse: no featureless structural config");
+  std::vector<std::vector<IdiomInstance>> perKernel;
+  for (const auto& ke : miningConfig->kernels) perKernel.push_back(ke.instances);
+  std::vector<MinedIdiom> allIdioms = aggregateIdioms(perKernel);
+  isa::IsaDescription costRef = toIsa(miningConfig->base, "dse_costref");
+  r.candidates = synthesizeCandidates(allIdioms, costRef, opts.topCandidates);
+  r.idioms = allIdioms;
+  if (opts.maxIdioms >= 0 && r.idioms.size() > static_cast<std::size_t>(opts.maxIdioms))
+    r.idioms.resize(static_cast<std::size_t>(opts.maxIdioms));
+  progressLine(opts, "dse: mined " + std::to_string(allIdioms.size()) + " idioms, kept " +
+                         std::to_string(r.candidates.size()) + " fused candidates");
+
+  // -- point enumeration: analytic rescoring over cost-only dimensions ------
+  std::vector<PointScore> pool = {scalarRef, dspxRef};
+  for (const auto& se : structurals) {
+    for (bool zolAgu : {true, false}) {
+      for (int mem : opts.memLaneChoices) {
+        DesignPoint p = se.base;
+        p.memLanes = mem;
+        p.zol = p.agu = zolAgu;
+        isa::IsaDescription variant = toIsa(p, "dse_variant");
+        PointScore ps;
+        ps.point = p;
+        ps.hwCost = hwCostEstimate(variant);
+        std::vector<double> speedups;
+        for (std::size_t i = 0; i < corpus.size(); ++i) {
+          double cycles = rescore(se.kernels[i].countByOp, variant);
+          ps.kernelCycles[corpus[i].name] = cycles;
+          speedups.push_back(r.scalarCycles[corpus[i].name] / cycles);
+        }
+        ps.geomean = geomeanOf(speedups);
+        ++r.pointsEvaluated;
+        pool.push_back(ps);
+
+        if (!opts.exploreFused) continue;
+        // Fused-op inclusion: grow the candidate set most-profitable-first.
+        std::vector<int> selection;
+        for (int ci = 0; ci < static_cast<int>(r.candidates.size()); ++ci) {
+          selection.push_back(ci);
+          PointScore fs = ps;
+          fs.point.fused = selection;
+          fs.expressible = false;
+          std::vector<double> fSpeedups;
+          for (std::size_t i = 0; i < corpus.size(); ++i) {
+            double saved =
+                tileFused(se.kernels[i].instances, r.candidates, selection, variant);
+            double cycles = ps.kernelCycles[corpus[i].name] - saved;
+            fs.kernelCycles[corpus[i].name] = cycles;
+            fSpeedups.push_back(r.scalarCycles[corpus[i].name] / cycles);
+          }
+          fs.geomean = geomeanOf(fSpeedups);
+          fs.hwCost = ps.hwCost;
+          for (int ci2 : selection) fs.hwCost += fusedHwCost(r.candidates[ci2], p);
+          ++r.pointsEvaluated;
+          pool.push_back(fs);
+        }
+      }
+    }
+  }
+  progressLine(opts, "dse: scored " + std::to_string(r.pointsEvaluated) +
+                         " design points");
+
+  // -- Pareto frontier (max geomean, min hwCost) -----------------------------
+  std::sort(pool.begin(), pool.end(), [](const PointScore& a, const PointScore& b) {
+    if (a.hwCost != b.hwCost) return a.hwCost < b.hwCost;
+    return a.geomean > b.geomean;
+  });
+  double bestSoFar = 0.0;
+  for (const auto& ps : pool) {
+    if (ps.geomean > bestSoFar + 1e-12) {
+      r.pareto.push_back(ps);
+      bestSoFar = ps.geomean;
+    }
+  }
+
+  // -- pick the emitted winner: best expressible point at <= dspx hw cost ----
+  const PointScore* winner = nullptr;
+  for (const auto& ps : pool) {
+    if (!ps.expressible || ps.hwCost > dspxRef.hwCost + 1e-9) continue;
+    if (!winner || ps.geomean > winner->geomean + 1e-12 ||
+        (std::abs(ps.geomean - winner->geomean) <= 1e-12 && ps.hwCost < winner->hwCost))
+      winner = &ps;
+  }
+  if (!winner) throw std::logic_error("dse: no expressible point at <= dspx hw cost");
+  r.best = *winner;
+  r.bestIsa = toIsa(r.best.point, "auto_dse");
+
+  // -- confirm the winner end-to-end: emitted text -> parse -> compile -> VM,
+  //    oracle-checked against the reference interpreter ----------------------
+  DiagnosticEngine diags;
+  isa::IsaDescription reloaded = isa::IsaDescription::parse(r.bestIsa.serialize(), diags);
+  if (diags.hasErrors() || reloaded.fingerprint() != r.bestIsa.fingerprint())
+    throw std::logic_error("dse: emitted ISA does not round-trip through parse()");
+  std::vector<double> bestSpeedups;
+  for (const auto& spec : corpus) {
+    auto unit = compileKernel(compiler, spec, reloaded);
+    double cycles = runKernel(unit, spec).cycles.total;
+    r.best.kernelCycles[spec.name] = cycles;
+    bestSpeedups.push_back(r.scalarCycles[spec.name] / cycles);
+    if (opts.oracleCheckBest) {
+      r.bestMaxAbsErr[spec.name] =
+          validateAgainstInterpreter(spec.source, spec.entry, unit, spec.args);
+    }
+  }
+  r.best.geomean = geomeanOf(bestSpeedups);
+  r.best.measured = true;
+  progressLine(opts, "dse: winner " + r.best.point.label() + " geomean " +
+                         fmt(r.best.geomean) + "x at hw " + fmt(r.best.hwCost, 0) +
+                         " (dspx " + fmt(dspxRef.geomean) + "x at " +
+                         fmt(dspxRef.hwCost, 0) + ")");
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Reporting / emission
+// ---------------------------------------------------------------------------
+
+std::string idiomTable(const ExploreResult& r) {
+  report::Table t({"idiom (dataflow pattern)", "ops", "kernels", "dyn count"});
+  for (const auto& idiom : r.idioms) {
+    t.addRow({idiom.signature, std::to_string(idiom.ops.size()),
+              std::to_string(idiom.kernels), report::Table::cycles(idiom.dynCount)});
+  }
+  return t.toString();
+}
+
+std::string candidateTable(const ExploreResult& r) {
+  report::Table t({"candidate", "pattern", "cycles", "latency", "hw/lane",
+                   "est. saved cycles"});
+  for (const auto& c : r.candidates) {
+    t.addRow({c.name, c.signature, report::Table::num(c.cycles, 0),
+              report::Table::num(c.latency, 0), report::Table::num(c.hwUnits, 1),
+              report::Table::cycles(c.estSavedCycles)});
+  }
+  return t.toString();
+}
+
+std::string paretoTable(const ExploreResult& r) {
+  report::Table t({"design point", "hw cost", "geomean speedup", "emittable", ""});
+  std::string dspxLabel = r.dspxRef.point.label();
+  std::string bestLabel = r.best.point.label();
+  for (const auto& ps : r.pareto) {
+    std::string label = ps.point.label();
+    std::string note;
+    if (label == dspxLabel) note = "= hand-written dspx";
+    if (label == bestLabel && ps.expressible) note = "<- emitted auto_dse";
+    t.addRow({label, report::Table::num(ps.hwCost, 0), report::Table::num(ps.geomean, 2) + "x",
+              ps.expressible ? "yes" : "no", note});
+  }
+  return t.toString();
+}
+
+std::string isaFileText(const ExploreResult& r) {
+  std::ostringstream os;
+  os << "# Auto-generated by `mat2c explore` (src/dse): ISA design-space\n"
+     << "# exploration over the " << r.scalarCycles.size()
+     << "-kernel corpus. Do not edit; regenerate with\n"
+     << "#   mat2c explore --emit-isa <this file>\n"
+     << "# point:   " << r.best.point.label() << "\n"
+     << "# scored:  geomean " << fmt(r.best.geomean) << "x vs scalar at hw cost "
+     << fmt(r.best.hwCost, 0) << " units\n"
+     << "# dspx:    geomean " << fmt(r.dspxRef.geomean) << "x at hw cost "
+     << fmt(r.dspxRef.hwCost, 0) << " units (hand-written reference)\n";
+  if (!r.candidates.empty()) {
+    os << "# fused candidates mined but not expressible in this format\n"
+       << "# (costed via the VM fused-instruction hook; see docs/dse.md):\n";
+    for (const auto& c : r.candidates) {
+      os << "#   " << c.name << "  cycles=" << fmt(c.cycles, 0)
+         << "  est. saved cycles=" << fmt(c.estSavedCycles, 0) << "\n";
+    }
+  }
+  os << r.bestIsa.serialize();
+  return os.str();
+}
+
+std::string benchJson(const ExploreResult& r) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os << "{\n  \"bench\": \"dse\",\n  \"isa\": \"" << r.bestIsa.name() << "\",\n"
+     << "  \"point\": \"" << r.best.point.label() << "\",\n  \"kernels\": {\n";
+  std::size_t i = 0;
+  for (const auto& [name, cycles] : r.best.kernelCycles) {
+    double baseline = r.scalarCycles.at(name);
+    double err = 0.0;
+    auto it = r.bestMaxAbsErr.find(name);
+    if (it != r.bestMaxAbsErr.end()) err = it->second;
+    os.precision(0);
+    os << "    \"" << name << "\": {\"baseline_cycles\": " << baseline
+       << ", \"proposed_cycles\": " << cycles << ", \"speedup\": ";
+    os.precision(4);
+    os << (baseline / cycles) << ", \"max_abs_err\": ";
+    os.unsetf(std::ios::fixed);
+    os << std::scientific;
+    os.precision(3);
+    os << err;
+    os.unsetf(std::ios::scientific);
+    os.setf(std::ios::fixed);
+    os << "}";
+    if (++i < r.best.kernelCycles.size()) os << ",";
+    os << "\n";
+  }
+  os.precision(4);
+  os << "  },\n  \"geomean_speedup\": " << r.best.geomean << ",\n";
+  os.precision(1);
+  os << "  \"hw_cost\": " << r.best.hwCost << ",\n"
+     << "  \"points_evaluated\": " << r.pointsEvaluated << ",\n";
+  os.precision(4);
+  os << "  \"reference\": {\"name\": \"dspx\", \"geomean_speedup\": " << r.dspxRef.geomean
+     << ", \"hw_cost\": ";
+  os.precision(1);
+  os << r.dspxRef.hwCost << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace mat2c::dse

@@ -272,6 +272,11 @@ std::vector<std::string> IsaDescription::presetNames() {
 IsaDescription IsaDescription::parse(const std::string& text, DiagnosticEngine& diags) {
   IsaDescription d;
   std::uint32_t lineNo = 0;
+  // A second cost/intrinsic entry for the same op would silently win over the
+  // first (map overwrite), which hides typos in hand-edited descriptions —
+  // diagnose it naming both definitions instead.
+  std::map<Op, std::uint32_t> costLine;
+  std::map<Op, std::uint32_t> intrinsicLine;
   for (const std::string& rawLine : split(text, '\n')) {
     ++lineNo;
     std::string_view line = trim(rawLine);
@@ -310,6 +315,9 @@ IsaDescription IsaDescription::parse(const std::string& text, DiagnosticEngine& 
       auto op = opFromMnemonic(mn);
       if (!op) {
         diags.error(loc, "unknown op mnemonic '" + mn + "'");
+      } else if (auto [it, inserted] = costLine.emplace(*op, lineNo); !inserted) {
+        diags.error(loc, "duplicate cost for '" + mn + "' (first defined at line " +
+                             std::to_string(it->second) + ")");
       } else {
         d.setCost(*op, cycles);
       }
@@ -322,6 +330,9 @@ IsaDescription IsaDescription::parse(const std::string& text, DiagnosticEngine& 
         diags.error(loc, "unknown op mnemonic '" + mn + "'");
       } else if (!isIdentifier(cName)) {
         diags.error(loc, "intrinsic name '" + cName + "' is not a valid C identifier");
+      } else if (auto [it, inserted] = intrinsicLine.emplace(*op, lineNo); !inserted) {
+        diags.error(loc, "duplicate intrinsic for '" + mn + "' (first defined at line " +
+                             std::to_string(it->second) + ")");
       } else {
         d.setIntrinsicName(*op, cName);
       }

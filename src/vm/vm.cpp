@@ -32,6 +32,7 @@ void CycleStats::charge(const isa::IsaDescription& isa, Op op, CostCategory cat,
   total += cycles;
   byCategory[toString(cat)] += cycles;
   byOp[isa::mnemonic(op)] += cycles;
+  countByOp[isa::mnemonic(op)] += count;
   opsExecuted += static_cast<std::uint64_t>(count);
   if (isa.usesIntrinsic(op)) intrinsicOpsExecuted += static_cast<std::uint64_t>(count);
 }
@@ -85,8 +86,9 @@ enum class Flow { Normal, Break, Continue };
 
 class Exec {
  public:
-  Exec(const isa::IsaDescription& isa, const lir::Function& fn, std::uint64_t maxOps)
-      : isa_(isa), fn_(fn), maxOps_(maxOps) {}
+  Exec(const isa::IsaDescription& isa, const lir::Function& fn, std::uint64_t maxOps,
+       StmtProfile* profile, const FusedCosting* fused)
+      : isa_(isa), fn_(fn), maxOps_(maxOps), profile_(profile), fused_(fused) {}
 
   RunResult run(const std::vector<Matrix>& args) {
     bindParams(args);
@@ -176,9 +178,45 @@ class Exec {
     budget(count);
   }
 
+  /// Charge attributed to an expression node: a node folded into a fused
+  /// custom instruction (FusedCosting member) suppresses its normal per-op
+  /// charge — the fused root charges the whole pattern once instead.
+  void chargeExpr(const lir::Expr& e, Op op, CostCategory cat, double count = 1.0) {
+    if (fused_ && fused_->members.count(&e)) {
+      stats_.fusedSavedCycles += isa_.cost(op) * count;
+      budget(count);
+      return;
+    }
+    charge(op, cat, count);
+  }
+
+  void chargeFused(const FusedCosting::Root& root) {
+    // Members accumulated their gross suppressed cost; deduct the fused
+    // instruction's own charge so fusedSavedCycles is the net reduction in
+    // total (the quantity tileFused() predicts analytically).
+    stats_.fusedSavedCycles -= root.cycles;
+    stats_.total += root.cycles;
+    stats_.byCategory[toString(CostCategory::Arith)] += root.cycles;
+    stats_.byOp[root.name] += root.cycles;
+    stats_.countByOp[root.name] += 1.0;
+    ++stats_.opsExecuted;
+    ++stats_.intrinsicOpsExecuted;
+    ++stats_.fusedOpsExecuted;
+    budget(1.0);
+  }
+
   // -- expression evaluation -------------------------------------------------
 
   Value eval(const lir::Expr& e) {
+    Value v = evalDispatch(e);
+    if (fused_) {
+      auto it = fused_->roots.find(&e);
+      if (it != fused_->roots.end()) chargeFused(it->second);
+    }
+    return v;
+  }
+
+  Value evalDispatch(const lir::Expr& e) {
     switch (e.kind) {
       case ExprKind::ConstF: return Value::ofF(e.fval);
       case ExprKind::ConstI: return Value::ofI(e.ival);
@@ -194,7 +232,8 @@ class Exec {
       case ExprKind::Fma: return evalFma(e);
       case ExprKind::Splat: {
         Value s = eval(*e.a);
-        charge(e.type.scalar == Scalar::C64 ? Op::VSplatC : Op::VSplatF, CostCategory::Arith);
+        chargeExpr(e, e.type.scalar == Scalar::C64 ? Op::VSplatC : Op::VSplatF,
+                   CostCategory::Arith);
         Value r;
         r.type = e.type;
         r.v.assign(static_cast<std::size_t>(e.type.lanes), s.v.empty() ? Complex{} : s.v[0]);
@@ -227,9 +266,9 @@ class Exec {
                          std::to_string(st.data.size()));
     bool cplx = st.elem == Scalar::C64;
     if (lanes == 1) {
-      charge(cplx ? Op::LoadC : Op::LoadF, CostCategory::Memory);
+      chargeExpr(e, cplx ? Op::LoadC : Op::LoadF, CostCategory::Memory);
     } else {
-      charge(cplx ? Op::VLoadC : Op::VLoadF, CostCategory::Memory);
+      chargeExpr(e, cplx ? Op::VLoadC : Op::VLoadF, CostCategory::Memory);
     }
     Value r;
     r.type = e.type;
@@ -263,8 +302,8 @@ class Exec {
         }
         r.v.resize(a.v.size());
         for (std::size_t i = 0; i < a.v.size(); ++i) r.v[i] = -a.v[i];
-        charge(vec ? (cplx ? Op::VNegC : Op::VNegF) : (cplx ? Op::NegC : Op::NegF),
-               CostCategory::Arith);
+        chargeExpr(e, vec ? (cplx ? Op::VNegC : Op::VNegF) : (cplx ? Op::NegC : Op::NegF),
+                   CostCategory::Arith);
         return r;
       }
       case UnOp::Not: {
@@ -336,7 +375,7 @@ class Exec {
         r.type = e.type;
         r.v.resize(a.v.size());
         for (std::size_t i = 0; i < a.v.size(); ++i) r.v[i] = std::conj(a.v[i]);
-        charge(vec ? Op::VConjC : Op::ConjC, CostCategory::Arith);
+        chargeExpr(e, vec ? Op::VConjC : Op::ConjC, CostCategory::Arith);
         return r;
       }
       case UnOp::RealPart: {
@@ -531,7 +570,7 @@ class Exec {
       default:
         throw RuntimeError("VM: unsupported binary op");
     }
-    charge(op, CostCategory::Arith);
+    chargeExpr(e, op, CostCategory::Arith);
     return r;
   }
 
@@ -547,8 +586,8 @@ class Exec {
     r.v.resize(n);
     auto lane = [&](const Value& v, std::size_t i) { return v.v[v.v.size() == 1 ? 0 : i]; };
     for (std::size_t i = 0; i < n; ++i) r.v[i] = lane(a, i) * lane(b, i) + lane(c, i);
-    charge(vec ? (cplx ? Op::VFmaC : Op::VFmaF) : (cplx ? Op::FmaC : Op::FmaF),
-           CostCategory::Arith);
+    chargeExpr(e, vec ? (cplx ? Op::VFmaC : Op::VFmaF) : (cplx ? Op::FmaC : Op::FmaF),
+               CostCategory::Arith);
     return r;
   }
 
@@ -582,6 +621,7 @@ class Exec {
   }
 
   Flow execStmt(const lir::Stmt& s) {
+    if (profile_) ++(*profile_)[&s];
     switch (s.kind) {
       case StmtKind::DeclScalar: {
         Value init;
@@ -621,10 +661,13 @@ class Exec {
                                                     : v.v[static_cast<std::size_t>(i)];
           st.data[static_cast<std::size_t>(base + i)] = x;
         }
-        if (lanes == 1) {
-          charge(cplx ? Op::StoreC : Op::StoreF, CostCategory::Memory);
+        Op storeOp = lanes == 1 ? (cplx ? Op::StoreC : Op::StoreF)
+                                : (cplx ? Op::VStoreC : Op::VStoreF);
+        if (fused_ && fused_->storeMembers.count(&s)) {
+          stats_.fusedSavedCycles += isa_.cost(storeOp);
+          budget(1.0);
         } else {
-          charge(cplx ? Op::VStoreC : Op::VStoreF, CostCategory::Memory);
+          charge(storeOp, CostCategory::Memory);
         }
         return Flow::Normal;
       }
@@ -682,6 +725,8 @@ class Exec {
   const isa::IsaDescription& isa_;
   const lir::Function& fn_;
   std::uint64_t maxOps_;
+  StmtProfile* profile_ = nullptr;
+  const FusedCosting* fused_ = nullptr;
   std::uint64_t opBudget_ = 0;
   std::uint64_t pollTick_ = 0;
   CycleStats stats_;
@@ -692,7 +737,7 @@ class Exec {
 }  // namespace
 
 RunResult Machine::run(const lir::Function& fn, const std::vector<Matrix>& args) {
-  Exec exec(isa_, fn, maxOps_);
+  Exec exec(isa_, fn, maxOps_, profile_, fused_);
   return exec.run(args);
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -27,8 +28,13 @@ struct CycleStats {
   double total = 0.0;
   std::map<std::string, double> byCategory;
   std::map<std::string, double> byOp;        // mnemonic -> cycles
+  std::map<std::string, double> countByOp;   // mnemonic -> issue count
   std::uint64_t opsExecuted = 0;
   std::uint64_t intrinsicOpsExecuted = 0;    // ops that map to custom instructions
+  /// Cycles the installed FusedCosting removed (member-op charges replaced by
+  /// fused-instruction charges). total already reflects the replacement.
+  double fusedSavedCycles = 0.0;
+  std::uint64_t fusedOpsExecuted = 0;
 
   void charge(const isa::IsaDescription& isa, isa::Op op, CostCategory cat,
               double count = 1.0);
@@ -37,6 +43,29 @@ struct CycleStats {
 struct RunResult {
   std::vector<Matrix> outputs;  // in Function::outs order
   CycleStats cycles;
+};
+
+/// Per-statement dynamic execution counts, keyed by Stmt identity within the
+/// executed Function. The DSE idiom miner weighs statically mined dataflow
+/// patterns by these counts so candidate custom instructions are ranked by
+/// dynamic frequency, not source occurrence.
+using StmtProfile = std::map<const lir::Stmt*, std::uint64_t>;
+
+/// Costing hook for synthesized fused custom instructions (DSE candidate
+/// evaluation). Nodes in `members` (and Store statements in `storeMembers`)
+/// have their normal per-op charges suppressed; each expression in `roots`
+/// instead charges `cycles` once per execution under the fused instruction's
+/// name. The sets refer to nodes of the specific Function being run; matching
+/// is by pointer identity, so the annotation pre-pass is free of any
+/// per-execution pattern matching.
+struct FusedCosting {
+  struct Root {
+    std::string name;  // byOp key, e.g. "fused.vld_vfma"
+    double cycles = 1.0;
+  };
+  std::map<const lir::Expr*, Root> roots;
+  std::set<const lir::Expr*> members;
+  std::set<const lir::Stmt*> storeMembers;  // Store statements folded into a root
 };
 
 class Machine {
@@ -48,10 +77,16 @@ class Machine {
   RunResult run(const lir::Function& fn, const std::vector<Matrix>& args);
 
   void setMaxOps(std::uint64_t maxOps) { maxOps_ = maxOps; }
+  /// Optional per-statement execution profile, filled during run().
+  void setProfile(StmtProfile* profile) { profile_ = profile; }
+  /// Optional fused-instruction costing table (not owned; must outlive run()).
+  void setFusedCosting(const FusedCosting* fused) { fused_ = fused; }
 
  private:
   const isa::IsaDescription& isa_;
   std::uint64_t maxOps_ = 2'000'000'000;
+  StmtProfile* profile_ = nullptr;
+  const FusedCosting* fused_ = nullptr;
 };
 
 }  // namespace mat2c::vm

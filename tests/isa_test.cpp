@@ -155,6 +155,76 @@ TEST(Isa, ParseDiagnosesUnknownDirectives) {
   EXPECT_GE(diags.errorCount(), 3u);
 }
 
+TEST(Isa, ParseDiagnosesDuplicateCost) {
+  // A repeated `cost` entry would silently overwrite the first — the parser
+  // must name both definitions so the typo is findable in a long file.
+  DiagnosticEngine diags;
+  IsaDescription::parse(R"(name dup
+cost cmul.c64 2
+cost vfma.f64 1
+cost cmul.c64 3
+)",
+                        diags);
+  ASSERT_TRUE(diags.hasErrors());
+  std::string rendered = diags.renderAll();
+  EXPECT_NE(rendered.find("duplicate cost for 'cmul.c64'"), std::string::npos) << rendered;
+  // Both line numbers: the diagnostic is at line 4, and names line 2 as the
+  // first definition.
+  EXPECT_NE(rendered.find("first defined at line 2"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("4"), std::string::npos) << rendered;
+}
+
+TEST(Isa, ParseDiagnosesDuplicateIntrinsic) {
+  DiagnosticEngine diags;
+  IsaDescription::parse(R"(name dup
+intrinsic vfma.f64 mac_a
+intrinsic vfma.f64 mac_b
+)",
+                        diags);
+  ASSERT_TRUE(diags.hasErrors());
+  std::string rendered = diags.renderAll();
+  EXPECT_NE(rendered.find("duplicate intrinsic for 'vfma.f64'"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("first defined at line 2"), std::string::npos) << rendered;
+}
+
+TEST(Isa, DistinctOpsAreNotDuplicates) {
+  // Duplicate detection is per-op: costing two different ops is fine.
+  DiagnosticEngine diags;
+  auto d = IsaDescription::parse("name ok\ncost cmul.c64 2\ncost vfma.f64 1\n", diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.renderAll();
+  EXPECT_EQ(d.name(), "ok");
+}
+
+TEST(Isa, EveryPresetRoundTripsThroughTextByFingerprint) {
+  // serialize() -> parse() must reproduce the exact observable state for
+  // every preset; fingerprint() hashes serialize(), so equality here means
+  // the round-tripped description compiles, costs, and emits identically.
+  for (const auto& name : IsaDescription::presetNames()) {
+    auto d = IsaDescription::preset(name);
+    DiagnosticEngine diags;
+    auto d2 = IsaDescription::parse(d.serialize(), diags);
+    EXPECT_FALSE(diags.hasErrors()) << name << ": " << diags.renderAll();
+    EXPECT_EQ(d2.fingerprint(), d.fingerprint()) << name;
+  }
+}
+
+TEST(Isa, GeneratedDescriptionRoundTripsByFingerprint) {
+  // Mirror of what src/dse emits: a programmatically built description
+  // (setters, not parse) must survive the same text round trip.
+  auto d = IsaDescription::preset("scalar");
+  d.setName("auto_rt");
+  d.setLanes(8, 4);
+  d.setMemLanes(16);
+  for (const char* f : {"fma", "cmul", "zol"}) d.setFeature(f, true);
+  d.setCost(Op::MulC, 2);
+  d.setIntrinsicName(Op::VFmaF, "auto_rt_mac");
+  DiagnosticEngine diags;
+  auto d2 = IsaDescription::parse(d.serialize(), diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.renderAll();
+  EXPECT_EQ(d2.fingerprint(), d.fingerprint());
+  EXPECT_EQ(d2.memLanes(), 16);
+}
+
 TEST(Isa, SerializeRoundTrip) {
   auto d = IsaDescription::preset("dspx");
   d.setCost(Op::SinF, 11);

@@ -79,6 +79,30 @@ def main():
         if c_geo < b_geo * (1.0 - tol):
             failures.append(f"geomean speedup regressed {b_geo:.4f} -> {c_geo:.4f}")
 
+    # Optional reference block (BENCH_dse.json): the document carries its own
+    # quality bar — the auto-designed ISA must stay at least as fast as the
+    # named reference design at no more hardware cost. This is how a
+    # regression in mined-ISA *quality* (not just cycle counts) fails CI.
+    ref = cur.get("reference")
+    if ref is not None:
+        ref_name = ref.get("name", "reference")
+        try:
+            ref_geo = float(ref["geomean_speedup"])
+            cur_geo = float(cur["geomean_speedup"])
+            if cur_geo < ref_geo * (1.0 - tol):
+                failures.append(
+                    f"auto ISA geomean {cur_geo:.4f} fell below the {ref_name} "
+                    f"reference {ref_geo:.4f} (tolerance {args.tolerance}%)")
+        except (KeyError, TypeError, ValueError):
+            failures.append(f"reference block malformed: {ref!r}")
+        if "hw_cost" in ref and "hw_cost" in cur:
+            ref_hw = float(ref["hw_cost"])
+            cur_hw = float(cur["hw_cost"])
+            if cur_hw > ref_hw + 1e-6:
+                failures.append(
+                    f"auto ISA hardware cost {cur_hw:.1f} exceeds the {ref_name} "
+                    f"reference {ref_hw:.1f}")
+
     for line in improvements:
         print(f"check_perf: improvement: {line} (consider refreshing the baseline)")
     if failures:

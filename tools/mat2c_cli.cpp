@@ -44,6 +44,7 @@
 // worker pool with a content-addressed compile cache, writes one JSON
 // response line per request to stdout in input order, and finishes with a
 // cache/throughput stats JSON (stderr, or --stats-json <file>).
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
@@ -60,6 +61,7 @@
 
 #include "driver/compiler.hpp"
 #include "driver/kernels.hpp"
+#include "dse/dse.hpp"
 #include "service/compile_service.hpp"
 #include "service/protocol.hpp"
 #include "support/string_utils.hpp"
@@ -77,7 +79,10 @@ int usage() {
                " [--stats-json <file>]\n"
                "              [--max-request-bytes <n>] [--deadline-ms <ms>]\n"
                "  mat2c isa [--preset <name>] [--isa-file <file>]\n"
+               "  mat2c list-isas\n"
                "  mat2c list-kernels\n"
+               "  mat2c explore [--kernels <name,...>] [--top <n>] [--no-fused]\n"
+               "                [--json <file>] [--emit-isa <file>] [--quiet]\n"
                "run `head tools/mat2c_cli.cpp` for the full option list\n");
   return 2;
 }
@@ -174,6 +179,120 @@ int cmdIsa(int argc, char** argv) {
     }
   }
   std::printf("%s", d.serialize().c_str());
+  return 0;
+}
+
+int cmdListIsas() {
+  for (const auto& name : isa::IsaDescription::presetNames()) {
+    isa::IsaDescription d = isa::IsaDescription::preset(name);
+    std::string units;
+    if (d.hasFma()) units += " fma";
+    if (d.hasCmul()) units += " cmul";
+    if (d.hasCmac()) units += " cmac";
+    if (d.hasZol()) units += " zol";
+    if (d.hasAgu()) units += " agu";
+    if (units.empty()) units = " (no custom units)";
+    std::printf("%-15s f64x%-2d c64x%-2d mem%-2d%s\n", name.c_str(), d.lanesF64(),
+                d.lanesC64(), d.memLanes(), units.c_str());
+  }
+  return 0;
+}
+
+int cmdExplore(int argc, char** argv) {
+  std::string kernelsCsv;
+  std::string jsonPath;
+  std::string emitPath;
+  dse::ExploreOptions opts;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mat2c: %s expects a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--kernels") {
+      kernelsCsv = need("--kernels");
+    } else if (a == "--top") {
+      opts.topCandidates = static_cast<int>(parseIntFlag("--top", need("--top"), 0, 64));
+    } else if (a == "--no-fused") {
+      opts.exploreFused = false;
+    } else if (a == "--json") {
+      jsonPath = need("--json");
+    } else if (a == "--emit-isa") {
+      emitPath = need("--emit-isa");
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "mat2c: unknown option '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (!kernelsCsv.empty()) {
+    std::vector<kernels::KernelSpec> corpus;
+    for (const auto& name : split(kernelsCsv, ',')) {
+      std::string trimmed(trim(name));
+      if (trimmed.empty()) continue;
+      bool found = false;
+      for (auto& spec : kernels::dseCorpus()) {
+        if (spec.name == trimmed) {
+          corpus.push_back(std::move(spec));
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "mat2c: unknown corpus kernel '%s' (see the first nine of "
+                             "`mat2c list-kernels`)\n",
+                     trimmed.c_str());
+        return 2;
+      }
+    }
+    opts.corpus = std::move(corpus);
+  }
+  if (!quiet) opts.progress = &std::cerr;
+
+  try {
+    dse::ExploreResult result = dse::explore(opts);
+    std::printf("Mined idioms (top %zu by dynamic count):\n%s\n", result.idioms.size(),
+                dse::idiomTable(result).c_str());
+    if (!result.candidates.empty()) {
+      std::printf("Synthesized fused-instruction candidates:\n%s\n",
+                  dse::candidateTable(result).c_str());
+    }
+    std::printf("Pareto frontier (%d design points scored):\n%s\n",
+                result.pointsEvaluated, dse::paretoTable(result).c_str());
+    std::printf("winner: %s — geomean %.2fx vs scalar at hw cost %.0f units "
+                "(dspx: %.2fx at %.0f)\n",
+                result.best.point.label().c_str(), result.best.geomean,
+                result.best.hwCost, result.dspxRef.geomean, result.dspxRef.hwCost);
+    double worstErr = 0.0;
+    for (const auto& [name, err] : result.bestMaxAbsErr) worstErr = std::max(worstErr, err);
+    std::printf("oracle check at winner: max |error| vs interpreter = %g\n", worstErr);
+    if (!emitPath.empty()) {
+      std::ofstream out(emitPath);
+      if (!out) {
+        std::fprintf(stderr, "mat2c: cannot write '%s'\n", emitPath.c_str());
+        return 1;
+      }
+      out << dse::isaFileText(result);
+      std::fprintf(stderr, "mat2c: wrote %s\n", emitPath.c_str());
+    }
+    if (!jsonPath.empty()) {
+      std::ofstream out(jsonPath);
+      if (!out) {
+        std::fprintf(stderr, "mat2c: cannot write '%s'\n", jsonPath.c_str());
+        return 1;
+      }
+      out << dse::benchJson(result);
+      std::fprintf(stderr, "mat2c: wrote %s\n", jsonPath.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mat2c: explore failed: %s\n", e.what());
+    return 1;
+  }
   return 0;
 }
 
@@ -300,8 +419,20 @@ int cmdCompile(int argc, char** argv) {
     return 2;
   }
 
-  CompileOptions options = coder ? CompileOptions::coderLike(isaPreset)
-                                 : CompileOptions::proposed(isaPreset);
+  CompileOptions options;
+  try {
+    options = coder ? CompileOptions::coderLike(isaPreset)
+                    : CompileOptions::proposed(isaPreset);
+  } catch (const std::exception& e) {
+    // Unknown --isa spelling is a usage error (exit 2), not an abort.
+    std::fprintf(stderr, "mat2c: %s\navailable presets (see `mat2c list-isas`):",
+                 e.what());
+    for (const auto& n : isa::IsaDescription::presetNames()) {
+      std::fprintf(stderr, " %s", n.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
   if (!isaFile.empty()) {
     auto loaded = loadIsaFile(isaFile);
     if (!loaded) return 1;
@@ -524,6 +655,8 @@ int main(int argc, char** argv) {
   if (cmd == "compile") return cmdCompile(argc, argv);
   if (cmd == "serve") return cmdServe(argc, argv);
   if (cmd == "isa") return cmdIsa(argc, argv);
+  if (cmd == "list-isas" || cmd == "--list-isas") return cmdListIsas();
   if (cmd == "list-kernels") return cmdListKernels();
+  if (cmd == "explore") return cmdExplore(argc, argv);
   return usage();
 }
