@@ -1,0 +1,108 @@
+// Autotuned-vs-default pipeline comparison (ROADMAP item 1, src/tune).
+//
+// The paper fixes one pass configuration for every kernel; this harness
+// quantifies what per-kernel pass-parameter tuning adds on top. For each
+// kernel in the tune corpus it runs the src/tune search (greedy coordinate
+// descent under the default candidate budget), oracle-checks the winner
+// against the reference interpreter, and reports tuned vs default cycles.
+//
+// --json <path> writes BENCH_tuned.json — baseline_cycles = the default
+// Proposed pipeline, proposed_cycles = the tuned winner — which
+// tools/check_perf.py gates in CI (ctest perf_tuned_regression): a pipeline
+// change that erodes a tuned win or breaks a winner's oracle bound fails the
+// gate.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "driver/kernels.hpp"
+#include "tune/tune.hpp"
+
+namespace {
+
+using namespace mat2c;
+
+std::vector<tune::TuneReport> runTuneSweep() {
+  std::vector<tune::TuneReport> reports;
+  for (const auto& spec : kernels::tuneCorpus()) {
+    tune::TuneInput input;
+    input.source = spec.source;
+    input.entry = spec.entry;
+    input.argSpecs = spec.argSpecs;
+    input.args = spec.args;
+    tune::TuneResult result = tune::autotune(input, tune::TuneOptions{});
+    result.report.kernel = spec.name;
+    reports.push_back(std::move(result.report));
+  }
+  return reports;
+}
+
+void BM_Tuned(benchmark::State& state, std::string kernel) {
+  kernels::KernelSpec spec = kernels::kernelByName(kernel);
+  tune::TuneInput input;
+  input.source = spec.source;
+  input.entry = spec.entry;
+  input.argSpecs = spec.argSpecs;
+  input.args = spec.args;
+  tune::TuneResult tuned = tune::autotune(input, tune::TuneOptions{});
+  double cycles = 0;
+  for (auto _ : state) {
+    auto r = tuned.unit.run(spec.args);
+    cycles = r.cycles.total;
+    benchmark::DoNotOptimize(r.outputs.data());
+  }
+  state.counters["asip_cycles"] = cycles;
+  state.counters["default_cycles"] = tuned.report.defaultCycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  // Strip --json <path> before google-benchmark sees the argument list.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+
+  std::vector<tune::TuneReport> reports;
+  try {
+    reports = runTuneSweep();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_tuned: tune sweep failed: %s\n", e.what());
+    return 1;
+  }
+  std::printf("\n=== Autotuned vs default pipeline (dspx) ===\n\n%s\n",
+              tune::reportTable(reports).c_str());
+
+  if (!jsonPath.empty()) {
+    std::ofstream out(jsonPath);
+    if (!out) {
+      std::fprintf(stderr, "bench_tuned: cannot write '%s'\n", jsonPath.c_str());
+      return 1;
+    }
+    out << tune::benchJson(reports, "dspx");
+    int improved = 0;
+    for (const auto& r : reports) {
+      if (r.tunedCycles < r.defaultCycles) ++improved;
+    }
+    std::fprintf(stderr, "bench_tuned: wrote %s (%d of %zu kernels improved)\n",
+                 jsonPath.c_str(), improved, reports.size());
+  }
+
+  for (const char* k : {"iir", "iir16"}) {
+    benchmark::RegisterBenchmark(("tuned/" + std::string(k)).c_str(), BM_Tuned,
+                                 std::string(k));
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

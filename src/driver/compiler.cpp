@@ -31,8 +31,10 @@ std::string CompileOptions::passSignature() const {
   s += fuseLoops ? '1' : '0';
   s += ";unroll=";
   s += unrollRecurrences ? '1' : '0';
+  // The clamped value joins the key, so out-of-range trips (0, negatives)
+  // share the cache entry of the configuration they actually compile as.
   s += ";unrollMaxTrip=";
-  s += std::to_string(unrollMaxTrip);
+  s += std::to_string(effectiveUnrollMaxTrip());
   s += ";licm=";
   s += licm ? '1' : '0';
   s += ";cse=";
@@ -66,7 +68,7 @@ opt::PipelineOptions makePipelineOptions(const CompileOptions& options) {
   passOpts.checkElim = options.checkElim;
   passOpts.fuseLoops = options.fuseLoops;
   passOpts.unrollRecurrences = options.unrollRecurrences;
-  passOpts.unrollMaxTrip = options.unrollMaxTrip;
+  passOpts.unrollMaxTrip = options.effectiveUnrollMaxTrip();
   passOpts.licm = options.licm;
   passOpts.cse = options.cse;
   passOpts.deadStores = options.deadStores;

@@ -54,7 +54,18 @@ struct CompileOptions {
   /// them all off so the baseline keeps its literal statement stream.
   bool fuseLoops = true;
   bool unrollRecurrences = true;
+  /// Largest compile-time trip count the unroll pass fully expands. Values
+  /// outside [1, kUnrollTripCap] are clamped by effectiveUnrollMaxTrip() —
+  /// the single normalization point shared by the pipeline and the cache
+  /// key, so a programmatic caller passing 0 or a negative trip behaves (and
+  /// caches) identically to 1 ("never unroll") instead of reaching the pass
+  /// unchecked.
   int unrollMaxTrip = 8;
+  static constexpr int kUnrollTripCap = 1 << 20;  // matches the CLI flag range
+  int effectiveUnrollMaxTrip() const {
+    return unrollMaxTrip < 1 ? 1 : (unrollMaxTrip > kUnrollTripCap ? kUnrollTripCap
+                                                                   : unrollMaxTrip);
+  }
   bool licm = true;
   bool cse = true;
   bool deadStores = true;

@@ -568,9 +568,22 @@ std::vector<KernelSpec> dseCorpus() {
           makeXcorr(1024, 48, 7), makeBlockDct(128, 8), makeFramePow(96, 32, 9)};
 }
 
+KernelSpec makeIir16(std::int64_t n, unsigned seed) {
+  KernelSpec k = makeIir(n, 16, seed);
+  k.name = "iir16";
+  return k;
+}
+
+std::vector<KernelSpec> tuneCorpus() {
+  std::vector<KernelSpec> corpus = dseCorpus();
+  corpus.push_back(makeIir16(1024, 2));
+  return corpus;
+}
+
 KernelSpec kernelByName(const std::string& name) {
   if (name == "fir") return makeFir();
   if (name == "iir") return makeIir();
+  if (name == "iir16") return makeIir16();
   if (name == "matmul") return makeMatmul();
   if (name == "cdot") return makeCdot();
   if (name == "fdeq") return makeFdeq();

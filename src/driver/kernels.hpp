@@ -52,6 +52,12 @@ KernelSpec makeQrDecomp(std::int64_t n = 32, unsigned seed = 11);
 KernelSpec makeCholesky(std::int64_t n = 32, unsigned seed = 12);
 KernelSpec makeUplink(std::int64_t n = 512, unsigned seed = 13);
 
+/// Deep IIR cascade ("iir16"): same biquad source as makeIir but with 16
+/// sections — past the default unrollMaxTrip of 8, so the section recurrence
+/// stays rolled under the stock pipeline and the autotuner's trip=16
+/// candidate is a large, honest win (see src/tune).
+KernelSpec makeIir16(std::int64_t n = 4096, unsigned seed = 2);
+
 std::vector<KernelSpec> extendedKernelSuite();
 
 /// The nine-kernel design-space-exploration corpus (src/dse): the six paper
@@ -60,8 +66,14 @@ std::vector<KernelSpec> extendedKernelSuite();
 /// second while keeping every op-mix the full suites exercise.
 std::vector<KernelSpec> dseCorpus();
 
-/// Kernel by name with default size ("fir", "iir", "matmul", "cdot",
-/// "fdeq", "fmdemod"); throws std::invalid_argument otherwise.
+/// The autotuner's default corpus (src/tune, `mat2c tune`): the DSE corpus
+/// plus the deep IIR cascade at a reduced size, so one tune sweep covers
+/// every op-mix and includes a kernel whose best configuration is far from
+/// the default pipeline.
+std::vector<KernelSpec> tuneCorpus();
+
+/// Kernel by name with default size ("fir", "iir", "iir16", "matmul",
+/// "cdot", "fdeq", "fmdemod", ...); throws std::invalid_argument otherwise.
 KernelSpec kernelByName(const std::string& name);
 
 // -- deterministic input generators (shared with tests/benches) -------------

@@ -35,6 +35,28 @@ CacheKey CacheKey::make(const std::string& source, const std::string& entry,
   return key;
 }
 
+CacheKey CacheKey::makeTuned(const std::string& source, const std::string& entry,
+                             const std::vector<sema::ArgSpec>& args,
+                             const isa::IsaDescription& isa) {
+  CacheKey key;
+  std::string& c = key.canonical;
+  c.reserve(source.size() + 256);
+  c += "mat2c-tune-key-v1\n";
+  c += "entry " + std::to_string(entry.size()) + ":" + entry + "\n";
+  c += "args";
+  for (const auto& a : args) c += " " + argSpecToken(a);
+  c += "\n";
+  // No pass options: the tuned configuration is the cache's OUTPUT, not part
+  // of its key. The ISA stays in — a tuned winner is only valid for the
+  // cycle model it was scored on.
+  c += "isa " + hex64(isa.fingerprint()) + "\n";
+  c += isa.serialize();
+  c += "source " + std::to_string(source.size()) + ":";
+  c += source;
+  key.hash = fnv1a64(c);
+  return key;
+}
+
 std::string CacheKey::fingerprint() const { return hex64(hash); }
 
 }  // namespace mat2c::service

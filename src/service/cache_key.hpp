@@ -25,6 +25,17 @@ struct CacheKey {
                        const std::vector<sema::ArgSpec>& args,
                        const CompileOptions& options);
 
+  /// Key for a TUNE request (src/tune): identical to make() except the pass
+  /// options are deliberately absent — the whole point of a tune request is
+  /// that the service picks the pass configuration, so two tune requests for
+  /// the same (source, entry, args, ISA) must collide regardless of what
+  /// baseline options they carry. A distinct header string keeps the tuned
+  /// namespace disjoint from compile keys: a tuned artifact can never be
+  /// served to a plain compile request or vice versa.
+  static CacheKey makeTuned(const std::string& source, const std::string& entry,
+                            const std::vector<sema::ArgSpec>& args,
+                            const isa::IsaDescription& isa);
+
   /// Short printable form ("k3f9c2…", 16 hex digits) for logs and stats.
   std::string fingerprint() const;
 

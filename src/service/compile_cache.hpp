@@ -23,15 +23,37 @@ namespace mat2c::service {
 
 /// What the cache stores per key: the compiled unit (shared, immutable LIR)
 /// plus the C text emitted once at compile time, so warm hits pay zero
-/// re-emission cost.
+/// re-emission cost. For tune requests (keyed via CacheKey::makeTuned) the
+/// entry additionally memoizes the winning pass configuration — the search
+/// result itself — so a warm tune request skips the whole search, not just
+/// the final compile.
 struct CachedResult {
   CompiledUnit unit;
   std::string cCode;
+  /// passSignature() of the autotuned winner; empty for plain compiles.
+  std::string tunedSignature;
+  /// Search provenance (tune entries only; zeros otherwise).
+  int tuneCandidates = 0;
+  double tunedCycles = 0.0;
+  double tuneDefaultCycles = 0.0;
 
   CachedResult(CompiledUnit u, std::string c) : unit(std::move(u)), cCode(std::move(c)) {}
+  CachedResult(CompiledUnit u, std::string c, std::string tunedSig, int candidates,
+               double tuned, double dflt)
+      : unit(std::move(u)),
+        cCode(std::move(c)),
+        tunedSignature(std::move(tunedSig)),
+        tuneCandidates(candidates),
+        tunedCycles(tuned),
+        tuneDefaultCycles(dflt) {}
 
-  /// Approximate heap footprint used for the byte counters.
-  std::size_t byteSize() const { return cCode.size() + sizeof(CachedResult); }
+  bool tuned() const { return !tunedSignature.empty(); }
+
+  /// Approximate heap footprint used for the byte counters; covers the
+  /// memoized tuned-options payload too.
+  std::size_t byteSize() const {
+    return cCode.size() + tunedSignature.size() + sizeof(CachedResult);
+  }
 };
 
 struct CacheStats {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "support/string_utils.hpp"
+#include "tune/tune.hpp"
 
 namespace mat2c::service {
 
@@ -29,6 +30,7 @@ std::string statsJson(const ServiceStats& stats, double wallMillis) {
   os << "{\n";
   os << "  \"requests\": " << stats.requests << ",\n";
   os << "  \"compiles\": " << stats.compiles << ",\n";
+  os << "  \"tunes\": " << stats.tunes << ",\n";
   os << "  \"cacheHits\": " << stats.cacheHits << ",\n";
   os << "  \"dedupJoins\": " << stats.dedupJoins << ",\n";
   os << "  \"errors\": " << stats.errors << ",\n";
@@ -77,7 +79,12 @@ CompileService::~CompileService() {
 std::future<CompileResponse> CompileService::submit(CompileRequest request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   Clock::time_point start = Clock::now();
-  CacheKey key = CacheKey::make(request.source, request.entry, request.args, request.options);
+  // Tune requests are keyed without the pass options: the tuned configuration
+  // is what the cache stores, not what it is keyed on. Everything downstream
+  // (fast path, single-flight, queueing) is shared with plain compiles.
+  CacheKey key = request.tune
+      ? CacheKey::makeTuned(request.source, request.entry, request.args, request.options.isa)
+      : CacheKey::make(request.source, request.entry, request.args, request.options);
 
   // Fast path: served from cache without touching the queue.
   if (auto cached = cache_.lookup(key)) {
@@ -217,12 +224,39 @@ void CompileService::runJob(Job& job) {
   std::shared_ptr<const CachedResult> result;
   std::string error;
   ErrorKind errorKind = ErrorKind::None;
+  std::uint64_t compilesThisJob = 1;
   try {
-    Compiler compiler;  // worker-local: a Compiler instance is single-threaded
-    CompiledUnit unit = compiler.compileSource(job.request.source, job.request.entry,
-                                               job.request.args, options);
-    std::string cCode = unit.cCode();
-    result = std::make_shared<const CachedResult>(std::move(unit), std::move(cCode));
+    if (job.request.tune) {
+      // Autotune path: search the pass-parameter space and cache the winner
+      // with its configuration memoized alongside the artifact. The combined
+      // waiter/request wall budget bounds the whole SEARCH (best-so-far wins
+      // on expiry), not just one compile.
+      tune::TuneInput input;
+      input.source = job.request.source;
+      input.entry = job.request.entry;
+      input.argSpecs = job.request.args;
+      input.base = options;
+      tune::TuneOptions topt;
+      if (job.request.tuneBudget > 0) topt.budget = job.request.tuneBudget;
+      topt.wallBudgetMillis = options.limits.wallBudgetMillis;
+      tune::TuneResult tuned = tune::autotune(input, topt);
+      tunes_.fetch_add(1, std::memory_order_relaxed);
+      // The search ran candidatesTried real compiles; the counter stays an
+      // honest count of compileSource calls.
+      compilesThisJob = static_cast<std::uint64_t>(
+          std::max(1, tuned.report.candidatesTried));
+      std::string cCode = tuned.unit.cCode();
+      result = std::make_shared<const CachedResult>(
+          std::move(tuned.unit), std::move(cCode), tuned.report.best.passSignature(),
+          tuned.report.candidatesTried, tuned.report.tunedCycles,
+          tuned.report.defaultCycles);
+    } else {
+      Compiler compiler;  // worker-local: a Compiler instance is single-threaded
+      CompiledUnit unit = compiler.compileSource(job.request.source, job.request.entry,
+                                                 job.request.args, options);
+      std::string cCode = unit.cCode();
+      result = std::make_shared<const CachedResult>(std::move(unit), std::move(cCode));
+    }
   } catch (const StructuredError& e) {
     error = e.what();
     errorKind = e.kind();
@@ -240,7 +274,7 @@ void CompileService::runJob(Job& job) {
     errorKind = ErrorKind::Panic;
     panics_.fetch_add(1, std::memory_order_relaxed);
   }
-  compiles_.fetch_add(1, std::memory_order_relaxed);
+  compiles_.fetch_add(compilesThisJob, std::memory_order_relaxed);
   compileMicros_.fetch_add(static_cast<std::uint64_t>(millisSince(t0) * 1000.0),
                            std::memory_order_relaxed);
   if (result) {
@@ -283,6 +317,7 @@ ServiceStats CompileService::stats() const {
   ServiceStats s;
   s.requests = requests_.load(std::memory_order_relaxed);
   s.compiles = compiles_.load(std::memory_order_relaxed);
+  s.tunes = tunes_.load(std::memory_order_relaxed);
   s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
   s.dedupJoins = dedupJoins_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);

@@ -38,6 +38,15 @@ struct CompileRequest {
   std::string entry;
   std::vector<sema::ArgSpec> args;
   CompileOptions options;
+  /// Tune mode (src/tune): instead of compiling with `options` as given, the
+  /// worker searches the pass-parameter space around them and caches the
+  /// winner. Tune requests are keyed WITHOUT the pass options
+  /// (CacheKey::makeTuned), so a warm request — whatever baseline options it
+  /// carries — returns the tuned artifact straight from the cache, and
+  /// concurrent identical tune requests share one search via single-flight.
+  bool tune = false;
+  /// Candidate budget for the search (0 = TuneOptions default).
+  int tuneBudget = 0;
   /// Per-request deadline in milliseconds from submit (0 = none). Covers
   /// queue time and the compile itself: a request still queued past its
   /// deadline is resolved with Timeout at pickup (the future is never
@@ -62,6 +71,7 @@ struct CompileResponse {
 struct ServiceStats {
   std::uint64_t requests = 0;
   std::uint64_t compiles = 0;    ///< underlying Compiler::compileSource calls
+  std::uint64_t tunes = 0;       ///< autotune searches actually run (cold tune requests)
   std::uint64_t cacheHits = 0;   ///< submit-time fast-path hits
   std::uint64_t dedupJoins = 0;  ///< requests that joined an in-flight compile
   std::uint64_t errors = 0;
@@ -152,6 +162,7 @@ class CompileService {
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> compiles_{0};
+  std::atomic<std::uint64_t> tunes_{0};
   std::atomic<std::uint64_t> cacheHits_{0};
   std::atomic<std::uint64_t> dedupJoins_{0};
   std::atomic<std::uint64_t> errors_{0};

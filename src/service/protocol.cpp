@@ -371,6 +371,19 @@ bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string
         return false;
       }
       out.deadlineMillis = value.number;
+    } else if (key == "tune") {
+      if (value.kind != JsonValue::Kind::Bool) {
+        error = "field 'tune' must be a boolean";
+        return false;
+      }
+      out.tune = value.boolean;
+    } else if (key == "tune_budget") {
+      if (value.kind != JsonValue::Kind::Number || value.number < 1 ||
+          value.number != static_cast<double>(static_cast<int>(value.number))) {
+        error = "field 'tune_budget' must be a positive integer";
+        return false;
+      }
+      out.tuneBudget = static_cast<int>(value.number);
     } else {
       error = "unknown request field '" + key + "'";
       return false;
@@ -442,6 +455,18 @@ std::string responseJson(const CompileResponse& response) {
     out += ", \"cBytes\": " + std::to_string(response.result->cCode.size());
     out += ", \"loopsVectorized\": " + std::to_string(report.vec.loopsVectorized);
     out += ", \"idiomRewrites\": " + std::to_string(report.idiomRewrites);
+    if (response.result->tuned()) {
+      char num[64];
+      out += ", \"tuned\": true";
+      out += ", \"tunedSignature\": " + jsonQuote(response.result->tunedSignature);
+      out += ", \"tuneCandidates\": " + std::to_string(response.result->tuneCandidates);
+      std::snprintf(num, sizeof num, "%.1f", response.result->tunedCycles);
+      out += ", \"tunedCycles\": ";
+      out += num;
+      std::snprintf(num, sizeof num, "%.1f", response.result->tuneDefaultCycles);
+      out += ", \"tuneDefaultCycles\": ";
+      out += num;
+    }
     if (!report.degraded.empty()) {
       out += ", \"degraded\": [";
       for (std::size_t i = 0; i < report.degraded.size(); ++i) {

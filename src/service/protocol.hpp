@@ -53,7 +53,9 @@ struct ProtocolLimits {
 ///   source (required), entry (required), id, args ("1x32,c1x8"),
 ///   isa (preset name), isa_text (inline ISA description, overrides isa),
 ///   style ("proposed"|"coder"), constFold/idioms/vectorize/sinkDecls/
-///   checkElim/degrade (bools), deadline_ms (number, per-request deadline).
+///   checkElim/degrade (bools), deadline_ms (number, per-request deadline),
+///   tune (bool: autotune the pass parameters and cache the winner),
+///   tune_budget (positive integer: candidate cap for the tune search).
 /// Unknown fields are an error, so typos cannot silently compile with
 /// default options. On failure sets `error` and, when `kind` is non-null,
 /// classifies it (ResourceExhausted for an oversized line, ParseError for
@@ -63,7 +65,9 @@ bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string
 
 /// One response line (no trailing newline): id, ok, cached, deduped, millis,
 /// and on success isa/cBytes/loopsVectorized/idiomRewrites (plus degraded
-/// when the compile used the degradation ladder), else error + errorKind.
+/// when the compile used the degradation ladder, plus tuned/tunedSignature/
+/// tuneCandidates/tunedCycles/tuneDefaultCycles for autotuned results), else
+/// error + errorKind.
 std::string responseJson(const CompileResponse& response);
 
 }  // namespace mat2c::service

@@ -1,0 +1,376 @@
+#include "tune/tune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "driver/report.hpp"
+#include "interp/interpreter.hpp"
+#include "parser/parser.hpp"
+#include "support/limits.hpp"
+
+namespace mat2c::tune {
+
+namespace {
+
+/// One searchable knob: a name plus the values it may take, each expressed
+/// as a mutation of a candidate CompileOptions.
+struct Coordinate {
+  std::string name;
+  std::vector<std::function<void(CompileOptions&)>> choices;
+};
+
+std::vector<Coordinate> makeCoordinates(const TuneOptions& options) {
+  std::vector<Coordinate> coords;
+
+  // Unroll trips, clamped through the same normalization the pipeline and
+  // the cache key use, then deduplicated — a caller-supplied {0, -3, 1}
+  // collapses to the single "never unroll" choice.
+  {
+    Coordinate c;
+    c.name = "unrollMaxTrip";
+    std::set<int> trips;
+    for (int t : options.unrollTrips) {
+      CompileOptions probe;
+      probe.unrollMaxTrip = t;
+      trips.insert(probe.effectiveUnrollMaxTrip());
+    }
+    for (int t : trips) {
+      c.choices.push_back([t](CompileOptions& o) { o.unrollMaxTrip = t; });
+    }
+    if (c.choices.size() > 1) coords.push_back(std::move(c));
+  }
+
+  auto boolCoord = [&](const char* name, bool enabled, bool CompileOptions::*field) {
+    if (!enabled) return;
+    Coordinate c;
+    c.name = name;
+    c.choices.push_back([field](CompileOptions& o) { o.*field = true; });
+    c.choices.push_back([field](CompileOptions& o) { o.*field = false; });
+    coords.push_back(std::move(c));
+  };
+  boolCoord("vectorize", options.tuneVectorize, &CompileOptions::vectorize);
+  boolCoord("fuseLoops", options.tuneFuseLoops, &CompileOptions::fuseLoops);
+  boolCoord("licm", options.tuneLicm, &CompileOptions::licm);
+  boolCoord("cse", options.tuneCse, &CompileOptions::cse);
+  boolCoord("deadStores", options.tuneDeadStores, &CompileOptions::deadStores);
+  boolCoord("checkElim", options.tuneCheckElim, &CompileOptions::checkElim);
+  // reassoc is opt-in and ordered {off, on}: the exhaustive enumeration then
+  // scores the bit-faithful half of the space first.
+  boolCoord("reassoc", options.allowReassoc, &CompileOptions::reassoc);
+  return coords;
+}
+
+/// Differences between the default and the tuned configuration, e.g.
+/// "unrollMaxTrip=16 licm=0" ("(default)" when identical).
+std::string optionsDelta(const CompileOptions& base, const CompileOptions& best) {
+  std::string out;
+  auto add = [&](const std::string& piece) {
+    if (!out.empty()) out += ' ';
+    out += piece;
+  };
+  if (base.effectiveUnrollMaxTrip() != best.effectiveUnrollMaxTrip()) {
+    add("unrollMaxTrip=" + std::to_string(best.effectiveUnrollMaxTrip()));
+  }
+  auto flag = [&](const char* name, bool b, bool v) {
+    if (b != v) add(std::string(name) + "=" + (v ? "1" : "0"));
+  };
+  flag("vectorize", base.vectorize, best.vectorize);
+  flag("fuseLoops", base.fuseLoops, best.fuseLoops);
+  flag("licm", base.licm, best.licm);
+  flag("cse", base.cse, best.cse);
+  flag("deadStores", base.deadStores, best.deadStores);
+  flag("checkElim", base.checkElim, best.checkElim);
+  flag("reassoc", base.reassoc, best.reassoc);
+  return out.empty() ? "(default)" : out;
+}
+
+/// Shared state of one search: the oracle expectation, the signature memo,
+/// the incumbent, and the budget/deadline counters.
+class Search {
+ public:
+  Search(const TuneInput& input, const TuneOptions& options)
+      : input_(input), options_(options), guard_(options.wallBudgetMillis) {
+    args_ = input.args.empty() ? makeTuneInputs(input.argSpecs, options.seed) : input.args;
+  }
+
+  TuneResult run() {
+    // Score the starting configuration first: it is the incumbent every
+    // alternative must strictly beat, and its failure is the caller's error
+    // (nothing to cache), not a pruning decision.
+    CompileOptions base = input_.base;
+    TuneCandidate baseCand = evaluate(base, /*isBase=*/true);
+    if (!baseCand.compiled) {
+      throw StructuredError(ErrorKind::PassError,
+                            "autotune: default configuration failed to compile: " +
+                                baseCand.note);
+    }
+    if (!baseCand.oracleOk) {
+      throw StructuredError(ErrorKind::VerifyError,
+                            "autotune: default configuration misses the oracle bound: " +
+                                baseCand.note);
+    }
+    report_.defaultCycles = baseCand.cycles;
+
+    std::vector<Coordinate> coords = makeCoordinates(options_);
+    int space = searchSpaceSize(options_);
+    report_.exhaustive = space <= options_.budget;
+    if (report_.exhaustive) {
+      exhaustive(coords);
+    } else {
+      coordinateDescent(coords);
+    }
+
+    report_.kernel = input_.entry;
+    report_.isa = input_.base.isa.name();
+    report_.tunedCycles = bestCycles_;
+    report_.speedup = bestCycles_ > 0 ? report_.defaultCycles / bestCycles_ : 1.0;
+    report_.best = best_;
+    return TuneResult{std::move(report_), std::move(*bestUnit_)};
+  }
+
+ private:
+  /// True when the search must stop (budget or deadline); records why.
+  bool outOfBudget() {
+    if (report_.candidatesTried >= options_.budget) {
+      if (!report_.budgetExhausted) {
+        report_.budgetExhausted = true;
+        report_.prunes.push_back("stopped: candidate budget (" +
+                                 std::to_string(options_.budget) + ") exhausted");
+      }
+      return true;
+    }
+    if (guard_.active() && guard_.expired()) {
+      if (!report_.deadlineExpired) {
+        report_.deadlineExpired = true;
+        report_.prunes.push_back("stopped: tune deadline expired, keeping best so far");
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// Compiles + scores one configuration; memoized by passSignature, so an
+  /// incumbent value revisited during a sweep costs nothing.
+  TuneCandidate evaluate(const CompileOptions& candOptions, bool isBase = false) {
+    TuneCandidate cand;
+    cand.signature = candOptions.passSignature();
+    if (auto it = memo_.find(cand.signature); it != memo_.end()) {
+      ++report_.candidatesPruned;
+      return it->second;
+    }
+
+    ++report_.candidatesTried;
+    CompileOptions attempt = candOptions;
+    // Map the remaining search deadline onto the compile's own wall budget
+    // (tighter wins), the same way the serving layer maps request deadlines.
+    if (guard_.active()) {
+      double remaining = std::max(guard_.remainingMillis(), 1.0);
+      if (attempt.limits.wallBudgetMillis <= 0 ||
+          attempt.limits.wallBudgetMillis > remaining) {
+        attempt.limits.wallBudgetMillis = remaining;
+      }
+    }
+    std::optional<CompiledUnit> unit;
+    try {
+      Compiler compiler;
+      unit = compiler.compileSource(input_.source, input_.entry, input_.argSpecs, attempt);
+      cand.compiled = true;
+    } catch (const StructuredError& e) {
+      if (isBase && e.kind() == ErrorKind::Timeout) throw;  // nothing scored yet
+      cand.note = std::string("compile failed: ") + e.what();
+    }
+    if (unit) {
+      try {
+        vm::RunResult run = unit->run(args_);
+        cand.cycles = run.cycles.total;
+        ensureExpected(unit->fn().outs.size());
+        double worst = 0.0;
+        if (run.outputs.size() != expected_.size()) {
+          cand.note = "oracle: output count mismatch";
+        } else {
+          for (std::size_t i = 0; i < expected_.size(); ++i) {
+            worst = std::max(worst, maxAbsDiff(expected_[i], run.outputs[i]));
+          }
+          cand.maxAbsErr = worst;
+          double bound = candOptions.reassoc ? options_.reassocMaxAbsErr : options_.maxAbsErr;
+          cand.oracleOk = worst <= bound;
+          if (!cand.oracleOk) {
+            char buf[96];
+            std::snprintf(buf, sizeof buf, "oracle: max |err| %.3e exceeds bound %.1e",
+                          worst, bound);
+            cand.note = buf;
+            report_.prunes.push_back(cand.signature + ": " + buf);
+          }
+        }
+      } catch (const StructuredError& e) {
+        if (isBase && e.kind() == ErrorKind::Timeout) throw;
+        cand.note = std::string("vm run failed: ") + e.what();
+      } catch (const RuntimeError& e) {
+        cand.note = std::string("vm run failed: ") + e.what();
+      }
+    }
+
+    // Strictly-better acceptance: ties keep the incumbent (the earlier, more
+    // default-like configuration), so the winner is deterministic.
+    if (cand.compiled && cand.oracleOk && cand.cycles < bestCycles_) {
+      cand.accepted = true;
+      bestCycles_ = cand.cycles;
+      best_ = candOptions;
+      bestUnit_ = std::move(unit);
+      report_.bestMaxAbsErr = cand.maxAbsErr;
+    }
+    memo_.emplace(cand.signature, cand);
+    report_.candidates.push_back(cand);
+    return cand;
+  }
+
+  /// Reference-interpreter outputs, computed once per search.
+  void ensureExpected(std::size_t nOut) {
+    if (haveExpected_) return;
+    DiagnosticEngine diags;
+    ast::ProgramPtr program = parseSource(input_.source, diags);
+    if (diags.hasErrors()) throw CompileError(diags.renderAll());
+    Interpreter interp(*program);
+    expected_ = interp.callFunction(input_.entry, args_, std::max<std::size_t>(nOut, 1));
+    haveExpected_ = true;
+  }
+
+  void coordinateDescent(const std::vector<Coordinate>& coords) {
+    bool improved = true;
+    while (improved && !outOfBudget()) {
+      improved = false;
+      for (const Coordinate& coord : coords) {
+        for (const auto& apply : coord.choices) {
+          if (outOfBudget()) return;
+          CompileOptions cand = best_;
+          apply(cand);
+          double before = bestCycles_;
+          evaluate(cand);
+          if (bestCycles_ < before) improved = true;
+        }
+      }
+    }
+  }
+
+  void exhaustive(const std::vector<Coordinate>& coords) {
+    // Odometer over the cross product; the all-defaults combination is
+    // memo-pruned (the base already scored it).
+    std::vector<std::size_t> idx(coords.size(), 0);
+    while (!outOfBudget()) {
+      CompileOptions cand = input_.base;
+      for (std::size_t i = 0; i < coords.size(); ++i) coords[i].choices[idx[i]](cand);
+      evaluate(cand);
+      std::size_t i = 0;
+      for (; i < coords.size(); ++i) {
+        if (++idx[i] < coords[i].choices.size()) break;
+        idx[i] = 0;
+      }
+      if (i == coords.size()) return;  // odometer wrapped: space fully scored
+    }
+  }
+
+  const TuneInput& input_;
+  const TuneOptions& options_;
+  DeadlineGuard guard_;
+  std::vector<Matrix> args_;
+  std::vector<Matrix> expected_;
+  bool haveExpected_ = false;
+
+  std::unordered_map<std::string, TuneCandidate> memo_;
+  TuneReport report_;
+  CompileOptions best_;
+  double bestCycles_ = std::numeric_limits<double>::infinity();
+  std::optional<CompiledUnit> bestUnit_;
+};
+
+}  // namespace
+
+int searchSpaceSize(const TuneOptions& options) {
+  int size = 1;
+  for (const Coordinate& c : makeCoordinates(options)) {
+    size *= static_cast<int>(c.choices.size());
+  }
+  return size;
+}
+
+std::vector<Matrix> makeTuneInputs(const std::vector<sema::ArgSpec>& specs, unsigned seed) {
+  kernels::InputGen gen(seed);
+  std::vector<Matrix> out;
+  out.reserve(specs.size());
+  for (const auto& spec : specs) {
+    const sema::Shape& s = spec.type.shape;
+    auto rows = s.rows.extent();
+    auto cols = s.cols.extent();
+    if (spec.type.elem == sema::Elem::Complex) {
+      Matrix m = Matrix::zeros(static_cast<std::size_t>(rows),
+                               static_cast<std::size_t>(cols), true);
+      for (std::size_t i = 0; i < m.numel(); ++i) m.set(i, Complex{gen.next(), gen.next()});
+      out.push_back(std::move(m));
+    } else {
+      out.push_back(gen.matrix(rows, cols));
+    }
+  }
+  return out;
+}
+
+TuneResult autotune(const TuneInput& input, const TuneOptions& options) {
+  return Search(input, options).run();
+}
+
+std::string reportTable(const std::vector<TuneReport>& reports) {
+  report::Table table({"kernel", "default cycles", "tuned cycles", "speedup", "max |err|",
+                       "tried", "pruned", "search", "tuned options"});
+  for (const TuneReport& r : reports) {
+    std::string search = r.exhaustive ? "exhaustive" : "coord-descent";
+    if (r.budgetExhausted) search += " (budget)";
+    if (r.deadlineExpired) search += " (deadline)";
+    table.addRow({r.kernel, report::Table::cycles(r.defaultCycles),
+                  report::Table::cycles(r.tunedCycles),
+                  report::Table::num(r.speedup, 3) + "x",
+                  report::Table::num(r.bestMaxAbsErr, 12),
+                  std::to_string(r.candidatesTried), std::to_string(r.candidatesPruned),
+                  // The delta compares pass knobs only, so the default-
+                  // constructed options work for any ISA (presets may not
+                  // exist for custom .isa targets).
+                  search, optionsDelta(CompileOptions{}, r.best)});
+  }
+  return table.toString();
+}
+
+std::string benchJson(const std::vector<TuneReport>& reports, const std::string& isaName) {
+  // Sorted by kernel for byte-stable diffs against the checked-in baseline.
+  std::map<std::string, const TuneReport*> byName;
+  for (const TuneReport& r : reports) byName[r.kernel] = &r;
+
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"tuned\",\n  \"isa\": \"" << isaName << "\",\n  \"kernels\": {\n";
+  double logSum = 0.0;
+  std::size_t i = 0;
+  for (const auto& [name, r] : byName) {
+    logSum += std::log(r->speedup);
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    \"%s\": {\"baseline_cycles\": %.0f, \"proposed_cycles\": %.0f, "
+                  "\"speedup\": %.4f, \"max_abs_err\": %.3e, \"candidates\": %d, "
+                  "\"tuned\": \"%s\"}%s\n",
+                  name.c_str(), r->defaultCycles, r->tunedCycles, r->speedup,
+                  r->bestMaxAbsErr, r->candidatesTried,
+                  optionsDelta(CompileOptions{}, r->best).c_str(),
+                  ++i < byName.size() ? "," : "");
+    os << buf;
+  }
+  double geomean =
+      byName.empty() ? 1.0 : std::exp(logSum / static_cast<double>(byName.size()));
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", geomean);
+  os << "  },\n  \"geomean_speedup\": " << buf << "\n}\n";
+  return os.str();
+}
+
+}  // namespace mat2c::tune

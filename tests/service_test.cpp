@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <future>
+#include <set>
 #include <thread>
 
 #include "driver/kernels.hpp"
@@ -91,6 +93,80 @@ TEST(CacheKey, LoopLayerOptionsChangeTheKey) {
   EXPECT_NE(base.canonical, vary([](CompileOptions& o) { o.cse = false; }).canonical);
   EXPECT_NE(base.canonical, vary([](CompileOptions& o) { o.deadStores = false; }).canonical);
   EXPECT_NE(base.canonical, vary([](CompileOptions& o) { o.reassoc = true; }).canonical);
+}
+
+TEST(CacheKey, PassSignatureDriftGuardCoversEveryField) {
+  // Drift guard: flipping ANY output-affecting option must change
+  // passSignature(), and each flip must land on its own signature — a field
+  // added to CompileOptions without a passSignature() line shows up here as
+  // a missing entry (add it below), while a field dropped from the signature
+  // shows up as a collision. Covers the tuner-searched knobs too, since the
+  // tuned-options memo stores winners by this string.
+  const std::vector<std::pair<const char*, std::function<void(CompileOptions&)>>> flips = {
+      {"style", [](CompileOptions& o) { o.style = lower::CodeStyle::CoderLike; }},
+      {"constFold", [](CompileOptions& o) { o.constFold = false; }},
+      {"idioms", [](CompileOptions& o) { o.idioms = false; }},
+      {"vectorize", [](CompileOptions& o) { o.vectorize = false; }},
+      {"sinkDecls", [](CompileOptions& o) { o.sinkDecls = false; }},
+      {"fuseElementwise=0", [](CompileOptions& o) { o.fuseElementwise = false; }},
+      {"fuseElementwise=1", [](CompileOptions& o) { o.fuseElementwise = true; }},
+      {"boundsChecks=0", [](CompileOptions& o) { o.boundsChecks = false; }},
+      {"boundsChecks=1", [](CompileOptions& o) { o.boundsChecks = true; }},
+      {"checkElim", [](CompileOptions& o) { o.checkElim = true; }},
+      {"fuseLoops", [](CompileOptions& o) { o.fuseLoops = false; }},
+      {"unrollRecurrences", [](CompileOptions& o) { o.unrollRecurrences = false; }},
+      {"unrollMaxTrip", [](CompileOptions& o) { o.unrollMaxTrip = 4; }},
+      {"licm", [](CompileOptions& o) { o.licm = false; }},
+      {"cse", [](CompileOptions& o) { o.cse = false; }},
+      {"deadStores", [](CompileOptions& o) { o.deadStores = false; }},
+      {"deadCode", [](CompileOptions& o) { o.deadCode = false; }},
+      {"reassoc", [](CompileOptions& o) { o.reassoc = true; }},
+      {"degrade", [](CompileOptions& o) { o.degrade = false; }},
+      {"limits.maxLirOps", [](CompileOptions& o) { o.limits.maxLirOps = 12345; }},
+  };
+  const std::string base = CompileOptions{}.passSignature();
+  std::set<std::string> signatures{base};
+  for (const auto& [name, flip] : flips) {
+    CompileOptions o;
+    flip(o);
+    std::string sig = o.passSignature();
+    EXPECT_NE(sig, base) << name << " does not reach passSignature()";
+    EXPECT_TRUE(signatures.insert(sig).second) << name << " collides with another flip";
+  }
+}
+
+TEST(CacheKey, TunedKeyIgnoresPassOptionsAndIsDisjointFromCompileKeys) {
+  // The tuned-entry key deliberately takes no CompileOptions: the winning
+  // pass configuration is the cache's OUTPUT, so any two tune requests for
+  // the same (source, entry, args, ISA) must coalesce regardless of the
+  // base options they started from. The namespace is disjoint from compile
+  // keys (a version-tagged header), so a plain compile can never be served
+  // a tuned artifact by accident or vice versa.
+  std::vector<ArgSpec> args = {ArgSpec::row(64), ArgSpec::row(64)};
+  auto isa = isa::IsaDescription::preset("dspx");
+  auto a = CacheKey::makeTuned(kFirSource, "fir", args, isa);
+  auto b = CacheKey::makeTuned(kFirSource, "fir", args, isa);
+  EXPECT_EQ(a, b);
+
+  auto compileKey = CacheKey::make(kFirSource, "fir", args, CompileOptions::proposed());
+  EXPECT_NE(a.canonical, compileKey.canonical);
+
+  // Every remaining input dimension still participates.
+  EXPECT_NE(a.canonical,
+            CacheKey::makeTuned(std::string(kFirSource) + " ", "fir", args, isa).canonical);
+  EXPECT_NE(a.canonical, CacheKey::makeTuned(kFirSource, "fir2", args, isa).canonical);
+  EXPECT_NE(a.canonical,
+            CacheKey::makeTuned(kFirSource, "fir", {ArgSpec::row(128)}, isa).canonical);
+
+  // The ISA joins via its fingerprint: any observable ISA change (here a
+  // retuned op cost) invalidates the memoized tuned configuration, whose
+  // winner was chosen by that ISA's cycle model.
+  auto retuned = isa::IsaDescription::preset("dspx");
+  retuned.setCost(isa::Op::MulF, 3);
+  EXPECT_NE(a.canonical, CacheKey::makeTuned(kFirSource, "fir", args, retuned).canonical);
+  EXPECT_NE(a.canonical,
+            CacheKey::makeTuned(kFirSource, "fir", args,
+                                isa::IsaDescription::preset("scalar")).canonical);
 }
 
 TEST(CacheKey, ObservationOnlyOptionsDoNotChangeTheKey) {
@@ -460,6 +536,193 @@ TEST(Protocol, ResponseJsonCarriesResultOrError) {
   std::string badLine = responseJson(bad);
   EXPECT_NE(badLine.find("\"ok\": false"), std::string::npos);
   EXPECT_NE(badLine.find("\\\"quoted\\\""), std::string::npos);
+}
+
+// ---- Autotune through the service ----------------------------------------
+
+CompileRequest tuneRequest(const std::string& id, int budget = 4) {
+  CompileRequest r = firRequest(id);
+  r.tune = true;
+  r.tuneBudget = budget;  // small: the test exercises memoization, not search
+  return r;
+}
+
+TEST(CompileService, TuneRequestMemoizesTheWinnerForWarmHits) {
+  CompileService::Config config;
+  config.threads = 2;
+  CompileService svc(config);
+
+  CompileResponse cold = svc.submit(tuneRequest("t1")).get();
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.cacheHit);
+  ASSERT_NE(cold.result, nullptr);
+  EXPECT_TRUE(cold.result->tuned());
+  EXPECT_GE(cold.result->tuneCandidates, 1);
+  EXPECT_GT(cold.result->tunedCycles, 0.0);
+  EXPECT_GE(cold.result->tuneDefaultCycles, cold.result->tunedCycles);
+
+  // The warm request starts from DIFFERENT base pass options: the tuned key
+  // ignores them, so it must still hit the memoized artifact — the whole
+  // point of caching the search, a client need not know the winner to get it.
+  CompileRequest warmReq = tuneRequest("t2");
+  warmReq.options.licm = false;
+  warmReq.options.unrollMaxTrip = 2;
+  CompileResponse warm = svc.submit(warmReq).get();
+  EXPECT_TRUE(warm.ok) << warm.error;
+  EXPECT_TRUE(warm.cacheHit);
+  EXPECT_EQ(warm.result, cold.result) << "warm tune must reuse the memoized winner";
+
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.tunes, 1u) << "the search ran once";
+  EXPECT_EQ(stats.cacheHits, 1u);
+  EXPECT_EQ(stats.compiles, static_cast<std::uint64_t>(cold.result->tuneCandidates))
+      << "compiles counts the search's real compileSource calls";
+}
+
+TEST(CompileService, TunedEntryInvalidatedByIsaChangeAndDisjointFromCompiles) {
+  CompileService::Config config;
+  config.threads = 2;
+  CompileService svc(config);
+
+  CompileResponse first = svc.submit(tuneRequest("t1")).get();
+  ASSERT_TRUE(first.ok) << first.error;
+
+  // Same request on a different ISA: the fingerprint is in the key, so the
+  // dspx winner (chosen by dspx's cycle model) cannot be served for scalar.
+  CompileRequest other = tuneRequest("t2");
+  other.options = CompileOptions::proposed("scalar");
+  CompileResponse second = svc.submit(other).get();
+  EXPECT_TRUE(second.ok) << second.error;
+  EXPECT_FALSE(second.cacheHit);
+  EXPECT_NE(second.result, first.result);
+  EXPECT_EQ(svc.stats().tunes, 2u);
+
+  // A plain compile of the same (source, args, ISA) lives in the compile-key
+  // namespace and must not be answered from the tuned entry.
+  CompileResponse plain = svc.submit(firRequest("t3")).get();
+  EXPECT_TRUE(plain.ok) << plain.error;
+  EXPECT_FALSE(plain.cacheHit);
+  ASSERT_NE(plain.result, nullptr);
+  EXPECT_FALSE(plain.result->tuned());
+}
+
+TEST(CompileService, ConcurrentTuneRequestsShareOneSearch) {
+  // Same single-flight guarantee as plain compiles, but the deduplicated
+  // work is a whole pass-parameter search — stall the first search until
+  // every identical tune request is queued, then assert one search served
+  // all of them.
+  std::promise<void> release;
+  std::shared_future<void> releaseFuture = release.get_future().share();
+  std::atomic<int> started{0};
+
+  CompileService::Config config;
+  config.threads = 2;
+  config.onCompileStart = [&](const CompileRequest&) {
+    started.fetch_add(1);
+    releaseFuture.wait();
+  };
+  CompileService svc(config);
+
+  std::vector<std::future<CompileResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(svc.submit(tuneRequest("t" + std::to_string(i))));
+  }
+  release.set_value();
+
+  std::shared_ptr<const CachedResult> shared;
+  int deduped = 0;
+  for (auto& f : futures) {
+    CompileResponse r = f.get();
+    EXPECT_TRUE(r.ok) << r.error;
+    ASSERT_NE(r.result, nullptr);
+    EXPECT_TRUE(r.result->tuned());
+    if (!shared) shared = r.result;
+    EXPECT_EQ(r.result, shared) << "all joiners share one search's winner";
+    deduped += r.deduped ? 1 : 0;
+  }
+  EXPECT_EQ(started.load(), 1);
+  EXPECT_EQ(deduped, 5);
+
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.tunes, 1u) << "exactly one underlying search";
+  EXPECT_EQ(stats.dedupJoins, 5u);
+}
+
+TEST(CompileCache, ByteAccountingCoversTunedEntries) {
+  // The memoized tuned signature is part of the entry's heap footprint, so
+  // it must be charged on insert and released on evict — the per-shard
+  // audit catches a byteSize() that forgets the new field.
+  CompileCache cache(/*maxEntries=*/4, /*shardCount=*/2);
+  auto plain = compileToResult(firRequest("a"));
+
+  Compiler compiler;
+  CompileRequest r = firRequest("b");
+  CompiledUnit unit = compiler.compileSource(r.source, r.entry, r.args, r.options);
+  std::string cCode = unit.cCode();
+  std::string signature = r.options.passSignature();
+  auto tuned = std::make_shared<const CachedResult>(std::move(unit), std::move(cCode),
+                                                    signature, /*candidates=*/7,
+                                                    /*tunedCycles=*/100.0,
+                                                    /*defaultCycles=*/250.0);
+  EXPECT_EQ(tuned->byteSize(), plain->byteSize() + signature.size())
+      << "the tuned signature joins the entry's footprint";
+
+  auto plainKey = CacheKey::make(r.source, r.entry, r.args, r.options);
+  auto tunedKey = CacheKey::makeTuned(r.source, r.entry, r.args, r.options.isa);
+  cache.insert(plainKey, plain);
+  cache.insert(tunedKey, tuned);
+  EXPECT_TRUE(cache.checkByteAccounting());
+  EXPECT_EQ(cache.stats().entries, 2u);
+
+  cache.clear();
+  EXPECT_TRUE(cache.checkByteAccounting());
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(Protocol, TuneRequestFieldsParseAndValidate) {
+  CompileRequest r;
+  std::string error;
+  ASSERT_TRUE(parseCompileRequest(
+      R"({"source": "s", "entry": "f", "tune": true, "tune_budget": 12})", r, error))
+      << error;
+  EXPECT_TRUE(r.tune);
+  EXPECT_EQ(r.tuneBudget, 12);
+
+  EXPECT_FALSE(parseCompileRequest(R"({"source": "s", "entry": "f", "tune": "yes"})",
+                                   r, error));
+  EXPECT_NE(error.find("'tune' must be a boolean"), std::string::npos);
+  EXPECT_FALSE(parseCompileRequest(R"({"source": "s", "entry": "f", "tune_budget": 0})",
+                                   r, error));
+  EXPECT_NE(error.find("'tune_budget' must be a positive integer"), std::string::npos);
+  EXPECT_FALSE(parseCompileRequest(R"({"source": "s", "entry": "f", "tune_budget": 2.5})",
+                                   r, error));
+}
+
+TEST(Protocol, ResponseJsonCarriesTunedProvenance) {
+  Compiler compiler;
+  CompileRequest req = firRequest("t1");
+  CompiledUnit unit = compiler.compileSource(req.source, req.entry, req.args, req.options);
+  std::string cCode = unit.cCode();
+  CompileResponse resp;
+  resp.id = "t1";
+  resp.ok = true;
+  resp.result = std::make_shared<const CachedResult>(
+      std::move(unit), std::move(cCode), req.options.passSignature(),
+      /*candidates=*/9, /*tunedCycles=*/123.0, /*defaultCycles=*/456.0);
+
+  std::string line = responseJson(resp);
+  EXPECT_NE(line.find("\"tuned\": true"), std::string::npos);
+  EXPECT_NE(line.find("\"tunedSignature\": \"style=proposed;"), std::string::npos);
+  EXPECT_NE(line.find("\"tuneCandidates\": 9"), std::string::npos);
+  EXPECT_NE(line.find("\"tunedCycles\": 123.0"), std::string::npos);
+  EXPECT_NE(line.find("\"tuneDefaultCycles\": 456.0"), std::string::npos);
+
+  // A plain compile result carries none of the tuned fields.
+  CompileResponse plain;
+  plain.id = "p1";
+  plain.ok = true;
+  plain.result = compileToResult(firRequest("p1"));
+  EXPECT_EQ(responseJson(plain).find("\"tuned\""), std::string::npos);
 }
 
 }  // namespace

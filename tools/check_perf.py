@@ -34,12 +34,22 @@ def main():
                     help="allowed cycle regression, percent (default 2)")
     args = ap.parse_args()
 
+    # A zero or negative tolerance is never a meaningful gate (0 fails on any
+    # cycle-model noise; negative inverts the comparison so improvements fail
+    # and regressions pass). Bad invocation, not a perf regression: exit 2.
+    # `not (x > 0)` also catches NaN, which compares false against everything.
+    if not (args.tolerance > 0):
+        print(f"check_perf: --tolerance must be a positive percentage, "
+              f"got {args.tolerance}", file=sys.stderr)
+        return 2
+
     base = load(args.baseline)
     cur = load(args.current)
     tol = args.tolerance / 100.0
 
     failures = []
     improvements = []
+    compared = 0
     # A kernel only in the current run has no baseline to gate against — that
     # is exactly how a new benchmark silently escapes the cycle gate, so it
     # is an error until the baseline is refreshed.
@@ -53,6 +63,7 @@ def main():
         if c is None:
             failures.append(f"{name}: missing from current results")
             continue
+        compared += 1
         b_cycles = float(b["proposed_cycles"])
         c_cycles = float(c["proposed_cycles"])
         if c_cycles > b_cycles * (1.0 + tol):
@@ -95,7 +106,18 @@ def main():
                     f"reference {ref_geo:.4f} (tolerance {args.tolerance}%)")
         except (KeyError, TypeError, ValueError):
             failures.append(f"reference block malformed: {ref!r}")
-        if "hw_cost" in ref and "hw_cost" in cur:
+        # The hardware-cost half of the quality bar gets the same treatment
+        # as geomean_speedup: once a reference block is present, a missing
+        # hw_cost on either side would let a cost regression pass vacuously,
+        # so it is a FAIL, not a silent skip.
+        hw_missing = False
+        for doc, which in ((ref, f"{ref_name} reference block"),
+                           (cur, f"current {args.current}")):
+            if "hw_cost" not in doc:
+                failures.append(f"{which}: missing hw_cost "
+                                f"(required when a reference block is present)")
+                hw_missing = True
+        if not hw_missing:
             ref_hw = float(ref["hw_cost"])
             cur_hw = float(cur["hw_cost"])
             if cur_hw > ref_hw + 1e-6:
@@ -109,7 +131,9 @@ def main():
         for line in failures:
             print(f"check_perf: FAIL: {line}", file=sys.stderr)
         return 1
-    print(f"check_perf: ok ({len(base.get('kernels', {}))} kernels, "
+    # Report the number of kernels actually compared, not the baseline's
+    # size — the two only coincide when the kernel sets match exactly.
+    print(f"check_perf: ok ({compared} kernels, "
           f"geomean {c_geo:.2f}x vs baseline {b_geo:.2f}x, tolerance {args.tolerance}%)")
     return 0
 

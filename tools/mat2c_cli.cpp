@@ -65,6 +65,7 @@
 #include "service/compile_service.hpp"
 #include "service/protocol.hpp"
 #include "support/string_utils.hpp"
+#include "tune/tune.hpp"
 
 namespace {
 
@@ -83,6 +84,8 @@ int usage() {
                "  mat2c list-kernels\n"
                "  mat2c explore [--kernels <name,...>] [--top <n>] [--no-fused]\n"
                "                [--json <file>] [--emit-isa <file>] [--quiet]\n"
+               "  mat2c tune [--kernels <name,...>] [--budget <n>] [--json <file>]\n"
+               "             [--isa <preset>] [--isa-file <file>] [--seed <n>] [--quiet]\n"
                "run `head tools/mat2c_cli.cpp` for the full option list\n");
   return 2;
 }
@@ -292,6 +295,132 @@ int cmdExplore(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mat2c: explore failed: %s\n", e.what());
     return 1;
+  }
+  return 0;
+}
+
+int cmdTune(int argc, char** argv) {
+  std::string kernelsCsv;
+  std::string jsonPath;
+  std::string isaPreset = "dspx";
+  std::string isaFile;
+  tune::TuneOptions topt;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mat2c: %s expects a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--kernels") {
+      kernelsCsv = need("--kernels");
+    } else if (a == "--budget") {
+      topt.budget = static_cast<int>(parseIntFlag("--budget", need("--budget"), 1, 100000));
+    } else if (a == "--json") {
+      jsonPath = need("--json");
+    } else if (a == "--isa") {
+      isaPreset = need("--isa");
+    } else if (a == "--isa-file") {
+      isaFile = need("--isa-file");
+    } else if (a == "--seed") {
+      topt.seed =
+          static_cast<unsigned>(parseIntFlag("--seed", need("--seed"), 0, 4294967295LL));
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "mat2c: unknown option '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+
+  CompileOptions base;
+  try {
+    base = CompileOptions::proposed(isaPreset);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mat2c: %s\navailable presets (see `mat2c list-isas`):",
+                 e.what());
+    for (const auto& n : isa::IsaDescription::presetNames()) {
+      std::fprintf(stderr, " %s", n.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  if (!isaFile.empty()) {
+    auto loaded = loadIsaFile(isaFile);
+    if (!loaded) return 1;
+    base.isa = *loaded;
+  }
+
+  // Kernel selection: the tune corpus (reduced sizes) by name when possible,
+  // any full-size corpus kernel otherwise, so `--kernels fft` still works.
+  std::vector<kernels::KernelSpec> corpus;
+  if (kernelsCsv.empty()) {
+    corpus = kernels::tuneCorpus();
+  } else {
+    std::vector<kernels::KernelSpec> pool = kernels::tuneCorpus();
+    for (const auto& name : split(kernelsCsv, ',')) {
+      std::string trimmed(trim(name));
+      if (trimmed.empty()) continue;
+      bool found = false;
+      for (auto& spec : pool) {
+        if (spec.name == trimmed) {
+          corpus.push_back(spec);
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      try {
+        corpus.push_back(kernels::kernelByName(trimmed));
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "mat2c: unknown kernel '%s' (see `mat2c list-kernels`)\n",
+                     trimmed.c_str());
+        return 2;
+      }
+    }
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "mat2c: no kernels selected\n");
+    return 2;
+  }
+
+  std::vector<tune::TuneReport> reports;
+  int improved = 0;
+  for (const auto& spec : corpus) {
+    if (!quiet) std::fprintf(stderr, "mat2c: tuning %s...\n", spec.name.c_str());
+    tune::TuneInput input;
+    input.source = spec.source;
+    input.entry = spec.entry;
+    input.argSpecs = spec.argSpecs;
+    input.args = spec.args;
+    input.base = base;
+    try {
+      tune::TuneResult result = tune::autotune(input, topt);
+      result.report.kernel = spec.name;  // corpus id, not just the entry name
+      if (result.report.tunedCycles < result.report.defaultCycles) ++improved;
+      reports.push_back(std::move(result.report));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mat2c: tune failed for '%s': %s\n", spec.name.c_str(),
+                   e.what());
+      return 1;
+    }
+  }
+
+  std::printf("Autotune results (budget %d, search space %d):\n%s\n", topt.budget,
+              tune::searchSpaceSize(topt), tune::reportTable(reports).c_str());
+  std::printf("%d of %zu kernel(s) beat the default pipeline\n", improved,
+              reports.size());
+  if (!jsonPath.empty()) {
+    std::ofstream out(jsonPath);
+    if (!out) {
+      std::fprintf(stderr, "mat2c: cannot write '%s'\n", jsonPath.c_str());
+      return 1;
+    }
+    out << tune::benchJson(reports, base.isa.name());
+    std::fprintf(stderr, "mat2c: wrote %s\n", jsonPath.c_str());
   }
   return 0;
 }
@@ -658,5 +787,6 @@ int main(int argc, char** argv) {
   if (cmd == "list-isas" || cmd == "--list-isas") return cmdListIsas();
   if (cmd == "list-kernels") return cmdListKernels();
   if (cmd == "explore") return cmdExplore(argc, argv);
+  if (cmd == "tune") return cmdTune(argc, argv);
   return usage();
 }
