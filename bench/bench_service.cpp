@@ -7,18 +7,33 @@
 //      (warm / cold throughput ratio — the summary table below), and
 //   2. how does cold-compile throughput scale with worker threads
 //      (service/cold_batch/threads:N).
+//
+// --json <path> writes BENCH_service.json, the serve-plane regression
+// baseline: warm-hit and warm-restart (artifact-store-backed) latency per
+// request, JSON vs. binary framing cost, and the sustained warm throughput
+// that backs the 10k req/s exit criterion. The measurement hard-fails (exit
+// 1) if warm throughput drops below 10k req/s, if a warm restart compiles
+// anything (the store must answer every request), or if store-backed warm
+// throughput falls below half of in-memory warm.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "driver/report.hpp"
 #include "service/compile_service.hpp"
+#include "service/protocol.hpp"
 
 namespace {
 
@@ -164,9 +179,249 @@ void BM_IdenticalBurst(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBurst);
 }
 
+// --- serve-plane baseline (--json) -----------------------------------------
+
+struct ServeMeasurement {
+  double coldNsPerReq = 0;
+  double warmNsPerReq = 0;
+  double warmRps = 0;
+  double restartNsPerReq = 0;
+  double restartRps = 0;
+  std::uint64_t restartCompiles = 0;
+  service::LatencyStats warmLatency;
+  double jsonFrameNs = 0;
+  double binaryFrameNs = 0;
+};
+
+/// Timed batch through a service; returns ns/request.
+double timedBatch(CompileService& svc, std::vector<CompileRequest> batch) {
+  std::size_t n = batch.size();
+  auto t0 = std::chrono::steady_clock::now();
+  auto responses = svc.compileBatch(std::move(batch));
+  double nanos =
+      std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (const auto& r : responses) {
+    if (!r.ok) {
+      std::fprintf(stderr, "bench_service: compile failed: %s\n", r.error.c_str());
+      std::exit(1);
+    }
+  }
+  return nanos / static_cast<double>(n);
+}
+
+/// Framing cost per request: parse one request + serialize one response, in
+/// the JSON-lines encoding vs. the length-prefixed binary encoding. Measures
+/// the protocol layer only — no compile, no service.
+void measureFraming(ServeMeasurement& m) {
+  constexpr int kIters = 20000;
+  CompileRequest proto = kernelRequest(0);
+  // JSON-lines: the request as clients send it (source newlines escaped).
+  std::string escaped;
+  for (char c : proto.source) {
+    if (c == '\n') escaped += "\\n";
+    else escaped += c;
+  }
+  std::string jsonLine = "{\"id\": \"k0\", \"source\": \"" + escaped +
+                         "\", \"entry\": \"f\", \"args\": \"1x64,1x64\", "
+                         "\"tenant\": \"bench\"}";
+  service::CompileResponse resp;
+  resp.id = "k0";
+  resp.ok = true;
+  resp.cacheHit = true;
+  resp.millis = 0.01;
+  resp.result = std::make_shared<service::CachedResult>(
+      std::string(2048, 'c'), service::CachedResult::Meta{"dspx", 1, 2, {}},
+      std::string(), 0, 0.0, 0.0);
+
+  service::ProtocolLimits limits;
+  auto time = [&](auto&& body) {
+    auto t0 = std::chrono::steady_clock::now();
+    std::size_t sink = 0;
+    for (int i = 0; i < kIters; ++i) sink += body();
+    benchmark::DoNotOptimize(sink);
+    return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0)
+               .count() /
+           kIters;
+  };
+
+  m.jsonFrameNs = time([&]() -> std::size_t {
+    CompileRequest req;
+    std::string error;
+    if (!service::parseCompileRequest(jsonLine, req, error, nullptr, limits)) {
+      std::fprintf(stderr, "bench_service: framing json parse failed: %s\n", error.c_str());
+      std::exit(1);
+    }
+    return req.source.size() + service::responseJson(resp).size();
+  });
+
+  service::WireRequest wire;
+  wire.id = "k0";
+  wire.source = proto.source;
+  wire.entry = "f";
+  wire.args = "1x64,1x64";
+  wire.tenant = "bench";
+  std::string reqFrame =
+      service::encodeFrame(service::FrameType::Request, service::encodeBinaryRequest(wire));
+  m.binaryFrameNs = time([&]() -> std::size_t {
+    // Decode through the same path the CLI uses: frame header + payload.
+    service::WireRequest decoded;
+    std::string error;
+    if (!service::decodeBinaryRequest(
+            std::string_view(reqFrame).substr(service::kFrameHeaderBytes), decoded, error)) {
+      std::fprintf(stderr, "bench_service: framing binary decode failed: %s\n",
+                   error.c_str());
+      std::exit(1);
+    }
+    return decoded.source.size() +
+           service::encodeFrame(service::FrameType::Response,
+                                service::encodeBinaryResponse(resp))
+               .size();
+  });
+}
+
+ServeMeasurement measureServePlane() {
+  constexpr int kDistinct = 8;
+  constexpr int kWarmRepeats = 2000;  // 16k warm requests per timed run
+  constexpr std::size_t kThreads = 4;
+  ServeMeasurement m;
+
+  // Cold: every request a distinct compile, cache off.
+  {
+    CompileService::Config config;
+    config.threads = kThreads;
+    config.cacheEntries = 0;
+    CompileService svc(config);
+    std::vector<CompileRequest> batch;
+    for (int k = 0; k < 32; ++k) batch.push_back(kernelRequest(k));
+    m.coldNsPerReq = timedBatch(svc, std::move(batch));
+  }
+
+  std::filesystem::path storeDir =
+      std::filesystem::temp_directory_path() /
+      ("mat2c_bench_store." + std::to_string(static_cast<unsigned>(::getpid())));
+  std::filesystem::remove_all(storeDir);
+
+  // Warm in-memory: pre-warmed cache, every request a hit. The store is
+  // attached so this run also populates it for the restart measurement
+  // (writes are behind the response path, so they do not distort timing
+  // materially at this batch size).
+  {
+    CompileService::Config config;
+    config.threads = kThreads;
+    config.cacheEntries = 256;
+    config.storeDir = storeDir.string();
+    CompileService svc(config);
+    svc.compileBatch(repeatedWorkload(kDistinct, 1));  // warm + populate store
+    m.warmNsPerReq = timedBatch(svc, repeatedWorkload(kDistinct, kWarmRepeats));
+    m.warmRps = 1e9 / m.warmNsPerReq;
+    m.warmLatency = svc.stats().latency;
+  }
+
+  // Warm restart: a fresh service, empty memory cache, same store directory.
+  // Every distinct kernel must come back from disk — zero compiles.
+  {
+    CompileService::Config config;
+    config.threads = kThreads;
+    config.cacheEntries = 256;
+    config.storeDir = storeDir.string();
+    CompileService svc(config);
+    m.restartNsPerReq = timedBatch(svc, repeatedWorkload(kDistinct, kWarmRepeats));
+    m.restartRps = 1e9 / m.restartNsPerReq;
+    m.restartCompiles = svc.stats().compiles;
+  }
+  std::filesystem::remove_all(storeDir);
+
+  measureFraming(m);
+  return m;
+}
+
+int writeServeJson(const std::string& path) {
+  ServeMeasurement m = measureServePlane();
+
+  // Exit criteria, enforced here so the perf gate inherits them: warm
+  // sustained throughput >= 10k req/s; a warm restart never compiles; the
+  // store-backed warm path stays within 2x of in-memory warm.
+  bool ok = true;
+  if (m.warmRps < 10000.0) {
+    std::fprintf(stderr, "bench_service: FAIL warm throughput %.0f req/s < 10000\n",
+                 m.warmRps);
+    ok = false;
+  }
+  if (m.restartCompiles != 0) {
+    std::fprintf(stderr,
+                 "bench_service: FAIL warm restart ran %llu compile(s); "
+                 "the artifact store must answer every request\n",
+                 static_cast<unsigned long long>(m.restartCompiles));
+    ok = false;
+  }
+  if (m.restartNsPerReq > 2.0 * m.warmNsPerReq) {
+    std::fprintf(stderr,
+                 "bench_service: FAIL warm restart %.0f ns/req exceeds 2x "
+                 "in-memory warm %.0f ns/req\n",
+                 m.restartNsPerReq, m.warmNsPerReq);
+    ok = false;
+  }
+  if (!ok) return 1;
+
+  double warmSpeedup = m.coldNsPerReq / m.warmNsPerReq;
+  double restartSpeedup = m.coldNsPerReq / m.restartNsPerReq;
+  double framingSpeedup = m.jsonFrameNs / m.binaryFrameNs;
+  double geomean = std::cbrt(warmSpeedup * restartSpeedup * framingSpeedup);
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_service: cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  char buf[512];
+  out << "{\n  \"bench\": \"service\",\n  \"threads\": 4,\n  \"kernels\": {\n";
+  std::snprintf(buf, sizeof buf,
+                "    \"framing\": {\"baseline_cycles\": %.0f, \"proposed_cycles\": %.0f, "
+                "\"speedup\": %.4f, \"max_abs_err\": 0.0},\n",
+                m.jsonFrameNs, m.binaryFrameNs, framingSpeedup);
+  out << buf;
+  std::snprintf(buf, sizeof buf,
+                "    \"warm_hit\": {\"baseline_cycles\": %.0f, \"proposed_cycles\": %.0f, "
+                "\"speedup\": %.4f, \"max_abs_err\": 0.0, \"rps\": %.0f, "
+                "\"p50_millis\": %.4f, \"p99_millis\": %.4f},\n",
+                m.coldNsPerReq, m.warmNsPerReq, warmSpeedup, m.warmRps,
+                m.warmLatency.p50Millis, m.warmLatency.p99Millis);
+  out << buf;
+  std::snprintf(buf, sizeof buf,
+                "    \"warm_restart\": {\"baseline_cycles\": %.0f, \"proposed_cycles\": "
+                "%.0f, \"speedup\": %.4f, \"max_abs_err\": 0.0, \"rps\": %.0f, "
+                "\"compiles\": %llu}\n",
+                m.coldNsPerReq, m.restartNsPerReq, restartSpeedup, m.restartRps,
+                static_cast<unsigned long long>(m.restartCompiles));
+  out << buf;
+  std::snprintf(buf, sizeof buf, "  },\n  \"geomean_speedup\": %.4f\n}\n", geomean);
+  out << buf;
+  std::fprintf(stderr,
+               "bench_service: wrote %s (warm %.0f req/s, restart %.0f req/s, "
+               "framing %.0f -> %.0f ns)\n",
+               path.c_str(), m.warmRps, m.restartRps, m.jsonFrameNs, m.binaryFrameNs);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --json <path> before google-benchmark sees the argument list.
+  std::string jsonPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[i + 1];
+      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  if (!jsonPath.empty()) {
+    int rc = writeServeJson(jsonPath);
+    if (rc != 0) return rc;
+  }
+
   printColdVsWarmTable();
   for (int threads : {1, 2, 4, 8}) {
     benchmark::RegisterBenchmark("service/cold_batch", BM_ColdBatch)->Arg(threads)

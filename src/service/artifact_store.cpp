@@ -1,0 +1,275 @@
+#include "service/artifact_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "support/binary_io.hpp"
+#include "support/string_utils.hpp"
+
+namespace fs = std::filesystem;
+
+namespace mat2c::service {
+
+namespace {
+
+using bin::appendF64;
+using bin::appendI32;
+using bin::appendStr;
+using bin::appendU32;
+using bin::appendU64;
+using bin::Reader;
+
+bool isArtifactFile(const fs::directory_entry& entry) {
+  return entry.is_regular_file() && entry.path().extension() == ".art";
+}
+
+}  // namespace
+
+std::string ArtifactStore::fileNameFor(const CacheKey& key) {
+  return hex64(key.hash) + ".art";
+}
+
+std::string ArtifactStore::serialize(const CacheKey& key, const CachedResult& value) {
+  std::string payload;
+  appendStr(payload, key.canonical);
+  appendStr(payload, value.cCode);
+  appendStr(payload, value.isaName);
+  appendI32(payload, value.loopsVectorized);
+  appendI32(payload, value.idiomRewrites);
+  appendU32(payload, static_cast<std::uint32_t>(value.degraded.size()));
+  for (const std::string& d : value.degraded) appendStr(payload, d);
+  appendStr(payload, value.tunedSignature);
+  appendI32(payload, value.tuneCandidates);
+  appendF64(payload, value.tunedCycles);
+  appendF64(payload, value.tuneDefaultCycles);
+
+  std::string out;
+  out.reserve(24 + payload.size());
+  out.append(kMagic, sizeof kMagic);
+  appendU32(out, kFormatVersion);
+  appendU64(out, fnv1a64(payload));
+  appendU64(out, payload.size());
+  out += payload;
+  return out;
+}
+
+std::shared_ptr<const CachedResult> ArtifactStore::deserialize(std::string_view bytes,
+                                                               const CacheKey& key,
+                                                               std::string* error) {
+  auto fail = [&](const char* why) -> std::shared_ptr<const CachedResult> {
+    if (error) *error = why;
+    return nullptr;
+  };
+  constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 8;
+  if (bytes.size() < kHeaderSize) return fail("truncated header");
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) return fail("bad magic");
+  Reader header(bytes.substr(4, kHeaderSize - 4));
+  std::uint32_t version = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t payloadSize = 0;
+  header.u32(version);
+  header.u64(checksum);
+  header.u64(payloadSize);
+  if (version != kFormatVersion) return fail("version skew");
+  std::string_view payload = bytes.substr(kHeaderSize);
+  if (payload.size() != payloadSize) return fail("payload size mismatch");
+  if (fnv1a64(payload) != checksum) return fail("checksum mismatch");
+
+  Reader r(payload);
+  std::string canonical, cCode, tunedSignature;
+  CachedResult::Meta meta;
+  std::uint32_t degradedCount = 0;
+  std::int32_t tuneCandidates = 0;
+  double tunedCycles = 0.0, tuneDefaultCycles = 0.0;
+  if (!r.str(canonical) || !r.str(cCode) || !r.str(meta.isaName) ||
+      !r.i32(meta.loopsVectorized) || !r.i32(meta.idiomRewrites) || !r.u32(degradedCount)) {
+    return fail("malformed payload");
+  }
+  if (degradedCount > payload.size()) return fail("malformed payload");  // cheap DoS guard
+  meta.degraded.reserve(degradedCount);
+  for (std::uint32_t i = 0; i < degradedCount; ++i) {
+    std::string d;
+    if (!r.str(d)) return fail("malformed payload");
+    meta.degraded.push_back(std::move(d));
+  }
+  if (!r.str(tunedSignature) || !r.i32(tuneCandidates) || !r.f64(tunedCycles) ||
+      !r.f64(tuneDefaultCycles) || !r.done()) {
+    return fail("malformed payload");
+  }
+  // Content addressing is by hash; the embedded canonical key is the
+  // collision guard. A mismatch is a miss, never a wrong artifact.
+  if (canonical != key.canonical) return fail("canonical key mismatch");
+  return std::make_shared<const CachedResult>(std::move(cCode), std::move(meta),
+                                              std::move(tunedSignature), tuneCandidates,
+                                              tunedCycles, tuneDefaultCycles);
+}
+
+ArtifactStore::ArtifactStore(Config config) : config_(std::move(config)) {
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  if (ec || !fs::is_directory(config_.dir, ec) || ec) {
+    error_ = "cannot create store directory '" + config_.dir + "'";
+    if (ec) error_ += ": " + ec.message();
+    return;
+  }
+  // Inventory what a previous process left behind: this is what makes a
+  // restarted server start warm.
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    if (ec) break;
+    if (!isArtifactFile(entry)) continue;
+    std::error_code sizeEc;
+    std::uintmax_t size = entry.file_size(sizeEc);
+    if (sizeEc) continue;
+    bytes_ += static_cast<std::size_t>(size);
+    ++files_;
+  }
+  ok_ = true;
+}
+
+std::shared_ptr<const CachedResult> ArtifactStore::load(const CacheKey& key) {
+  if (!ok_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    return nullptr;
+  }
+  fs::path path = fs::path(config_.dir) / fileNameFor(key);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++misses_;
+      return nullptr;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = std::move(buf).str();
+    if (!in.good() && !in.eof()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++corrupt_;
+      return nullptr;
+    }
+  }
+  std::string why;
+  auto result = deserialize(bytes, key, &why);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (result) {
+    ++hits_;
+    return result;
+  }
+  if (why == "canonical key mismatch") {
+    // Hash collision with a healthy file belonging to a different key: a
+    // plain miss, and the resident artifact stays.
+    ++misses_;
+    return nullptr;
+  }
+  // Damaged file: count it, remove it so the next lookup is a clean miss.
+  ++corrupt_;
+  std::error_code sizeEc;
+  std::uintmax_t size = fs::file_size(path, sizeEc);
+  std::error_code rmEc;
+  if (fs::remove(path, rmEc) && !rmEc) {
+    if (files_ > 0) --files_;
+    if (!sizeEc) bytes_ -= std::min(bytes_, static_cast<std::size_t>(size));
+  }
+  return nullptr;
+}
+
+bool ArtifactStore::store(const CacheKey& key, const CachedResult& value) {
+  std::string image = serialize(key, value);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ok_) {
+    ++putFailures_;
+    return false;
+  }
+  fs::path finalPath = fs::path(config_.dir) / fileNameFor(key);
+  // Temp name is unique per (process address, counter): concurrent writers —
+  // including sibling processes sharing the directory — never collide on the
+  // temp file, and each rename is atomic.
+  char tmpName[64];
+  std::snprintf(tmpName, sizeof tmpName, ".tmp-%p-%llu", static_cast<const void*>(this),
+                static_cast<unsigned long long>(++tempCounter_));
+  fs::path tmpPath = fs::path(config_.dir) / (fileNameFor(key) + tmpName);
+
+  {
+    std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
+    if (!out || !out.write(image.data(), static_cast<std::streamsize>(image.size())) ||
+        !out.flush()) {
+      ++putFailures_;
+      std::error_code ec;
+      fs::remove(tmpPath, ec);
+      return false;
+    }
+  }
+
+  std::error_code ec;
+  std::uintmax_t oldSize = fs::file_size(finalPath, ec);
+  bool replacing = !ec;
+  fs::rename(tmpPath, finalPath, ec);
+  if (ec) {
+    ++putFailures_;
+    fs::remove(tmpPath, ec);
+    return false;
+  }
+  if (replacing) {
+    bytes_ -= std::min(bytes_, static_cast<std::size_t>(oldSize));
+  } else {
+    ++files_;
+  }
+  bytes_ += image.size();
+  ++puts_;
+  if (config_.maxBytes > 0 && bytes_ > config_.maxBytes) evictLocked();
+  return true;
+}
+
+void ArtifactStore::evictLocked() {
+  // Oldest-first by mtime: artifacts written (or rewritten) recently survive.
+  struct Victim {
+    fs::file_time_type mtime;
+    fs::path path;
+    std::size_t size;
+  };
+  std::vector<Victim> victims;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    if (ec) return;
+    if (!isArtifactFile(entry)) continue;
+    std::error_code entryEc;
+    auto mtime = entry.last_write_time(entryEc);
+    if (entryEc) continue;
+    std::uintmax_t size = entry.file_size(entryEc);
+    if (entryEc) continue;
+    victims.push_back({mtime, entry.path(), static_cast<std::size_t>(size)});
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) { return a.mtime < b.mtime; });
+  for (const Victim& v : victims) {
+    if (bytes_ <= config_.maxBytes) break;
+    std::error_code rmEc;
+    if (!fs::remove(v.path, rmEc) || rmEc) continue;
+    bytes_ -= std::min(bytes_, v.size);
+    if (files_ > 0) --files_;
+    ++evictions_;
+  }
+}
+
+ArtifactStore::Stats ArtifactStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.puts = puts_;
+  s.putFailures = putFailures_;
+  s.corrupt = corrupt_;
+  s.evictions = evictions_;
+  s.bytes = bytes_;
+  s.files = files_;
+  return s;
+}
+
+}  // namespace mat2c::service

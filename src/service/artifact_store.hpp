@@ -1,0 +1,108 @@
+// Persistent content-addressed artifact store — the on-disk second tier
+// under the in-memory CompileCache.
+//
+// Each compiled artifact (C text + response metadata + tuned-search
+// provenance) is serialized into one file named by its CacheKey hash, in a
+// versioned, checksummed binary format. Writes go to a temp file in the same
+// directory and are renamed into place, so a crash mid-write can never leave
+// a half-visible artifact, and concurrent writers (threads or sibling server
+// processes sharing the directory) race benignly — rename is atomic and both
+// contenders wrote the same content for the same key.
+//
+// The store is deliberately forgiving on the read side: a missing file, a
+// truncated file, a bad magic/version/checksum, or a canonical-key mismatch
+// (64-bit hash collision) all degrade to a clean miss — the caller simply
+// recompiles. It never throws on I/O trouble; failures are counted, not
+// raised, because persistence is an optimization, not a correctness
+// dependency. docs/service.md documents the file format.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "service/compile_cache.hpp"
+
+namespace mat2c::service {
+
+class ArtifactStore {
+ public:
+  struct Config {
+    std::string dir;          ///< store directory (created if absent)
+    std::size_t maxBytes = 0; ///< on-disk cap, 0 = unlimited; oldest-first eviction
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;         ///< load() served an artifact
+    std::uint64_t misses = 0;       ///< no file (or hash-collision mismatch)
+    std::uint64_t puts = 0;         ///< store() persisted an artifact
+    std::uint64_t putFailures = 0;  ///< store() hit an I/O error (artifact not persisted)
+    std::uint64_t corrupt = 0;      ///< load() rejected a damaged file (treated as miss)
+    std::uint64_t evictions = 0;    ///< files removed to honor maxBytes
+    std::size_t bytes = 0;          ///< current on-disk footprint
+    std::size_t files = 0;          ///< current artifact count
+  };
+
+  /// Creates `config.dir` if needed and scans existing artifacts into the
+  /// byte/file counters. On failure the store is disabled (ok() == false,
+  /// every load is a miss, every store a counted failure) — never throws.
+  explicit ArtifactStore(Config config);
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  const std::string& dir() const { return config_.dir; }
+
+  /// Reads the artifact for `key`, or nullptr on miss/corruption (corrupt
+  /// files are deleted so the next lookup is a clean miss). The returned
+  /// CachedResult has no CompiledUnit — it answers from C text + metadata.
+  std::shared_ptr<const CachedResult> load(const CacheKey& key);
+
+  /// Persists `value` under `key` (temp-file + atomic rename). Best effort:
+  /// returns false and counts a putFailure on I/O trouble. Triggers
+  /// oldest-first eviction when the directory exceeds maxBytes.
+  bool store(const CacheKey& key, const CachedResult& value);
+
+  Stats stats() const;
+
+  // --- format surface, exposed for tests and fuzz_smoke -------------------
+
+  static constexpr char kMagic[4] = {'M', '2', 'C', 'A'};
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Full file image (header + payload) for `value` under `key`.
+  static std::string serialize(const CacheKey& key, const CachedResult& value);
+
+  /// Parses a file image. Returns nullptr (and sets `error` when non-null)
+  /// on any damage: short header, bad magic, version skew, payload size
+  /// mismatch, checksum mismatch, malformed payload, or canonical-key
+  /// mismatch against `key`. Must never crash on arbitrary bytes — this is
+  /// the fuzz_smoke entry point.
+  static std::shared_ptr<const CachedResult> deserialize(std::string_view bytes,
+                                                         const CacheKey& key,
+                                                         std::string* error = nullptr);
+
+  /// File name an artifact for `key` lives under ("<16 hex digits>.art").
+  static std::string fileNameFor(const CacheKey& key);
+
+ private:
+  void evictLocked();
+
+  Config config_;
+  bool ok_ = false;
+  std::string error_;
+
+  mutable std::mutex mu_;  // guards counters + eviction scans
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t puts_ = 0;
+  std::uint64_t putFailures_ = 0;
+  std::uint64_t corrupt_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::size_t bytes_ = 0;
+  std::size_t files_ = 0;
+  std::uint64_t tempCounter_ = 0;  // uniquifies temp names within this process
+};
+
+}  // namespace mat2c::service

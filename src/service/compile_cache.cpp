@@ -2,7 +2,69 @@
 
 #include <algorithm>
 
+#include "lir/lir.hpp"
+
 namespace mat2c::service {
+
+namespace {
+
+/// Estimated heap bytes pinned by a retained CompiledUnit. Exact accounting
+/// would require walking every Expr node; the per-statement constant below
+/// covers a Stmt plus its typical expression tree on 64-bit builds. The
+/// point is honesty of *scale* — a 500-statement unrolled kernel must cost
+/// ~100x a 5-statement one in the byte counters, not 0.
+std::size_t estimateUnitBytes(const CompiledUnit& unit) {
+  constexpr std::size_t kBytesPerStatement = 160;
+  const lir::Function& fn = unit.fn();
+  lir::FunctionStats stats = lir::collectStats(fn);
+  std::size_t bytes = sizeof(CompiledUnit) + sizeof(lir::Function);
+  bytes += (fn.params.size() + fn.outs.size()) * sizeof(lir::Param);
+  bytes += fn.arrays.size() * sizeof(lir::ArrayDecl);
+  bytes += static_cast<std::size_t>(stats.statements) * kBytesPerStatement;
+  return bytes;
+}
+
+CachedResult::Meta metaFrom(const CompiledUnit& unit) {
+  CachedResult::Meta m;
+  m.isaName = unit.isa().name();
+  m.loopsVectorized = unit.optimizationReport().vec.loopsVectorized;
+  m.idiomRewrites = unit.optimizationReport().idiomRewrites;
+  m.degraded = unit.optimizationReport().degraded;
+  return m;
+}
+
+}  // namespace
+
+CachedResult::CachedResult(CompiledUnit u, std::string c)
+    : CachedResult(std::move(u), std::move(c), std::string(), 0, 0.0, 0.0) {}
+
+CachedResult::CachedResult(CompiledUnit u, std::string c, std::string tunedSig,
+                           int candidates, double tuned, double dflt) {
+  Meta m = metaFrom(u);
+  unitBytes_ = estimateUnitBytes(u);
+  unit = std::move(u);
+  cCode = std::move(c);
+  isaName = std::move(m.isaName);
+  loopsVectorized = m.loopsVectorized;
+  idiomRewrites = m.idiomRewrites;
+  degraded = std::move(m.degraded);
+  tunedSignature = std::move(tunedSig);
+  tuneCandidates = candidates;
+  tunedCycles = tuned;
+  tuneDefaultCycles = dflt;
+}
+
+CachedResult::CachedResult(std::string c, Meta meta, std::string tunedSig, int candidates,
+                           double tuned, double dflt)
+    : cCode(std::move(c)),
+      isaName(std::move(meta.isaName)),
+      loopsVectorized(meta.loopsVectorized),
+      idiomRewrites(meta.idiomRewrites),
+      degraded(std::move(meta.degraded)),
+      tunedSignature(std::move(tunedSig)),
+      tuneCandidates(candidates),
+      tunedCycles(tuned),
+      tuneDefaultCycles(dflt) {}
 
 CompileCache::CompileCache(std::size_t maxEntries, std::size_t shardCount)
     : maxEntries_(maxEntries),

@@ -13,6 +13,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,13 +24,25 @@ namespace mat2c::service {
 
 /// What the cache stores per key: the compiled unit (shared, immutable LIR)
 /// plus the C text emitted once at compile time, so warm hits pay zero
-/// re-emission cost. For tune requests (keyed via CacheKey::makeTuned) the
-/// entry additionally memoizes the winning pass configuration — the search
-/// result itself — so a warm tune request skips the whole search, not just
-/// the final compile.
+/// re-emission cost. The response-facing metadata (ISA name, vectorization /
+/// idiom counters, degradation markers) is denormalized out of the unit so
+/// an entry rehydrated from the on-disk artifact store — which persists the
+/// C text and metadata but not the LIR — can answer requests without one.
+/// For tune requests (keyed via CacheKey::makeTuned) the entry additionally
+/// memoizes the winning pass configuration — the search result itself — so a
+/// warm tune request skips the whole search, not just the final compile.
 struct CachedResult {
-  CompiledUnit unit;
+  /// Absent when the entry was loaded from the artifact store: the serve
+  /// plane answers from `cCode` + the metadata below, never from the LIR.
+  std::optional<CompiledUnit> unit;
   std::string cCode;
+
+  /// Response metadata, valid with or without `unit`.
+  std::string isaName;
+  int loopsVectorized = 0;
+  int idiomRewrites = 0;
+  std::vector<std::string> degraded;  ///< degradation-ladder markers
+
   /// passSignature() of the autotuned winner; empty for plain compiles.
   std::string tunedSignature;
   /// Search provenance (tune entries only; zeros otherwise).
@@ -37,23 +50,42 @@ struct CachedResult {
   double tunedCycles = 0.0;
   double tuneDefaultCycles = 0.0;
 
-  CachedResult(CompiledUnit u, std::string c) : unit(std::move(u)), cCode(std::move(c)) {}
+  CachedResult(CompiledUnit u, std::string c);
   CachedResult(CompiledUnit u, std::string c, std::string tunedSig, int candidates,
-               double tuned, double dflt)
-      : unit(std::move(u)),
-        cCode(std::move(c)),
-        tunedSignature(std::move(tunedSig)),
-        tuneCandidates(candidates),
-        tunedCycles(tuned),
-        tuneDefaultCycles(dflt) {}
+               double tuned, double dflt);
+
+  /// Store-rehydration constructor: no CompiledUnit, metadata supplied
+  /// explicitly (artifact_store.cpp is the only intended caller).
+  struct Meta {
+    std::string isaName;
+    int loopsVectorized = 0;
+    int idiomRewrites = 0;
+    std::vector<std::string> degraded;
+  };
+  CachedResult(std::string c, Meta meta, std::string tunedSig, int candidates,
+               double tuned, double dflt);
 
   bool tuned() const { return !tunedSignature.empty(); }
+  bool hasUnit() const { return unit.has_value(); }
 
-  /// Approximate heap footprint used for the byte counters; covers the
-  /// memoized tuned-options payload too.
+  /// Estimated heap footprint of the retained CompiledUnit (LIR statement
+  /// tree + declarations); 0 for store-loaded entries. Computed once at
+  /// construction from lir::collectStats, so byteSize() stays O(1).
+  std::size_t unitFootprintBytes() const { return unitBytes_; }
+
+  /// Approximate heap footprint used for the byte counters. Covers the C
+  /// text, the metadata strings, the memoized tuned-options payload, AND the
+  /// CompiledUnit's LIR (unitFootprintBytes) — an entry that pins a whole
+  /// statement tree must be charged for it, or byte-based caps lie.
   std::size_t byteSize() const {
-    return cCode.size() + tunedSignature.size() + sizeof(CachedResult);
+    std::size_t n = sizeof(CachedResult) + cCode.size() + isaName.size() +
+                    tunedSignature.size() + unitBytes_;
+    for (const std::string& d : degraded) n += sizeof(std::string) + d.size();
+    return n;
   }
+
+ private:
+  std::size_t unitBytes_ = 0;
 };
 
 struct CacheStats {

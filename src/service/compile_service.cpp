@@ -1,7 +1,9 @@
 #include "service/compile_service.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -18,7 +20,76 @@ double millisSince(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
+/// Minimal JSON string escape for tenant names in statsJson (protocol.cpp's
+/// jsonQuote lives a layer above this one).
+std::string quoteName(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Prometheus label-value escape (backslash, quote, newline).
+std::string promLabel(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
 }  // namespace
+
+void LatencyHistogram::record(double micros) {
+  int idx = 0;
+  if (micros >= 1.0) {
+    auto v = static_cast<std::uint64_t>(std::min(micros, 1e18));
+    idx = std::min(kBuckets - 1, static_cast<int>(std::bit_width(v)) - 1);
+  }
+  buckets_[static_cast<std::size_t>(idx)].fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencyStats LatencyHistogram::snapshot() const {
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += counts[static_cast<std::size_t>(i)];
+  }
+  auto percentile = [&](double p) -> double {
+    if (total == 0) return 0.0;
+    auto rank = static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(total)));
+    rank = std::max<std::uint64_t>(1, rank);
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      cum += counts[static_cast<std::size_t>(i)];
+      if (cum >= rank) {
+        // Upper bound of bucket i: 2^(i+1) microseconds.
+        return std::ldexp(1.0, i + 1) / 1000.0;
+      }
+    }
+    return std::ldexp(1.0, kBuckets) / 1000.0;
+  };
+  LatencyStats s;
+  s.count = total;
+  s.p50Millis = percentile(50.0);
+  s.p95Millis = percentile(95.0);
+  s.p99Millis = percentile(99.0);
+  return s;
+}
 
 std::string statsJson(const ServiceStats& stats, double wallMillis) {
   std::ostringstream os;
@@ -32,6 +103,7 @@ std::string statsJson(const ServiceStats& stats, double wallMillis) {
   os << "  \"compiles\": " << stats.compiles << ",\n";
   os << "  \"tunes\": " << stats.tunes << ",\n";
   os << "  \"cacheHits\": " << stats.cacheHits << ",\n";
+  os << "  \"storeHits\": " << stats.storeHits << ",\n";
   os << "  \"dedupJoins\": " << stats.dedupJoins << ",\n";
   os << "  \"errors\": " << stats.errors << ",\n";
   os << "  \"timeouts\": " << stats.timeouts << ",\n";
@@ -39,6 +111,29 @@ std::string statsJson(const ServiceStats& stats, double wallMillis) {
   os << "  \"degraded\": " << stats.degraded << ",\n";
   os << "  \"threads\": " << stats.threads << ",\n";
   os << "  \"compileMillis\": " << fixed(stats.compileMillis) << ",\n";
+  os << "  \"latency\": {\"count\": " << stats.latency.count
+     << ", \"p50Millis\": " << fixed(stats.latency.p50Millis)
+     << ", \"p95Millis\": " << fixed(stats.latency.p95Millis)
+     << ", \"p99Millis\": " << fixed(stats.latency.p99Millis) << "},\n";
+  if (!stats.tenants.empty()) {
+    os << "  \"tenantInflightCap\": " << stats.tenantInflightCap << ",\n";
+    os << "  \"tenants\": {";
+    bool first = true;
+    for (const TenantStats& t : stats.tenants) {
+      if (!first) os << ", ";
+      first = false;
+      os << quoteName(t.name) << ": {\"submitted\": " << t.submitted
+         << ", \"completed\": " << t.completed << ", \"queued\": " << t.queued
+         << ", \"inflight\": " << t.inflight << "}";
+    }
+    os << "},\n";
+  }
+  if (stats.storeEnabled) {
+    os << "  \"store\": {\"hits\": " << stats.store.hits << ", \"misses\": " << stats.store.misses
+       << ", \"puts\": " << stats.store.puts << ", \"putFailures\": " << stats.store.putFailures
+       << ", \"corrupt\": " << stats.store.corrupt << ", \"evictions\": " << stats.store.evictions
+       << ", \"bytes\": " << stats.store.bytes << ", \"files\": " << stats.store.files << "},\n";
+  }
   os << "  \"cache\": {\"entries\": " << stats.cache.entries
      << ", \"bytes\": " << stats.cache.bytes << ", \"hits\": " << stats.cache.hits
      << ", \"misses\": " << stats.cache.misses << ", \"evictions\": " << stats.cache.evictions
@@ -53,11 +148,92 @@ std::string statsJson(const ServiceStats& stats, double wallMillis) {
   return os.str();
 }
 
+std::string healthzText(const ServiceStats& stats) {
+  if (stats.threads == 0) return "unhealthy: no worker threads";
+  std::string degraded;
+  if (stats.panics > 0) {
+    degraded += std::to_string(stats.panics) + " panics contained";
+  }
+  if (stats.storeEnabled && stats.store.putFailures > 0) {
+    if (!degraded.empty()) degraded += "; ";
+    degraded += std::to_string(stats.store.putFailures) + " store write failures";
+  }
+  if (!degraded.empty()) return "degraded: " + degraded;
+  return "ok";
+}
+
+std::string metricsText(const ServiceStats& stats, double wallMillis) {
+  std::ostringstream os;
+  char num[64];
+  auto fixed = [&](double v) {
+    std::snprintf(num, sizeof num, "%.3f", v);
+    return std::string(num);
+  };
+  auto counter = [&](const char* name, std::uint64_t v, const char* help) {
+    os << "# HELP " << name << ' ' << help << "\n# TYPE " << name << " counter\n"
+       << name << ' ' << v << "\n";
+  };
+  auto gauge = [&](const char* name, const std::string& v, const char* help) {
+    os << "# HELP " << name << ' ' << help << "\n# TYPE " << name << " gauge\n"
+       << name << ' ' << v << "\n";
+  };
+  counter("mat2c_requests_total", stats.requests, "Requests submitted");
+  counter("mat2c_compiles_total", stats.compiles, "Underlying compileSource calls");
+  counter("mat2c_tunes_total", stats.tunes, "Autotune searches run");
+  counter("mat2c_cache_hits_total", stats.cacheHits, "Submit-time cache hits (memory or store)");
+  counter("mat2c_store_hits_total", stats.storeHits, "Cache hits served from the artifact store");
+  counter("mat2c_dedup_joins_total", stats.dedupJoins, "Requests joining an in-flight compile");
+  counter("mat2c_errors_total", stats.errors, "Failed responses");
+  counter("mat2c_timeouts_total", stats.timeouts, "Responses resolved with Timeout");
+  counter("mat2c_panics_total", stats.panics, "Non-standard exceptions contained");
+  counter("mat2c_degraded_total", stats.degraded, "Compiles that used the degradation ladder");
+  gauge("mat2c_threads", std::to_string(stats.threads), "Worker pool size");
+  gauge("mat2c_cache_entries", std::to_string(stats.cache.entries), "Live cache entries");
+  gauge("mat2c_cache_bytes", std::to_string(stats.cache.bytes), "Cache footprint estimate");
+  counter("mat2c_cache_evictions_total", stats.cache.evictions, "LRU evictions");
+  counter("mat2c_cache_insertions_total", stats.cache.insertions, "Cache insertions");
+  if (stats.storeEnabled) {
+    gauge("mat2c_store_bytes", std::to_string(stats.store.bytes), "Artifact store on-disk bytes");
+    gauge("mat2c_store_files", std::to_string(stats.store.files), "Artifact store file count");
+    counter("mat2c_store_puts_total", stats.store.puts, "Artifacts persisted");
+    counter("mat2c_store_put_failures_total", stats.store.putFailures,
+            "Artifact persist failures");
+    counter("mat2c_store_corrupt_total", stats.store.corrupt, "Damaged artifacts rejected");
+    counter("mat2c_store_evictions_total", stats.store.evictions, "Artifacts evicted for space");
+  }
+  os << "# HELP mat2c_request_latency_millis Request latency submit-to-fulfillment\n"
+     << "# TYPE mat2c_request_latency_millis summary\n";
+  os << "mat2c_request_latency_millis{quantile=\"0.5\"} " << fixed(stats.latency.p50Millis)
+     << "\n";
+  os << "mat2c_request_latency_millis{quantile=\"0.95\"} " << fixed(stats.latency.p95Millis)
+     << "\n";
+  os << "mat2c_request_latency_millis{quantile=\"0.99\"} " << fixed(stats.latency.p99Millis)
+     << "\n";
+  os << "mat2c_request_latency_millis_count " << stats.latency.count << "\n";
+  for (const TenantStats& t : stats.tenants) {
+    os << "mat2c_tenant_requests_total{tenant=\"" << promLabel(t.name) << "\"} " << t.submitted
+       << "\n";
+    os << "mat2c_tenant_completed_total{tenant=\"" << promLabel(t.name) << "\"} " << t.completed
+       << "\n";
+  }
+  if (wallMillis >= 0) {
+    double rps = wallMillis > 0 ? 1000.0 * static_cast<double>(stats.requests) / wallMillis
+                                : 0.0;
+    gauge("mat2c_requests_per_second", fixed(rps), "Observed request throughput");
+  }
+  gauge("mat2c_healthz", healthzText(stats) == "ok" ? "1" : "0", "1 when healthy");
+  return os.str();
+}
+
 CompileService::CompileService() : CompileService(Config{}) {}
 
 CompileService::CompileService(const Config& config)
     : config_(config),
       cache_(config.cacheEntries, config.cacheShards) {
+  if (!config_.storeDir.empty()) {
+    store_ = std::make_unique<ArtifactStore>(
+        ArtifactStore::Config{config_.storeDir, config_.maxStoreBytes});
+  }
   std::size_t n = config_.threads;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(n);
@@ -87,17 +263,29 @@ std::future<CompileResponse> CompileService::submit(CompileRequest request) {
       : CacheKey::make(request.source, request.entry, request.args, request.options);
 
   // Fast path: served from cache without touching the queue.
-  if (auto cached = cache_.lookup(key)) {
+  auto respondHit = [&](std::shared_ptr<const CachedResult> hit, bool fromStore) {
     cacheHits_.fetch_add(1, std::memory_order_relaxed);
+    if (fromStore) storeHits_.fetch_add(1, std::memory_order_relaxed);
     CompileResponse r;
     r.id = std::move(request.id);
     r.ok = true;
     r.cacheHit = true;
-    r.result = std::move(cached);
+    r.storeHit = fromStore;
+    r.result = std::move(hit);
     r.millis = millisSince(start);
+    latency_.record(r.millis * 1000.0);
     std::promise<CompileResponse> p;
     p.set_value(std::move(r));
     return p.get_future();
+  };
+  if (auto cached = cache_.lookup(key)) return respondHit(std::move(cached), false);
+  // Second tier: the persistent store (read-through — a hit is promoted into
+  // the in-memory LRU, so a restarted server warms itself as traffic flows).
+  if (store_) {
+    if (auto fromStore = store_->load(key)) {
+      cache_.insert(key, fromStore);
+      return respondHit(std::move(fromStore), true);
+    }
   }
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -122,9 +310,14 @@ std::future<CompileResponse> CompileService::submit(CompileRequest request) {
   std::future<CompileResponse> future = flight->waiters.back().promise.get_future();
   inflight_.emplace(key.canonical, flight);
 
-  // Bounded queue: block the submitter, not the heap.
-  notFull_.wait(lock, [&] { return queue_.size() < config_.queueCapacity || stopping_; });
-  queue_.push_back(Job{std::move(key), std::move(request), std::move(flight)});
+  // Bounded admission: block the submitter, not the heap. The bound is
+  // global across tenants; fairness is enforced at the drain, not here.
+  notFull_.wait(lock, [&] { return queuedTotal_ < config_.queueCapacity || stopping_; });
+  auto [it, inserted] = tenants_.try_emplace(request.tenant);
+  if (inserted) rrOrder_.push_back(request.tenant);
+  ++it->second.submitted;
+  it->second.jobs.push_back(Job{std::move(key), std::move(request), std::move(flight)});
+  ++queuedTotal_;
   lock.unlock();
   notEmpty_.notify_one();
   return future;
@@ -140,22 +333,64 @@ std::vector<CompileResponse> CompileService::compileBatch(std::vector<CompileReq
   return responses;
 }
 
+bool CompileService::claimJobLocked(Job& out, std::string& tenant) {
+  const std::size_t n = rrOrder_.size();
+  for (std::size_t offset = 0; offset < n; ++offset) {
+    std::size_t idx = (rrNext_ + offset) % n;
+    TenantQueue& t = tenants_[rrOrder_[idx]];
+    if (t.jobs.empty()) continue;
+    // The fair-share cap: a tenant already holding its quota of workers is
+    // skipped, letting the round-robin hand the slot to the next tenant with
+    // work. During shutdown the cap is waived so the queue fully drains
+    // (every future must become ready).
+    if (!stopping_ && config_.tenantInflightCap > 0 && t.inflight >= config_.tenantInflightCap) {
+      continue;
+    }
+    out = std::move(t.jobs.front());
+    t.jobs.pop_front();
+    ++t.inflight;
+    --queuedTotal_;
+    tenant = rrOrder_[idx];
+    rrNext_ = (idx + 1) % n;
+    return true;
+  }
+  return false;
+}
+
 void CompileService::workerLoop() {
   while (true) {
     Job job;
+    std::string tenant;
+    bool claimed = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      notEmpty_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping, fully drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      notEmpty_.wait(lock, [&] {
+        if (claimJobLocked(job, tenant)) {
+          claimed = true;
+          return true;
+        }
+        return stopping_ && queuedTotal_ == 0;
+      });
+      if (!claimed) return;  // stopping, fully drained
     }
     notFull_.notify_one();
-    runJob(job);
+    runJob(job, tenant);
+    // Freeing an in-flight slot can make a capped tenant eligible again.
+    notEmpty_.notify_all();
   }
 }
 
-void CompileService::runJob(Job& job) {
+// Must hold mu_. Runs when the job's waiters have been (or are about to be)
+// handed their responses, BEFORE any promise is fulfilled — so a client that
+// sees its future ready and immediately snapshots stats() never observes a
+// stale inflight count for a finished job.
+void CompileService::finishTenantJobLocked(const std::string& tenant) {
+  TenantQueue& t = tenants_[tenant];
+  if (t.inflight > 0) --t.inflight;
+  ++t.completed;
+}
+
+void CompileService::runJob(Job& job, const std::string& tenant) {
   Clock::time_point pickup = Clock::now();
 
   // Pickup-time triage (under the lock): waiters whose per-request deadline
@@ -192,6 +427,7 @@ void CompileService::runJob(Job& job) {
       allExpired = true;
       auto it = inflight_.find(job.key.canonical);
       if (it != inflight_.end() && it->second == job.flight) inflight_.erase(it);
+      finishTenantJobLocked(tenant);
     }
   }
   for (Flight::Waiter& w : expired) {
@@ -203,6 +439,7 @@ void CompileService::runJob(Job& job) {
     r.errorKind = ErrorKind::Timeout;
     errors_.fetch_add(1, std::memory_order_relaxed);
     timeouts_.fetch_add(1, std::memory_order_relaxed);
+    latency_.record(r.millis * 1000.0);
     w.promise.set_value(std::move(r));
   }
   if (allExpired) return;
@@ -279,7 +516,7 @@ void CompileService::runJob(Job& job) {
                            std::memory_order_relaxed);
   if (result) {
     cache_.insert(job.key, result);
-    if (!result->unit.optimizationReport().degraded.empty())
+    if (!result->degraded.empty())
       degraded_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -294,6 +531,7 @@ void CompileService::runJob(Job& job) {
     auto it = inflight_.find(job.key.canonical);
     if (it != inflight_.end() && it->second == job.flight) inflight_.erase(it);
     waiters = std::move(job.flight->waiters);
+    finishTenantJobLocked(tenant);
   }
   for (Flight::Waiter& w : waiters) {
     CompileResponse r;
@@ -309,8 +547,14 @@ void CompileService::runJob(Job& job) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       if (errorKind == ErrorKind::Timeout) timeouts_.fetch_add(1, std::memory_order_relaxed);
     }
+    latency_.record(r.millis * 1000.0);
     w.promise.set_value(std::move(r));
   }
+
+  // Write-behind: persist after the waiters have their responses, so store
+  // I/O never sits on the request's critical path. Best effort — a failed
+  // put is a counted degradation, not an error.
+  if (store_ && result) store_->store(job.key, *result);
 }
 
 ServiceStats CompileService::stats() const {
@@ -319,6 +563,7 @@ ServiceStats CompileService::stats() const {
   s.compiles = compiles_.load(std::memory_order_relaxed);
   s.tunes = tunes_.load(std::memory_order_relaxed);
   s.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+  s.storeHits = storeHits_.load(std::memory_order_relaxed);
   s.dedupJoins = dedupJoins_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.timeouts = timeouts_.load(std::memory_order_relaxed);
@@ -326,7 +571,28 @@ ServiceStats CompileService::stats() const {
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.compileMillis = static_cast<double>(compileMicros_.load(std::memory_order_relaxed)) / 1000.0;
   s.threads = workers_.size();
+  s.tenantInflightCap = config_.tenantInflightCap;
   s.cache = cache_.stats();
+  s.latency = latency_.snapshot();
+  if (store_) {
+    s.storeEnabled = true;
+    s.store = store_->stats();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.tenants.reserve(rrOrder_.size());
+    for (const std::string& name : rrOrder_) {
+      auto it = tenants_.find(name);
+      if (it == tenants_.end()) continue;
+      TenantStats t;
+      t.name = name;
+      t.submitted = it->second.submitted;
+      t.completed = it->second.completed;
+      t.queued = it->second.jobs.size();
+      t.inflight = it->second.inflight;
+      s.tenants.push_back(std::move(t));
+    }
+  }
   return s;
 }
 

@@ -1,11 +1,15 @@
 // Concurrent batch-compilation service.
 //
-// CompileService fronts mat2c::Compiler with the three mechanisms a
-// production compile farm needs:
-//   * a fixed worker pool draining a bounded job queue (submit applies
-//     backpressure instead of growing without bound),
+// CompileService fronts mat2c::Compiler with the mechanisms a production
+// compile farm needs:
+//   * a fixed worker pool draining bounded per-tenant FIFOs, fair-share
+//     round-robin across tenants with optional per-tenant in-flight caps
+//     (one chatty tenant can no longer starve the fleet),
 //   * a content-addressed CompileCache (see cache_key.hpp) so repeated
-//     requests are served without recompiling, and
+//     requests are served without recompiling,
+//   * an optional persistent ArtifactStore second tier (read-through on
+//     miss, write-behind after compile) so a restarted — or sibling —
+//     server starts warm, and
 //   * single-flight deduplication: N identical requests in flight at once
 //     trigger exactly one underlying compile; the other N-1 join the first
 //     one's "flight" and are fulfilled from its result.
@@ -15,6 +19,7 @@
 // but distinct instances are independent — each worker thread owns one.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -28,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "service/artifact_store.hpp"
 #include "service/compile_cache.hpp"
 
 namespace mat2c::service {
@@ -38,6 +44,12 @@ struct CompileRequest {
   std::string entry;
   std::vector<sema::ArgSpec> args;
   CompileOptions options;
+  /// Fair-share admission class (wire field "tenant", "" = the default
+  /// tenant). Requests are queued per tenant and drained round-robin;
+  /// Config::tenantInflightCap bounds how many of one tenant's jobs may
+  /// occupy workers at once. The tenant is deliberately NOT part of the
+  /// cache key: artifacts are content-addressed and shared across tenants.
+  std::string tenant;
   /// Tune mode (src/tune): instead of compiling with `options` as given, the
   /// worker searches the pass-parameter space around them and caches the
   /// winner. Tune requests are keyed WITHOUT the pass options
@@ -58,7 +70,8 @@ struct CompileRequest {
 struct CompileResponse {
   std::string id;
   bool ok = false;
-  bool cacheHit = false;  ///< served straight from the cache
+  bool cacheHit = false;  ///< served without compiling (memory or store tier)
+  bool storeHit = false;  ///< the hit came from the persistent artifact store
   bool deduped = false;   ///< joined another request's in-flight compile
   std::string error;      ///< CompileError text when !ok
   /// Structured classification of `error` (ErrorKind::None when ok); see
@@ -68,11 +81,46 @@ struct CompileResponse {
   double millis = 0.0;    ///< latency from submit to fulfillment
 };
 
+/// Point-in-time percentile summary of the request-latency histogram.
+struct LatencyStats {
+  std::uint64_t count = 0;
+  double p50Millis = 0.0;
+  double p95Millis = 0.0;
+  double p99Millis = 0.0;
+};
+
+/// Lock-free fixed-bucket log-scale latency histogram. Bucket i counts
+/// latencies in [2^i, 2^(i+1)) microseconds (bucket 0 also absorbs sub-µs),
+/// covering 1 µs .. ~9 min in 32 buckets. record() is one atomic increment,
+/// cheap enough for the 10k+ req/s warm path; percentiles are read as the
+/// upper bound of the bucket containing the rank (≤ 2x overestimate by
+/// construction — honest for tail bounds).
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  void record(double micros);
+  LatencyStats snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Per-tenant admission counters (quota observability).
+struct TenantStats {
+  std::string name;            ///< "" = the default tenant
+  std::uint64_t submitted = 0; ///< jobs enqueued for this tenant
+  std::uint64_t completed = 0; ///< jobs a worker finished for this tenant
+  std::size_t queued = 0;      ///< currently waiting in the tenant's FIFO
+  std::size_t inflight = 0;    ///< currently occupying a worker
+};
+
 struct ServiceStats {
   std::uint64_t requests = 0;
   std::uint64_t compiles = 0;    ///< underlying Compiler::compileSource calls
   std::uint64_t tunes = 0;       ///< autotune searches actually run (cold tune requests)
-  std::uint64_t cacheHits = 0;   ///< submit-time fast-path hits
+  std::uint64_t cacheHits = 0;   ///< submit-time fast-path hits (memory or store)
+  std::uint64_t storeHits = 0;   ///< subset of cacheHits served from the artifact store
   std::uint64_t dedupJoins = 0;  ///< requests that joined an in-flight compile
   std::uint64_t errors = 0;
   std::uint64_t timeouts = 0;    ///< responses resolved with ErrorKind::Timeout
@@ -80,7 +128,12 @@ struct ServiceStats {
   std::uint64_t degraded = 0;    ///< successful compiles that used the degradation ladder
   double compileMillis = 0.0;    ///< wall time spent inside compileSource
   std::size_t threads = 0;
+  std::size_t tenantInflightCap = 0;  ///< 0 = unlimited
   CacheStats cache;
+  LatencyStats latency;
+  bool storeEnabled = false;
+  ArtifactStore::Stats store;    ///< zeros when !storeEnabled
+  std::vector<TenantStats> tenants;  ///< round-robin order (first-seen)
 };
 
 /// Serializes stats in the same style as the pipeline telemetry JSON
@@ -88,13 +141,31 @@ struct ServiceStats {
 /// `wallMillis` >= 0, adds wall time and requests-per-second throughput.
 std::string statsJson(const ServiceStats& stats, double wallMillis = -1.0);
 
+/// Prometheus text-exposition rendering of the same stats (metric names in
+/// docs/service.md). `wallMillis` >= 0 additionally emits throughput.
+std::string metricsText(const ServiceStats& stats, double wallMillis = -1.0);
+
+/// One-line health summary: "ok" while the pool is alive, "degraded: ..."
+/// when panics have been contained or the store is failing writes.
+std::string healthzText(const ServiceStats& stats);
+
 class CompileService {
  public:
   struct Config {
     std::size_t threads = 0;        ///< 0 = hardware_concurrency (min 1)
-    std::size_t queueCapacity = 1024;
+    std::size_t queueCapacity = 1024;  ///< global bound across all tenant FIFOs
     std::size_t cacheEntries = 1024;
     std::size_t cacheShards = 8;
+    /// Max jobs of ONE tenant occupying workers at once (0 = unlimited).
+    /// With the round-robin drain this is the fair-share knob: a flooding
+    /// tenant can hold at most this many workers while other tenants have
+    /// queued work.
+    std::size_t tenantInflightCap = 0;
+    /// Persistent artifact store directory ("" = disabled). Read-through on
+    /// cache miss, write-behind after each successful compile.
+    std::string storeDir;
+    /// On-disk cap for the store (0 = unlimited), oldest-first eviction.
+    std::size_t maxStoreBytes = 0;
     /// Cap on time a job may sit in the queue before a worker picks it up
     /// (0 = unlimited). Waiters queued longer are resolved with Timeout at
     /// pickup even when they carry no per-request deadline — the bound that
@@ -116,9 +187,9 @@ class CompileService {
   CompileService& operator=(const CompileService&) = delete;
 
   /// Enqueues one request. Returns immediately with a ready future on a
-  /// cache hit; otherwise blocks only while the job queue is full
-  /// (backpressure). The future never throws — failures are reported through
-  /// CompileResponse::ok/error.
+  /// cache or store hit; otherwise blocks only while the global job queue is
+  /// full (backpressure). The future never throws — failures are reported
+  /// through CompileResponse::ok/error.
   std::future<CompileResponse> submit(CompileRequest request);
 
   /// Submits the whole batch, then waits; responses are in request order.
@@ -126,6 +197,8 @@ class CompileService {
 
   ServiceStats stats() const;
   const CompileCache& cache() const { return cache_; }
+  /// Non-null iff Config::storeDir was set.
+  const ArtifactStore* artifactStore() const { return store_.get(); }
   std::size_t threadCount() const { return workers_.size(); }
 
  private:
@@ -146,17 +219,33 @@ class CompileService {
     CompileRequest request;
     std::shared_ptr<Flight> flight;
   };
+  /// One tenant's FIFO + quota counters. A flight joined by several tenants
+  /// is queued (and capped) under the tenant that opened it.
+  struct TenantQueue {
+    std::deque<Job> jobs;
+    std::size_t inflight = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+  };
 
   void workerLoop();
-  void runJob(Job& job);
+  void runJob(Job& job, const std::string& tenant);
+  void finishTenantJobLocked(const std::string& tenant);
+  /// Round-robin claim of the next eligible job (caller holds mu_). Returns
+  /// false when no tenant has both queued work and in-flight headroom.
+  bool claimJobLocked(Job& out, std::string& tenant);
 
   Config config_;
   CompileCache cache_;
+  std::unique_ptr<ArtifactStore> store_;  ///< null when persistence disabled
 
-  mutable std::mutex mu_;  // guards queue_ and inflight_
+  mutable std::mutex mu_;  // guards tenants_/rrOrder_/queuedTotal_ and inflight_
   std::condition_variable notEmpty_;
   std::condition_variable notFull_;
-  std::deque<Job> queue_;
+  std::unordered_map<std::string, TenantQueue> tenants_;
+  std::vector<std::string> rrOrder_;  ///< tenant names, first-seen order
+  std::size_t rrNext_ = 0;            ///< next rrOrder_ index to offer a worker
+  std::size_t queuedTotal_ = 0;       ///< jobs across all tenant FIFOs
   std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;  // by canonical key
   bool stopping_ = false;
 
@@ -164,12 +253,14 @@ class CompileService {
   std::atomic<std::uint64_t> compiles_{0};
   std::atomic<std::uint64_t> tunes_{0};
   std::atomic<std::uint64_t> cacheHits_{0};
+  std::atomic<std::uint64_t> storeHits_{0};
   std::atomic<std::uint64_t> dedupJoins_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> timeouts_{0};
   std::atomic<std::uint64_t> panics_{0};
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> compileMicros_{0};
+  LatencyHistogram latency_;
 
   std::vector<std::thread> workers_;
 };

@@ -1,9 +1,12 @@
 #include "service/protocol.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "support/binary_io.hpp"
 #include "support/string_utils.hpp"
 
 namespace mat2c::service {
@@ -296,99 +299,15 @@ bool parseArgSpecList(const std::string& text, std::vector<sema::ArgSpec>& out,
   return true;
 }
 
-bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string& error,
-                         ErrorKind* kind, const ProtocolLimits& limits) {
-  // Failures below are the client's malformed input unless re-classified.
-  if (kind) *kind = ErrorKind::ParseError;
-
-  if (limits.maxRequestBytes > 0 && line.size() > limits.maxRequestBytes) {
-    error = "request line is " + std::to_string(line.size()) + " bytes (limit " +
-            std::to_string(limits.maxRequestBytes) + ")";
-    if (kind) *kind = ErrorKind::ResourceExhausted;
-    return false;
-  }
-
-  auto doc = parseJson(line, error);
-  if (!doc) return false;
-  if (doc->kind != JsonValue::Kind::Object) {
-    error = "request must be a JSON object";
-    return false;
-  }
-
+bool WireRequest::resolve(CompileRequest& out, std::string& error) const {
   out = CompileRequest{};
-  std::string argsText;
-  std::string isaPreset = "dspx";
-  std::string isaText;
-  std::string style = "proposed";
-  std::optional<bool> constFold, idioms, vectorize, sinkDecls, checkElim, degrade;
-
-  for (const auto& [key, value] : doc->members) {
-    auto wantString = [&](std::string& dst) {
-      if (value.kind != JsonValue::Kind::String) {
-        error = "field '" + key + "' must be a string";
-        return false;
-      }
-      dst = value.text;
-      return true;
-    };
-    auto wantBool = [&](std::optional<bool>& dst) {
-      if (value.kind != JsonValue::Kind::Bool) {
-        error = "field '" + key + "' must be a boolean";
-        return false;
-      }
-      dst = value.boolean;
-      return true;
-    };
-    if (key == "id") {
-      if (!wantString(out.id)) return false;
-    } else if (key == "source") {
-      if (!wantString(out.source)) return false;
-    } else if (key == "entry") {
-      if (!wantString(out.entry)) return false;
-    } else if (key == "args") {
-      if (!wantString(argsText)) return false;
-    } else if (key == "isa") {
-      if (!wantString(isaPreset)) return false;
-    } else if (key == "isa_text") {
-      if (!wantString(isaText)) return false;
-    } else if (key == "style") {
-      if (!wantString(style)) return false;
-    } else if (key == "constFold") {
-      if (!wantBool(constFold)) return false;
-    } else if (key == "idioms") {
-      if (!wantBool(idioms)) return false;
-    } else if (key == "vectorize") {
-      if (!wantBool(vectorize)) return false;
-    } else if (key == "sinkDecls") {
-      if (!wantBool(sinkDecls)) return false;
-    } else if (key == "checkElim") {
-      if (!wantBool(checkElim)) return false;
-    } else if (key == "degrade") {
-      if (!wantBool(degrade)) return false;
-    } else if (key == "deadline_ms") {
-      if (value.kind != JsonValue::Kind::Number || value.number < 0) {
-        error = "field 'deadline_ms' must be a non-negative number";
-        return false;
-      }
-      out.deadlineMillis = value.number;
-    } else if (key == "tune") {
-      if (value.kind != JsonValue::Kind::Bool) {
-        error = "field 'tune' must be a boolean";
-        return false;
-      }
-      out.tune = value.boolean;
-    } else if (key == "tune_budget") {
-      if (value.kind != JsonValue::Kind::Number || value.number < 1 ||
-          value.number != static_cast<double>(static_cast<int>(value.number))) {
-        error = "field 'tune_budget' must be a positive integer";
-        return false;
-      }
-      out.tuneBudget = static_cast<int>(value.number);
-    } else {
-      error = "unknown request field '" + key + "'";
-      return false;
-    }
-  }
+  out.id = id;
+  out.source = source;
+  out.entry = entry;
+  out.tenant = tenant;
+  out.tune = tune;
+  out.tuneBudget = tuneBudget;
+  out.deadlineMillis = deadlineMillis;
 
   if (out.source.empty()) {
     error = "missing required field 'source'";
@@ -399,7 +318,7 @@ bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string
     return false;
   }
   std::string badSpec;
-  if (!parseArgSpecList(argsText, out.args, badSpec)) {
+  if (!parseArgSpecList(args, out.args, badSpec)) {
     error = "bad arg spec '" + badSpec + "'";
     return false;
   }
@@ -421,7 +340,7 @@ bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string
     }
   } else {
     try {
-      out.options.isa = isa::IsaDescription::preset(isaPreset);
+      out.options.isa = isa::IsaDescription::preset(isa);
     } catch (const std::exception& e) {
       error = e.what();
       return false;
@@ -433,6 +352,100 @@ bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string
   if (sinkDecls) out.options.sinkDecls = *sinkDecls;
   if (checkElim) out.options.checkElim = *checkElim;
   if (degrade) out.options.degrade = *degrade;
+  return true;
+}
+
+bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string& error,
+                         ErrorKind* kind, const ProtocolLimits& limits) {
+  // Failures below are the client's malformed input unless re-classified.
+  if (kind) *kind = ErrorKind::ParseError;
+
+  if (limits.maxRequestBytes > 0 && line.size() > limits.maxRequestBytes) {
+    error = "request line is " + std::to_string(line.size()) + " bytes (limit " +
+            std::to_string(limits.maxRequestBytes) + ")";
+    if (kind) *kind = ErrorKind::ResourceExhausted;
+    return false;
+  }
+
+  auto doc = parseJson(line, error);
+  if (!doc) return false;
+  if (doc->kind != JsonValue::Kind::Object) {
+    error = "request must be a JSON object";
+    return false;
+  }
+
+  WireRequest req;
+  for (const auto& [key, value] : doc->members) {
+    auto wantString = [&](std::string& dst) {
+      if (value.kind != JsonValue::Kind::String) {
+        error = "field '" + key + "' must be a string";
+        return false;
+      }
+      dst = value.text;
+      return true;
+    };
+    auto wantBool = [&](std::optional<bool>& dst) {
+      if (value.kind != JsonValue::Kind::Bool) {
+        error = "field '" + key + "' must be a boolean";
+        return false;
+      }
+      dst = value.boolean;
+      return true;
+    };
+    if (key == "id") {
+      if (!wantString(req.id)) return false;
+    } else if (key == "source") {
+      if (!wantString(req.source)) return false;
+    } else if (key == "entry") {
+      if (!wantString(req.entry)) return false;
+    } else if (key == "args") {
+      if (!wantString(req.args)) return false;
+    } else if (key == "isa") {
+      if (!wantString(req.isa)) return false;
+    } else if (key == "isa_text") {
+      if (!wantString(req.isaText)) return false;
+    } else if (key == "style") {
+      if (!wantString(req.style)) return false;
+    } else if (key == "tenant") {
+      if (!wantString(req.tenant)) return false;
+    } else if (key == "constFold") {
+      if (!wantBool(req.constFold)) return false;
+    } else if (key == "idioms") {
+      if (!wantBool(req.idioms)) return false;
+    } else if (key == "vectorize") {
+      if (!wantBool(req.vectorize)) return false;
+    } else if (key == "sinkDecls") {
+      if (!wantBool(req.sinkDecls)) return false;
+    } else if (key == "checkElim") {
+      if (!wantBool(req.checkElim)) return false;
+    } else if (key == "degrade") {
+      if (!wantBool(req.degrade)) return false;
+    } else if (key == "deadline_ms") {
+      if (value.kind != JsonValue::Kind::Number || value.number < 0) {
+        error = "field 'deadline_ms' must be a non-negative number";
+        return false;
+      }
+      req.deadlineMillis = value.number;
+    } else if (key == "tune") {
+      if (value.kind != JsonValue::Kind::Bool) {
+        error = "field 'tune' must be a boolean";
+        return false;
+      }
+      req.tune = value.boolean;
+    } else if (key == "tune_budget") {
+      if (value.kind != JsonValue::Kind::Number || value.number < 1 ||
+          value.number != static_cast<double>(static_cast<int>(value.number))) {
+        error = "field 'tune_budget' must be a positive integer";
+        return false;
+      }
+      req.tuneBudget = static_cast<int>(value.number);
+    } else {
+      error = "unknown request field '" + key + "'";
+      return false;
+    }
+  }
+
+  if (!req.resolve(out, error)) return false;
   if (kind) *kind = ErrorKind::None;
   return true;
 }
@@ -449,12 +462,15 @@ std::string responseJson(const CompileResponse& response) {
   std::snprintf(buf, sizeof buf, "%.3f", response.millis);
   out += ", \"millis\": ";
   out += buf;
+  if (response.storeHit) out += ", \"storeHit\": true";
   if (response.ok && response.result) {
-    const opt::PipelineReport& report = response.result->unit.optimizationReport();
-    out += ", \"isa\": " + jsonQuote(response.result->unit.isa().name());
-    out += ", \"cBytes\": " + std::to_string(response.result->cCode.size());
-    out += ", \"loopsVectorized\": " + std::to_string(report.vec.loopsVectorized);
-    out += ", \"idiomRewrites\": " + std::to_string(report.idiomRewrites);
+    // Denormalized metadata, not the CompiledUnit: store-rehydrated entries
+    // carry no LIR, and the response must not depend on having one.
+    const CachedResult& res = *response.result;
+    out += ", \"isa\": " + jsonQuote(res.isaName);
+    out += ", \"cBytes\": " + std::to_string(res.cCode.size());
+    out += ", \"loopsVectorized\": " + std::to_string(res.loopsVectorized);
+    out += ", \"idiomRewrites\": " + std::to_string(res.idiomRewrites);
     if (response.result->tuned()) {
       char num[64];
       out += ", \"tuned\": true";
@@ -467,11 +483,11 @@ std::string responseJson(const CompileResponse& response) {
       out += ", \"tuneDefaultCycles\": ";
       out += num;
     }
-    if (!report.degraded.empty()) {
+    if (!res.degraded.empty()) {
       out += ", \"degraded\": [";
-      for (std::size_t i = 0; i < report.degraded.size(); ++i) {
+      for (std::size_t i = 0; i < res.degraded.size(); ++i) {
         if (i > 0) out += ", ";
-        out += jsonQuote(report.degraded[i]);
+        out += jsonQuote(res.degraded[i]);
       }
       out += "]";
     }
@@ -481,6 +497,241 @@ std::string responseJson(const CompileResponse& response) {
   }
   out += "}";
   return out;
+}
+
+// --- binary framing --------------------------------------------------------
+
+namespace {
+
+// WireRequest optional-bool bit positions (presentMask / valueMask).
+constexpr std::uint8_t kBitConstFold = 1 << 0;
+constexpr std::uint8_t kBitIdioms = 1 << 1;
+constexpr std::uint8_t kBitVectorize = 1 << 2;
+constexpr std::uint8_t kBitSinkDecls = 1 << 3;
+constexpr std::uint8_t kBitCheckElim = 1 << 4;
+constexpr std::uint8_t kBitDegrade = 1 << 5;
+
+// Response flag bits.
+constexpr std::uint8_t kRespOk = 1 << 0;
+constexpr std::uint8_t kRespCached = 1 << 1;
+constexpr std::uint8_t kRespDeduped = 1 << 2;
+constexpr std::uint8_t kRespStoreHit = 1 << 3;
+constexpr std::uint8_t kRespTuned = 1 << 4;
+
+void packOptional(const std::optional<bool>& v, std::uint8_t bit, std::uint8_t& present,
+                  std::uint8_t& value) {
+  if (!v) return;
+  present |= bit;
+  if (*v) value |= bit;
+}
+
+std::optional<bool> unpackOptional(std::uint8_t bit, std::uint8_t present, std::uint8_t value) {
+  if (!(present & bit)) return std::nullopt;
+  return (value & bit) != 0;
+}
+
+}  // namespace
+
+std::string encodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(12 + payload.size());
+  out.append(kBinaryMagic, sizeof kBinaryMagic);
+  bin::appendU16(out, kBinaryVersion);
+  bin::appendU16(out, static_cast<std::uint16_t>(type));
+  bin::appendU32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+int readFrame(std::istream& in, FrameType& type, std::string& payload, std::string& error,
+              const ProtocolLimits& limits) {
+  char header[12];
+  in.read(header, sizeof header);
+  std::streamsize got = in.gcount();
+  if (got == 0 && in.eof()) return 0;  // clean end between frames
+  if (got != static_cast<std::streamsize>(sizeof header)) {
+    error = "truncated frame header";
+    return -1;
+  }
+  if (std::memcmp(header, kBinaryMagic, sizeof kBinaryMagic) != 0) {
+    error = "bad frame magic";
+    return -1;
+  }
+  bin::Reader r(std::string_view(header + 4, sizeof header - 4));
+  std::uint16_t version = 0;
+  std::uint16_t rawType = 0;
+  std::uint32_t payloadLen = 0;
+  r.u16(version);
+  r.u16(rawType);
+  r.u32(payloadLen);
+  if (version != kBinaryVersion) {
+    error = "unsupported frame version " + std::to_string(version);
+    return -1;
+  }
+  if (rawType != static_cast<std::uint16_t>(FrameType::Request) &&
+      rawType != static_cast<std::uint16_t>(FrameType::Response)) {
+    error = "unknown frame type " + std::to_string(rawType);
+    return -1;
+  }
+  if (limits.maxRequestBytes > 0 && payloadLen > limits.maxRequestBytes) {
+    error = "frame payload is " + std::to_string(payloadLen) + " bytes (limit " +
+            std::to_string(limits.maxRequestBytes) + ")";
+    return -1;
+  }
+  payload.resize(payloadLen);
+  if (payloadLen > 0) {
+    in.read(payload.data(), static_cast<std::streamsize>(payloadLen));
+    if (in.gcount() != static_cast<std::streamsize>(payloadLen)) {
+      error = "truncated frame payload";
+      return -1;
+    }
+  }
+  type = static_cast<FrameType>(rawType);
+  return 1;
+}
+
+std::string encodeBinaryRequest(const WireRequest& req) {
+  std::string out;
+  bin::appendStr(out, req.id);
+  bin::appendStr(out, req.source);
+  bin::appendStr(out, req.entry);
+  bin::appendStr(out, req.args);
+  bin::appendStr(out, req.isa);
+  bin::appendStr(out, req.isaText);
+  bin::appendStr(out, req.style);
+  bin::appendStr(out, req.tenant);
+  std::uint8_t present = 0;
+  std::uint8_t value = 0;
+  packOptional(req.constFold, kBitConstFold, present, value);
+  packOptional(req.idioms, kBitIdioms, present, value);
+  packOptional(req.vectorize, kBitVectorize, present, value);
+  packOptional(req.sinkDecls, kBitSinkDecls, present, value);
+  packOptional(req.checkElim, kBitCheckElim, present, value);
+  packOptional(req.degrade, kBitDegrade, present, value);
+  bin::appendU8(out, present);
+  bin::appendU8(out, value);
+  bin::appendU8(out, req.tune ? 1 : 0);
+  bin::appendI32(out, req.tuneBudget);
+  bin::appendF64(out, req.deadlineMillis);
+  return out;
+}
+
+bool decodeBinaryRequest(std::string_view payload, WireRequest& out, std::string& error) {
+  out = WireRequest{};
+  bin::Reader r(payload);
+  std::uint8_t present = 0;
+  std::uint8_t value = 0;
+  std::uint8_t flags = 0;
+  std::int32_t tuneBudget = 0;
+  double deadline = 0.0;
+  if (!r.str(out.id) || !r.str(out.source) || !r.str(out.entry) || !r.str(out.args) ||
+      !r.str(out.isa) || !r.str(out.isaText) || !r.str(out.style) || !r.str(out.tenant) ||
+      !r.u8(present) || !r.u8(value) || !r.u8(flags) || !r.i32(tuneBudget) ||
+      !r.f64(deadline) || !r.done()) {
+    error = "malformed request payload";
+    return false;
+  }
+  out.constFold = unpackOptional(kBitConstFold, present, value);
+  out.idioms = unpackOptional(kBitIdioms, present, value);
+  out.vectorize = unpackOptional(kBitVectorize, present, value);
+  out.sinkDecls = unpackOptional(kBitSinkDecls, present, value);
+  out.checkElim = unpackOptional(kBitCheckElim, present, value);
+  out.degrade = unpackOptional(kBitDegrade, present, value);
+  out.tune = (flags & 1) != 0;
+  if (tuneBudget < 0) {
+    error = "field 'tune_budget' must be a positive integer";
+    return false;
+  }
+  out.tuneBudget = tuneBudget;
+  if (!(deadline >= 0.0) || std::isnan(deadline)) {
+    error = "field 'deadline_ms' must be a non-negative number";
+    return false;
+  }
+  out.deadlineMillis = deadline;
+  return true;
+}
+
+std::string encodeBinaryResponse(const CompileResponse& response) {
+  std::string out;
+  bin::appendStr(out, response.id);
+  std::uint8_t flags = 0;
+  if (response.ok) flags |= kRespOk;
+  if (response.cacheHit) flags |= kRespCached;
+  if (response.deduped) flags |= kRespDeduped;
+  if (response.storeHit) flags |= kRespStoreHit;
+  bool tuned = response.ok && response.result && response.result->tuned();
+  if (tuned) flags |= kRespTuned;
+  bin::appendU8(out, flags);
+  bin::appendU8(out, static_cast<std::uint8_t>(response.errorKind));
+  bin::appendF64(out, response.millis);
+  bin::appendStr(out, response.error);
+  if (response.ok && response.result) {
+    const CachedResult& res = *response.result;
+    bin::appendStr(out, res.isaName);
+    bin::appendU64(out, res.cCode.size());
+    bin::appendI32(out, res.loopsVectorized);
+    bin::appendI32(out, res.idiomRewrites);
+    bin::appendU32(out, static_cast<std::uint32_t>(res.degraded.size()));
+    for (const std::string& d : res.degraded) bin::appendStr(out, d);
+    bin::appendStr(out, res.tunedSignature);
+    bin::appendI32(out, res.tuneCandidates);
+    bin::appendF64(out, res.tunedCycles);
+    bin::appendF64(out, res.tuneDefaultCycles);
+  } else {
+    bin::appendStr(out, "");   // isa
+    bin::appendU64(out, 0);    // cBytes
+    bin::appendI32(out, 0);    // loopsVectorized
+    bin::appendI32(out, 0);    // idiomRewrites
+    bin::appendU32(out, 0);    // degraded count
+    bin::appendStr(out, "");   // tunedSignature
+    bin::appendI32(out, 0);    // tuneCandidates
+    bin::appendF64(out, 0.0);  // tunedCycles
+    bin::appendF64(out, 0.0);  // tuneDefaultCycles
+  }
+  return out;
+}
+
+bool decodeBinaryResponse(std::string_view payload, BinaryResponse& out, std::string& error) {
+  out = BinaryResponse{};
+  bin::Reader r(payload);
+  std::uint8_t flags = 0;
+  std::uint8_t kindRaw = 0;
+  std::uint32_t degradedCount = 0;
+  if (!r.str(out.id) || !r.u8(flags) || !r.u8(kindRaw) || !r.f64(out.millis) ||
+      !r.str(out.error) || !r.str(out.isa) || !r.u64(out.cBytes) ||
+      !r.i32(out.loopsVectorized) || !r.i32(out.idiomRewrites) || !r.u32(degradedCount)) {
+    error = "malformed response payload";
+    return false;
+  }
+  if (kindRaw > static_cast<std::uint8_t>(ErrorKind::Panic)) {
+    error = "bad errorKind value";
+    return false;
+  }
+  if (degradedCount > payload.size()) {
+    error = "malformed response payload";
+    return false;
+  }
+  out.degraded.reserve(degradedCount);
+  for (std::uint32_t i = 0; i < degradedCount; ++i) {
+    std::string d;
+    if (!r.str(d)) {
+      error = "malformed response payload";
+      return false;
+    }
+    out.degraded.push_back(std::move(d));
+  }
+  if (!r.str(out.tunedSignature) || !r.i32(out.tuneCandidates) || !r.f64(out.tunedCycles) ||
+      !r.f64(out.tuneDefaultCycles) || !r.done()) {
+    error = "malformed response payload";
+    return false;
+  }
+  out.ok = (flags & kRespOk) != 0;
+  out.cached = (flags & kRespCached) != 0;
+  out.deduped = (flags & kRespDeduped) != 0;
+  out.storeHit = (flags & kRespStoreHit) != 0;
+  out.tuned = (flags & kRespTuned) != 0;
+  out.errorKind = static_cast<ErrorKind>(kindRaw);
+  return true;
 }
 
 }  // namespace mat2c::service

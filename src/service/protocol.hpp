@@ -1,13 +1,21 @@
-// Wire format of the batch server (`mat2c serve`).
+// Wire formats of the batch server (`mat2c serve`).
 //
-// Requests arrive as JSON-lines — one self-contained JSON object per line —
-// and every request produces one JSON response line, so the server composes
-// with shell pipelines and request logs can be replayed byte-for-byte. The
-// parser below is a deliberately small, dependency-free JSON reader covering
-// exactly what the request format needs (objects, arrays, strings with
-// escapes, numbers, booleans, null); docs/service.md documents the schema.
+// Two encodings share one request model (WireRequest → CompileRequest):
+//
+//   * JSON-lines — one self-contained JSON object per line, one JSON
+//     response line per request, so the server composes with shell pipelines
+//     and request logs can be replayed byte-for-byte. The parser below is a
+//     deliberately small, dependency-free JSON reader covering exactly what
+//     the request format needs.
+//
+//   * Length-prefixed binary frames ("M2CB" magic + version + type +
+//     payload length) — the warm-path format: no JSON parse on ingest, no
+//     JSON serialize on egress. bench_service measures the delta.
+//
+// docs/service.md documents both schemas and the frame layout.
 #pragma once
 
+#include <istream>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -45,17 +53,42 @@ bool parseArgSpecList(const std::string& text, std::vector<sema::ArgSpec>& out,
 
 /// Wire-level resource bounds, enforced before the request body is parsed.
 struct ProtocolLimits {
-  /// Reject request lines larger than this many bytes (0 = unlimited).
+  /// Reject request lines / frame payloads larger than this many bytes
+  /// (0 = unlimited).
   std::size_t maxRequestBytes = 4u << 20;
+};
+
+/// Encoding-independent request model: what both the JSON-lines parser and
+/// the binary frame decoder produce before validation. resolve() performs
+/// the shared semantic checks (required fields, arg specs, style, ISA
+/// lookup/parse, pass-toggle overrides) and yields the CompileRequest the
+/// service consumes.
+struct WireRequest {
+  std::string id;
+  std::string source;
+  std::string entry;
+  std::string args;             ///< CLI arg-spec syntax, "" = none
+  std::string isa = "dspx";     ///< preset name
+  std::string isaText;          ///< inline ISA description, overrides `isa`
+  std::string style = "proposed";
+  std::string tenant;           ///< fair-share admission class, "" = default
+  std::optional<bool> constFold, idioms, vectorize, sinkDecls, checkElim, degrade;
+  double deadlineMillis = 0.0;
+  bool tune = false;
+  int tuneBudget = 0;
+
+  /// Validates and lowers into a CompileRequest; on failure sets `error`.
+  bool resolve(CompileRequest& out, std::string& error) const;
 };
 
 /// Parses one JSON-lines request into a CompileRequest. Recognized fields:
 ///   source (required), entry (required), id, args ("1x32,c1x8"),
 ///   isa (preset name), isa_text (inline ISA description, overrides isa),
-///   style ("proposed"|"coder"), constFold/idioms/vectorize/sinkDecls/
-///   checkElim/degrade (bools), deadline_ms (number, per-request deadline),
-///   tune (bool: autotune the pass parameters and cache the winner),
-///   tune_budget (positive integer: candidate cap for the tune search).
+///   style ("proposed"|"coder"), tenant (fair-share admission class),
+///   constFold/idioms/vectorize/sinkDecls/checkElim/degrade (bools),
+///   deadline_ms (number, per-request deadline), tune (bool: autotune the
+///   pass parameters and cache the winner), tune_budget (positive integer:
+///   candidate cap for the tune search).
 /// Unknown fields are an error, so typos cannot silently compile with
 /// default options. On failure sets `error` and, when `kind` is non-null,
 /// classifies it (ResourceExhausted for an oversized line, ParseError for
@@ -64,10 +97,73 @@ bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string
                          ErrorKind* kind = nullptr, const ProtocolLimits& limits = {});
 
 /// One response line (no trailing newline): id, ok, cached, deduped, millis,
-/// and on success isa/cBytes/loopsVectorized/idiomRewrites (plus degraded
-/// when the compile used the degradation ladder, plus tuned/tunedSignature/
+/// and on success isa/cBytes/loopsVectorized/idiomRewrites (plus
+/// "storeHit": true when served from the artifact store, plus degraded when
+/// the compile used the degradation ladder, plus tuned/tunedSignature/
 /// tuneCandidates/tunedCycles/tuneDefaultCycles for autotuned results), else
 /// error + errorKind.
 std::string responseJson(const CompileResponse& response);
+
+// --- binary framing --------------------------------------------------------
+//
+// Frame: 'M' '2' 'C' 'B' | u16 version | u16 type | u32 payloadLen | payload
+// (all integers little-endian). docs/service.md has the payload layouts.
+
+inline constexpr char kBinaryMagic[4] = {'M', '2', 'C', 'B'};
+inline constexpr std::uint16_t kBinaryVersion = 1;
+/// magic + version + type + payloadLen.
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+enum class FrameType : std::uint16_t {
+  Request = 1,
+  Response = 2,
+};
+
+/// Wraps `payload` in a frame header.
+std::string encodeFrame(FrameType type, std::string_view payload);
+
+/// Reads one frame from `in`. Returns 1 on a frame, 0 on clean EOF (stream
+/// exhausted exactly at a frame boundary), -1 on error (bad magic/version,
+/// truncated frame, or payload over `limits.maxRequestBytes` — the stream
+/// is not resynchronizable after -1).
+int readFrame(std::istream& in, FrameType& type, std::string& payload, std::string& error,
+              const ProtocolLimits& limits = {});
+
+/// Request frame payload for `req` (client side / tests).
+std::string encodeBinaryRequest(const WireRequest& req);
+
+/// Parses a Request frame payload. Structural decode only — pair with
+/// WireRequest::resolve() for semantic validation. Must never crash on
+/// arbitrary bytes (fuzz_smoke feeds it garbage).
+bool decodeBinaryRequest(std::string_view payload, WireRequest& out, std::string& error);
+
+/// Decoded Response frame, mirroring the JSON response fields (client side /
+/// tests; the server encodes straight from CompileResponse).
+struct BinaryResponse {
+  std::string id;
+  bool ok = false;
+  bool cached = false;
+  bool deduped = false;
+  bool storeHit = false;
+  ErrorKind errorKind = ErrorKind::None;
+  double millis = 0.0;
+  std::string error;
+  std::string isa;
+  std::uint64_t cBytes = 0;
+  std::int32_t loopsVectorized = 0;
+  std::int32_t idiomRewrites = 0;
+  std::vector<std::string> degraded;
+  bool tuned = false;
+  std::string tunedSignature;
+  std::int32_t tuneCandidates = 0;
+  double tunedCycles = 0.0;
+  double tuneDefaultCycles = 0.0;
+};
+
+/// Response frame payload for `response`.
+std::string encodeBinaryResponse(const CompileResponse& response);
+
+/// Parses a Response frame payload; never crashes on arbitrary bytes.
+bool decodeBinaryResponse(std::string_view payload, BinaryResponse& out, std::string& error);
 
 }  // namespace mat2c::service

@@ -523,7 +523,9 @@ TEST(ServiceHardening, DegradedCompilesAreSurfacedAndCounted) {
   CompileResponse resp = svc.submit(firRequest("degraded")).get();
   ASSERT_TRUE(resp.ok) << resp.error;
   ASSERT_NE(resp.result, nullptr);
-  EXPECT_EQ(resp.result->unit.optimizationReport().degraded,
+  EXPECT_EQ(resp.result->degraded, (std::vector<std::string>{"licm"}));
+  ASSERT_TRUE(resp.result->hasUnit());
+  EXPECT_EQ(resp.result->unit->optimizationReport().degraded,
             (std::vector<std::string>{"licm"}));
   EXPECT_EQ(svc.stats().degraded, 1u);
 

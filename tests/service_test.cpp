@@ -5,10 +5,15 @@
 // run under TSan: cmake -DMAT2C_SANITIZE=thread && ctest -L service.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <future>
+#include <mutex>
 #include <set>
+#include <sstream>
 #include <thread>
 
 #include "driver/kernels.hpp"
@@ -723,6 +728,405 @@ TEST(Protocol, ResponseJsonCarriesTunedProvenance) {
   plain.ok = true;
   plain.result = compileToResult(firRequest("p1"));
   EXPECT_EQ(responseJson(plain).find("\"tuned\""), std::string::npos);
+}
+
+// ---- byte accounting with the optional CompiledUnit ----------------------
+
+TEST(CompileCache, ByteAccountingChargesTheUnitFootprint) {
+  // A cached entry pins its whole LIR statement tree; byteSize() must charge
+  // for it, or a byte-capped cache holds far more memory than it reports.
+  auto withUnit = compileToResult(firRequest("u"));
+  ASSERT_TRUE(withUnit->hasUnit());
+  EXPECT_GT(withUnit->unitFootprintBytes(), 0u);
+  EXPECT_GT(withUnit->byteSize(),
+            sizeof(CachedResult) + withUnit->cCode.size() + withUnit->isaName.size());
+
+  // A store-rehydrated entry has no unit: same metadata, smaller footprint.
+  CachedResult::Meta meta;
+  meta.isaName = withUnit->isaName;
+  meta.loopsVectorized = withUnit->loopsVectorized;
+  meta.idiomRewrites = withUnit->idiomRewrites;
+  meta.degraded = withUnit->degraded;
+  CachedResult rehydrated(withUnit->cCode, std::move(meta), "", 0, 0.0, 0.0);
+  EXPECT_FALSE(rehydrated.hasUnit());
+  EXPECT_EQ(rehydrated.unitFootprintBytes(), 0u);
+  EXPECT_EQ(rehydrated.byteSize() + withUnit->unitFootprintBytes(), withUnit->byteSize());
+
+  // The per-shard audit holds with mixed with-unit / metadata-only entries.
+  CompileCache cache(/*maxEntries=*/4, /*shardCount=*/2);
+  CompileRequest r = firRequest("u");
+  cache.insert(CacheKey::make(r.source, r.entry, r.args, r.options), withUnit);
+  cache.insert(CacheKey::make(r.source, r.entry, r.args, CompileOptions::coderLike()),
+               std::make_shared<const CachedResult>(std::move(rehydrated)));
+  EXPECT_TRUE(cache.checkByteAccounting());
+}
+
+// ---- latency histogram ----------------------------------------------------
+
+TEST(LatencyHistogram, PercentilesReadBucketUpperBounds) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(h.snapshot().p99Millis, 0.0);
+
+  // 90 fast requests at 3 µs (bucket [2,4)) and 10 slow at 1000 µs (bucket
+  // [512,1024)): the median reads the fast bucket's upper bound, the p99 the
+  // slow one's.
+  for (int i = 0; i < 90; ++i) h.record(3.0);
+  for (int i = 0; i < 10; ++i) h.record(1000.0);
+  LatencyStats s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.p50Millis, 0.004);   // 4 µs
+  EXPECT_DOUBLE_EQ(s.p99Millis, 1.024);   // 1024 µs
+  EXPECT_LE(s.p50Millis, s.p95Millis);
+  EXPECT_LE(s.p95Millis, s.p99Millis);
+
+  // Sub-microsecond and absurdly large values both land in real buckets.
+  LatencyHistogram edges;
+  edges.record(0.0);
+  edges.record(1e30);
+  EXPECT_EQ(edges.snapshot().count, 2u);
+}
+
+// ---- fair-share admission -------------------------------------------------
+
+TEST(CompileService, FairShareKeepsFloodedTenantResponsive) {
+  // Tenant A floods 24 distinct jobs into a single-worker service; tenant B
+  // then submits 4. Round-robin draining must interleave B's jobs with A's —
+  // every one of B's compiles happens within the first 2*4+1 claims, and
+  // B's worst-case latency stays far below A's tail instead of queueing
+  // behind all 24 floods.
+  constexpr int kFlood = 24;
+  constexpr int kVictim = 4;
+  std::mutex mu;
+  std::condition_variable released;
+  bool release = false;
+  std::vector<std::string> claimOrder;
+
+  CompileService::Config config;
+  config.threads = 1;
+  config.onCompileStart = [&](const CompileRequest& r) {
+    std::unique_lock<std::mutex> lock(mu);
+    claimOrder.push_back(r.tenant);
+    // Hold the FIRST job until both tenants finished submitting, so the
+    // round-robin sees the full backlog.
+    if (claimOrder.size() == 1) released.wait(lock, [&] { return release; });
+  };
+  CompileService svc(config);
+
+  auto distinct = [](const std::string& tenant, int i) {
+    CompileRequest r;
+    r.id = tenant + std::to_string(i);
+    r.source = "function y = f(x)\ny = x + " + std::to_string(i) + ";\nend\n";
+    if (tenant == "B") r.source += "% tenant B\n";
+    r.entry = "f";
+    r.args = {ArgSpec::row(8)};
+    r.options = CompileOptions::proposed();
+    r.tenant = tenant;
+    return r;
+  };
+
+  std::vector<std::future<CompileResponse>> floodFutures, victimFutures;
+  for (int i = 0; i < kFlood; ++i) floodFutures.push_back(svc.submit(distinct("A", i)));
+  for (int i = 0; i < kVictim; ++i) victimFutures.push_back(svc.submit(distinct("B", i)));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  released.notify_all();
+
+  double victimMax = 0.0;
+  for (auto& f : victimFutures) {
+    CompileResponse r = f.get();
+    ASSERT_TRUE(r.ok) << r.error;
+    victimMax = std::max(victimMax, r.millis);
+  }
+  double floodMax = 0.0;
+  for (auto& f : floodFutures) {
+    CompileResponse r = f.get();
+    ASSERT_TRUE(r.ok) << r.error;
+    floodMax = std::max(floodMax, r.millis);
+  }
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(claimOrder.size(), static_cast<std::size_t>(kFlood + kVictim));
+  for (int i = 0; i < kVictim; ++i) {
+    auto pos = std::find(claimOrder.begin() + 1, claimOrder.end(), "B");
+    ASSERT_NE(pos, claimOrder.end());
+    std::size_t index = static_cast<std::size_t>(pos - claimOrder.begin());
+    EXPECT_LE(index, static_cast<std::size_t>(2 * (i + 1)))
+        << "victim job " << i << " claimed too late";
+    *pos = "A(done B" + std::to_string(i) + ")";
+  }
+  EXPECT_LT(victimMax, floodMax)
+      << "the flooding tenant, not the victim, must absorb the queueing delay";
+
+  ServiceStats stats = svc.stats();
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[0].name, "A");
+  EXPECT_EQ(stats.tenants[0].submitted, static_cast<std::uint64_t>(kFlood));
+  EXPECT_EQ(stats.tenants[1].name, "B");
+  EXPECT_EQ(stats.tenants[1].submitted, static_cast<std::uint64_t>(kVictim));
+  EXPECT_EQ(stats.latency.count, static_cast<std::uint64_t>(kFlood + kVictim));
+}
+
+TEST(CompileService, TenantInflightCapNeverExceeded) {
+  // With a cap of 1 a tenant's jobs serialize even on a 4-thread pool, while
+  // two tenants still run concurrently with each other.
+  std::atomic<int> inHook{0};
+  std::atomic<int> maxPerTenantA{0};
+  std::atomic<int> maxOverall{0};
+  std::atomic<int> inHookA{0};
+
+  CompileService::Config config;
+  config.threads = 4;
+  config.tenantInflightCap = 1;
+  config.onCompileStart = [&](const CompileRequest& r) {
+    int all = ++inHook;
+    int prevMax = maxOverall.load();
+    while (all > prevMax && !maxOverall.compare_exchange_weak(prevMax, all)) {
+    }
+    if (r.tenant == "A") {
+      int a = ++inHookA;
+      int prev = maxPerTenantA.load();
+      while (a > prev && !maxPerTenantA.compare_exchange_weak(prev, a)) {
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (r.tenant == "A") --inHookA;
+    --inHook;
+  };
+  CompileService svc(config);
+
+  std::vector<CompileRequest> batch;
+  for (int i = 0; i < 4; ++i) {
+    for (const char* tenant : {"A", "B"}) {
+      CompileRequest r;
+      r.id = std::string(tenant) + std::to_string(i);
+      r.source = "function y = f(x)\ny = x * " + std::to_string(i + 2) + ";\nend\n" +
+                 "% " + tenant + "\n";
+      r.entry = "f";
+      r.args = {ArgSpec::row(8)};
+      r.options = CompileOptions::proposed();
+      r.tenant = tenant;
+      batch.push_back(std::move(r));
+    }
+  }
+  for (const auto& r : svc.compileBatch(std::move(batch))) ASSERT_TRUE(r.ok) << r.error;
+
+  EXPECT_EQ(maxPerTenantA.load(), 1) << "cap of 1 means tenant A never overlaps itself";
+  EXPECT_GE(maxOverall.load(), 2) << "distinct tenants still run concurrently";
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.tenantInflightCap, 1u);
+}
+
+// ---- binary wire protocol -------------------------------------------------
+
+TEST(Protocol, BinaryRequestRoundTripMatchesJsonParse) {
+  WireRequest wire;
+  wire.id = "r1";
+  wire.source = "function y = f(x)\ny = x;\nend\n";
+  wire.entry = "f";
+  wire.args = "1x8,c1x4";
+  wire.style = "coder";
+  wire.tenant = "acme";
+  wire.vectorize = false;
+  wire.degrade = true;
+  wire.deadlineMillis = 1500.0;
+  wire.tune = true;
+  wire.tuneBudget = 9;
+
+  std::string payload = encodeBinaryRequest(wire);
+  WireRequest decoded;
+  std::string error;
+  ASSERT_TRUE(decodeBinaryRequest(payload, decoded, error)) << error;
+  EXPECT_EQ(decoded.id, wire.id);
+  EXPECT_EQ(decoded.source, wire.source);
+  EXPECT_EQ(decoded.entry, wire.entry);
+  EXPECT_EQ(decoded.args, wire.args);
+  EXPECT_EQ(decoded.isa, "dspx");
+  EXPECT_EQ(decoded.style, "coder");
+  EXPECT_EQ(decoded.tenant, "acme");
+  EXPECT_EQ(decoded.vectorize, std::optional<bool>(false));
+  EXPECT_EQ(decoded.degrade, std::optional<bool>(true));
+  EXPECT_EQ(decoded.constFold, std::nullopt) << "absent toggles stay absent";
+  EXPECT_EQ(decoded.deadlineMillis, 1500.0);
+  EXPECT_TRUE(decoded.tune);
+  EXPECT_EQ(decoded.tuneBudget, 9);
+
+  // Both encodings resolve to the same CompileRequest.
+  CompileRequest fromBinary, fromJson;
+  ASSERT_TRUE(decoded.resolve(fromBinary, error)) << error;
+  ASSERT_TRUE(parseCompileRequest(
+      R"({"id": "r1", "source": "function y = f(x)\ny = x;\nend\n", "entry": "f",)"
+      R"( "args": "1x8,c1x4", "style": "coder", "tenant": "acme",)"
+      R"( "vectorize": false, "degrade": true, "deadline_ms": 1500,)"
+      R"( "tune": true, "tune_budget": 9})",
+      fromJson, error))
+      << error;
+  EXPECT_EQ(CacheKey::make(fromBinary.source, fromBinary.entry, fromBinary.args,
+                           fromBinary.options),
+            CacheKey::make(fromJson.source, fromJson.entry, fromJson.args,
+                           fromJson.options));
+  EXPECT_EQ(fromBinary.tenant, fromJson.tenant);
+  EXPECT_EQ(fromBinary.deadlineMillis, fromJson.deadlineMillis);
+  EXPECT_EQ(fromBinary.tuneBudget, fromJson.tuneBudget);
+}
+
+TEST(Protocol, BinaryRequestDecodeRejectsDamage) {
+  WireRequest wire;
+  wire.source = "s";
+  wire.entry = "f";
+  std::string good = encodeBinaryRequest(wire);
+  WireRequest out;
+  std::string error;
+
+  EXPECT_FALSE(decodeBinaryRequest(good.substr(0, good.size() / 2), out, error));
+  EXPECT_FALSE(decodeBinaryRequest("", out, error));
+  EXPECT_FALSE(decodeBinaryRequest("\xff\xff\xff\xff garbage", out, error));
+  EXPECT_FALSE(decodeBinaryRequest(good + "trailing", out, error));
+  EXPECT_EQ(error, "malformed request payload");
+
+  // Semantic bounds survive the trip through binary.
+  WireRequest badBudget = wire;
+  badBudget.tuneBudget = -3;
+  EXPECT_FALSE(decodeBinaryRequest(encodeBinaryRequest(badBudget), out, error));
+  EXPECT_NE(error.find("tune_budget"), std::string::npos);
+}
+
+TEST(Protocol, BinaryResponseRoundTrip) {
+  CompileResponse resp;
+  resp.id = "ok1";
+  resp.ok = true;
+  resp.cacheHit = true;
+  resp.storeHit = true;
+  resp.millis = 2.5;
+  CachedResult::Meta meta;
+  meta.isaName = "dspx";
+  meta.loopsVectorized = 3;
+  meta.idiomRewrites = 1;
+  meta.degraded = {"licm"};
+  resp.result = std::make_shared<const CachedResult>("/* c */", std::move(meta),
+                                                     "reassoc=1", 22, 100.0, 250.0);
+
+  BinaryResponse out;
+  std::string error;
+  ASSERT_TRUE(decodeBinaryResponse(encodeBinaryResponse(resp), out, error)) << error;
+  EXPECT_EQ(out.id, "ok1");
+  EXPECT_TRUE(out.ok);
+  EXPECT_TRUE(out.cached);
+  EXPECT_TRUE(out.storeHit);
+  EXPECT_FALSE(out.deduped);
+  EXPECT_EQ(out.millis, 2.5);
+  EXPECT_EQ(out.isa, "dspx");
+  EXPECT_EQ(out.cBytes, 7u);
+  EXPECT_EQ(out.loopsVectorized, 3);
+  EXPECT_EQ(out.degraded, (std::vector<std::string>{"licm"}));
+  EXPECT_TRUE(out.tuned);
+  EXPECT_EQ(out.tunedSignature, "reassoc=1");
+  EXPECT_EQ(out.tuneCandidates, 22);
+  EXPECT_EQ(out.tunedCycles, 100.0);
+  EXPECT_EQ(out.tuneDefaultCycles, 250.0);
+
+  CompileResponse failure;
+  failure.id = "e1";
+  failure.error = "type error: something";
+  failure.errorKind = ErrorKind::SemaError;
+  failure.millis = 0.25;
+  ASSERT_TRUE(decodeBinaryResponse(encodeBinaryResponse(failure), out, error)) << error;
+  EXPECT_FALSE(out.ok);
+  EXPECT_EQ(out.errorKind, ErrorKind::SemaError);
+  EXPECT_EQ(out.error, "type error: something");
+  EXPECT_FALSE(out.tuned);
+
+  EXPECT_FALSE(decodeBinaryResponse("short", out, error));
+}
+
+TEST(Protocol, FrameRoundTripAndFramingErrors) {
+  std::string payload = "hello frames";
+  std::string frame = encodeFrame(FrameType::Request, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+
+  // Two frames back to back, then clean EOF.
+  std::istringstream in(frame + encodeFrame(FrameType::Response, ""));
+  FrameType type{};
+  std::string got, error;
+  EXPECT_EQ(readFrame(in, type, got, error), 1);
+  EXPECT_EQ(type, FrameType::Request);
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(readFrame(in, type, got, error), 1);
+  EXPECT_EQ(type, FrameType::Response);
+  EXPECT_EQ(got, "");
+  EXPECT_EQ(readFrame(in, type, got, error), 0) << "stream ends at a frame boundary";
+
+  auto readOne = [&](std::string bytes) {
+    std::istringstream s(std::move(bytes));
+    error.clear();
+    return readFrame(s, type, got, error);
+  };
+  EXPECT_EQ(readOne(frame.substr(0, 5)), -1);
+  EXPECT_NE(error.find("truncated frame header"), std::string::npos);
+  EXPECT_EQ(readOne(frame.substr(0, frame.size() - 3)), -1);
+  EXPECT_NE(error.find("truncated frame payload"), std::string::npos);
+
+  std::string badMagic = frame;
+  badMagic[0] = 'X';
+  EXPECT_EQ(readOne(badMagic), -1);
+  EXPECT_NE(error.find("bad frame magic"), std::string::npos);
+
+  std::string badVersion = frame;
+  badVersion[4] = 9;
+  EXPECT_EQ(readOne(badVersion), -1);
+  EXPECT_NE(error.find("unsupported frame version"), std::string::npos);
+
+  std::string badType = frame;
+  badType[6] = 7;
+  EXPECT_EQ(readOne(badType), -1);
+  EXPECT_NE(error.find("unknown frame type"), std::string::npos);
+
+  // Payload limit enforced from the header, before any allocation.
+  ProtocolLimits tight;
+  tight.maxRequestBytes = 4;
+  std::istringstream s(frame);
+  EXPECT_EQ(readFrame(s, type, got, error, tight), -1);
+  EXPECT_NE(error.find("frame payload is"), std::string::npos);
+}
+
+// ---- stats rendering: JSON, Prometheus, healthz ---------------------------
+
+TEST(CompileService, StatsJsonCarriesLatencyTenantsAndStoreBlocks) {
+  CompileService::Config config;
+  config.threads = 2;
+  config.tenantInflightCap = 3;
+  CompileService svc(config);
+  CompileRequest r = firRequest("s1");
+  r.tenant = "acme";
+  ASSERT_TRUE(svc.compileBatch({r})[0].ok);
+
+  std::string doc = statsJson(svc.stats(), /*wallMillis=*/10.0);
+  EXPECT_NE(doc.find("\"storeHits\": 0"), std::string::npos);
+  EXPECT_NE(doc.find("\"latency\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p99Millis\""), std::string::npos);
+  EXPECT_NE(doc.find("\"tenantInflightCap\": 3"), std::string::npos);
+  EXPECT_NE(doc.find("\"tenants\""), std::string::npos);
+  EXPECT_NE(doc.find("\"acme\""), std::string::npos);
+  EXPECT_EQ(doc.find("\"store\""), std::string::npos)
+      << "no store block when persistence is disabled";
+  EXPECT_NE(doc.find("\"requestsPerSecond\""), std::string::npos);
+
+  std::string metrics = metricsText(svc.stats(), /*wallMillis=*/10.0);
+  for (const char* name :
+       {"mat2c_requests_total 1", "mat2c_compiles_total 1", "mat2c_store_hits_total 0",
+        "mat2c_request_latency_millis{quantile=\"0.99\"}",
+        "mat2c_tenant_requests_total{tenant=\"acme\"} 1", "mat2c_requests_per_second",
+        "mat2c_healthz 1"}) {
+    EXPECT_NE(metrics.find(name), std::string::npos) << "missing metric: " << name;
+  }
+  EXPECT_EQ(healthzText(svc.stats()), "ok");
+
+  ServiceStats degraded = svc.stats();
+  degraded.panics = 2;
+  EXPECT_NE(healthzText(degraded).find("degraded"), std::string::npos);
+  EXPECT_NE(metricsText(degraded).find("mat2c_healthz 0"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Reference client for the `mat2c serve --binary` wire protocol.
+
+Implements the length-prefixed frame format documented in docs/service.md
+independently of the C++ codec, so it doubles as a cross-implementation
+check: anything this script encodes must decode server-side and vice versa.
+
+Usage:
+  binary_client.py encode <requests.jsonl> > requests.bin
+      Translates JSON-lines compile requests into Request frames (the same
+      fields `mat2c serve` accepts in JSON mode; unknown fields are an
+      error, mirroring the server's strictness).
+
+  binary_client.py decode <responses.bin>
+      Walks Response frames, prints one summary line per response, and
+      exits 0 with "binary-serve-ok (<n> responses)" iff every response has
+      ok=true. Exits 1 on a malformed stream or a failed response.
+"""
+import json
+import struct
+import sys
+
+MAGIC = b"M2CB"
+VERSION = 1
+TYPE_REQUEST = 1
+TYPE_RESPONSE = 2
+
+# WireRequest optional-toggle bit positions (must match src/service/protocol.cpp).
+TOGGLES = ["constFold", "idioms", "vectorize", "sinkDecls", "checkElim", "degrade"]
+
+ERROR_KINDS = ["None", "ParseError", "SemaError", "PassError", "VerifyError",
+               "ResourceExhausted", "Timeout", "Panic"]
+
+
+def pack_str(s):
+    b = s.encode("utf-8")
+    return struct.pack("<I", len(b)) + b
+
+
+def encode_request(obj):
+    payload = b"".join(pack_str(obj.get(k, d)) for k, d in [
+        ("id", ""), ("source", ""), ("entry", ""), ("args", ""),
+        ("isa", "dspx"), ("isa_text", ""), ("style", "proposed"), ("tenant", "")])
+    present = value = 0
+    for bit, name in enumerate(TOGGLES):
+        if name in obj:
+            present |= 1 << bit
+            if obj[name]:
+                value |= 1 << bit
+    payload += struct.pack("<BBBid", present, value,
+                           1 if obj.get("tune") else 0,
+                           int(obj.get("tune_budget", 0)),
+                           float(obj.get("deadline_ms", 0.0)))
+    return MAGIC + struct.pack("<HHI", VERSION, TYPE_REQUEST, len(payload)) + payload
+
+
+class Reader:
+    def __init__(self, data):
+        self.data, self.at = data, 0
+
+    def take(self, n):
+        if self.at + n > len(self.data):
+            raise ValueError("truncated payload")
+        out = self.data[self.at:self.at + n]
+        self.at += n
+        return out
+
+    def u8(self):
+        return self.take(1)[0]
+
+    def u32(self):
+        return struct.unpack("<I", self.take(4))[0]
+
+    def f64(self):
+        return struct.unpack("<d", self.take(8))[0]
+
+    def s(self):
+        return self.take(self.u32()).decode("utf-8", errors="replace")
+
+
+def decode_response(payload):
+    r = Reader(payload)
+    out = {"id": r.s()}
+    flags = r.u8()
+    out["ok"] = bool(flags & 1)
+    out["cached"] = bool(flags & 2)
+    out["deduped"] = bool(flags & 4)
+    out["storeHit"] = bool(flags & 8)
+    tuned = bool(flags & 16)
+    kind = r.u8()
+    out["errorKind"] = ERROR_KINDS[kind] if kind < len(ERROR_KINDS) else f"?{kind}"
+    out["millis"] = r.f64()
+    out["error"] = r.s()
+    out["isa"] = r.s()
+    out["cBytes"] = struct.unpack("<Q", r.take(8))[0]
+    out["loopsVectorized"], out["idiomRewrites"] = struct.unpack("<ii", r.take(8))
+    out["degraded"] = [r.s() for _ in range(r.u32())]
+    out["tunedSignature"] = r.s()
+    out["tuneCandidates"] = struct.unpack("<i", r.take(4))[0]
+    out["tunedCycles"] = r.f64()
+    out["tuneDefaultCycles"] = r.f64()
+    out["tuned"] = tuned
+    return out
+
+
+def main():
+    if len(sys.argv) != 3 or sys.argv[1] not in ("encode", "decode"):
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    if sys.argv[1] == "encode":
+        with open(sys.argv[2]) as f:
+            for line in f:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                sys.stdout.buffer.write(encode_request(json.loads(line)))
+        sys.stdout.buffer.flush()
+        return 0
+
+    with open(sys.argv[2], "rb") as f:
+        data = f.read()
+    at, failures, count = 0, 0, 0
+    while at < len(data):
+        if data[at:at + 4] != MAGIC:
+            print(f"bad frame magic at byte {at}", file=sys.stderr)
+            return 1
+        version, ftype, length = struct.unpack("<HHI", data[at + 4:at + 12])
+        if version != VERSION or ftype != TYPE_RESPONSE:
+            print(f"unexpected frame version={version} type={ftype}", file=sys.stderr)
+            return 1
+        at += 12
+        try:
+            resp = decode_response(data[at:at + length])
+        except ValueError as e:
+            print(f"frame at byte {at - 12}: {e}", file=sys.stderr)
+            return 1
+        at += length
+        count += 1
+        if not resp["ok"]:
+            failures += 1
+        print(json.dumps(resp))
+    if failures:
+        print(f"binary-serve-failed ({failures} of {count} responses)", file=sys.stderr)
+        return 1
+    print(f"binary-serve-ok ({count} responses)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

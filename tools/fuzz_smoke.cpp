@@ -1,12 +1,14 @@
 // Deterministic fuzz smoke test for the hardened front end.
 //
-// 10,000 seeded-mutation iterations split between the two untrusted-input
+// 10,000 seeded-mutation iterations split across the untrusted-input
 // surfaces: MATLAB source through Compiler::compileSource (under tight
 // CompileLimits, so pathological mutants hit the resource guards instead of
-// the OOM killer) and JSON-lines requests through parseCompileRequest. The
-// contract under test is *containment*: every input either succeeds or is
-// rejected with a classified StructuredError — nothing may crash, hang, or
-// escape as an unclassified exception.
+// the OOM killer), JSON-lines requests through parseCompileRequest, binary
+// frames through readFrame/decodeBinaryRequest/decodeBinaryResponse, and
+// on-disk artifact images through ArtifactStore::deserialize. The contract
+// under test is *containment*: every input either succeeds or is rejected
+// with a classified error — nothing may crash, hang, or escape as an
+// unclassified exception.
 //
 // Fully deterministic: a fixed xorshift64 seed (override: argv[1] seed,
 // argv[2] iterations) and no wall-clock- or address-dependent decisions, so
@@ -15,10 +17,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "driver/compiler.hpp"
+#include "service/artifact_store.hpp"
 #include "service/protocol.hpp"
 
 using namespace mat2c;
@@ -130,9 +134,43 @@ int main(int argc, char** argv) {
   Rng rng(seed);
   std::uint64_t digest = 0xcbf29ce484222325ull;
   long compiled = 0, rejected = 0, parsed = 0, refused = 0;
+  long framed = 0, unframed = 0, stored = 0, unstored = 0;
+
+  // Seed images for the binary surfaces: well-formed frames/artifacts whose
+  // mutants exercise deep rejection paths, not just the magic check.
+  std::vector<std::string> binaryCorpus;
+  {
+    service::WireRequest wire;
+    wire.id = "b1";
+    wire.source = "function y = f(x)\ny = x;\nend\n";
+    wire.entry = "f";
+    wire.args = "1x8";
+    wire.tenant = "fuzz";
+    wire.deadlineMillis = 50.0;
+    binaryCorpus.push_back(
+        service::encodeFrame(service::FrameType::Request, service::encodeBinaryRequest(wire)));
+    service::CompileResponse resp;
+    resp.id = "b2";
+    resp.error = "rejected";
+    resp.errorKind = ErrorKind::SemaError;
+    binaryCorpus.push_back(service::encodeFrame(service::FrameType::Response,
+                                                service::encodeBinaryResponse(resp)));
+  }
+  std::vector<std::pair<service::CacheKey, std::string>> artifactCorpus;
+  {
+    service::CacheKey key = service::CacheKey::make(
+        kSourceCorpus[0], "f", {sema::ArgSpec::row(8)}, CompileOptions::proposed());
+    service::CachedResult::Meta meta;
+    meta.isaName = "dspx";
+    meta.loopsVectorized = 1;
+    meta.degraded = {"licm"};
+    service::CachedResult value("/* c */\n", std::move(meta), "reassoc=1", 9, 10.0, 25.0);
+    artifactCorpus.emplace_back(key, service::ArtifactStore::serialize(key, value));
+  }
 
   for (long i = 0; i < iterations; ++i) {
-    if (i % 10 < 7) {
+    int surface = static_cast<int>(i % 10);
+    if (surface < 4) {
       // --- protocol surface -------------------------------------------
       std::string line =
           kRequestCorpus[rng.below(sizeof(kRequestCorpus) / sizeof(*kRequestCorpus))];
@@ -160,6 +198,63 @@ int main(int argc, char** argv) {
         }
       }
       digest = fnv(digest, ok ? 1 : 0x100u + static_cast<unsigned>(kind));
+    } else if (surface < 6) {
+      // --- binary frame surface ---------------------------------------
+      std::string bytes = binaryCorpus[rng.below(binaryCorpus.size())];
+      if (rng.below(8) != 0) bytes = mutate(std::move(bytes), rng);
+      service::ProtocolLimits limits;
+      limits.maxRequestBytes = 8192;
+      try {
+        std::istringstream in(bytes);
+        service::FrameType type{};
+        std::string payload, error;
+        int rc = service::readFrame(in, type, payload, error, limits);
+        if (rc < 0 && error.empty()) {
+          std::fprintf(stderr, "FUZZ FAIL iter %ld: frame rejection without message\n", i);
+          return 1;
+        }
+        bool ok = false;
+        if (rc == 1) {
+          // Decode the payload both ways — the frame type byte is attacker
+          // data, so either decoder must contain arbitrary payloads.
+          service::WireRequest req;
+          service::BinaryResponse respOut;
+          std::string decodeError;
+          ok = (type == service::FrameType::Request)
+                   ? service::decodeBinaryRequest(payload, req, decodeError)
+                   : service::decodeBinaryResponse(payload, respOut, decodeError);
+          if (!ok && decodeError.empty()) {
+            std::fprintf(stderr, "FUZZ FAIL iter %ld: payload rejection without message\n",
+                         i);
+            return 1;
+          }
+        }
+        ok ? ++framed : ++unframed;
+        digest = fnv(digest, 0x200u + static_cast<unsigned>(rc + 1) * 2 + (ok ? 1 : 0));
+      } catch (...) {
+        std::fprintf(stderr, "FUZZ FAIL iter %ld: binary frame path threw on %zu bytes\n",
+                     i, bytes.size());
+        return 1;
+      }
+    } else if (surface < 8) {
+      // --- artifact image surface -------------------------------------
+      const auto& [key, image] = artifactCorpus[rng.below(artifactCorpus.size())];
+      std::string bytes = image;
+      if (rng.below(8) != 0) bytes = mutate(std::move(bytes), rng);
+      try {
+        std::string error;
+        auto result = service::ArtifactStore::deserialize(bytes, key, &error);
+        if (result == nullptr && error.empty()) {
+          std::fprintf(stderr, "FUZZ FAIL iter %ld: artifact rejection without message\n", i);
+          return 1;
+        }
+        result ? ++stored : ++unstored;
+        digest = fnv(digest, result ? 0x300u : 0x301u);
+      } catch (...) {
+        std::fprintf(stderr, "FUZZ FAIL iter %ld: artifact deserialize threw on %zu bytes\n",
+                     i, bytes.size());
+        return 1;
+      }
     } else {
       // --- compiler surface -------------------------------------------
       std::string src =
@@ -193,8 +288,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf("fuzz-smoke-ok seed=0x%llx iterations=%ld compiled=%ld rejected=%ld "
-              "parsed=%ld refused=%ld digest=0x%016llx\n",
+              "parsed=%ld refused=%ld framed=%ld unframed=%ld stored=%ld unstored=%ld "
+              "digest=0x%016llx\n",
               static_cast<unsigned long long>(seed), iterations, compiled, rejected, parsed,
-              refused, static_cast<unsigned long long>(digest));
+              refused, framed, unframed, stored, unstored,
+              static_cast<unsigned long long>(digest));
   return 0;
 }

@@ -3,8 +3,10 @@
 // Usage:
 //   mat2c compile <file.m> --entry <name> --args <spec,...> [options]
 //   mat2c serve [<requests.jsonl>|-] [--jobs <n>] [--cache-entries <n>]
-//               [--stats-json <file>] [--max-request-bytes <n>]
-//               [--deadline-ms <ms>]
+//               [--stats-json <file>] [--metrics <file>]
+//               [--max-request-bytes <n>] [--deadline-ms <ms>]
+//               [--store-dir <dir>] [--max-store-bytes <n>]
+//               [--tenant-inflight <n>] [--binary]
 //   mat2c isa [--preset <name> | --isa-file <file>]
 //   mat2c list-kernels
 //
@@ -44,6 +46,11 @@
 // worker pool with a content-addressed compile cache, writes one JSON
 // response line per request to stdout in input order, and finishes with a
 // cache/throughput stats JSON (stderr, or --stats-json <file>).
+// With --binary, requests and responses are length-prefixed binary frames
+// instead of JSON lines (docs/service.md has the frame layout). --store-dir
+// persists compiled artifacts across restarts; --tenant-inflight caps each
+// tenant's concurrent compiles (fair-share round-robin admission); --metrics
+// writes Prometheus text-format metrics.
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -51,6 +58,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -78,7 +86,10 @@ int usage() {
                "  mat2c compile -e '<matlab source>' --entry <name> --args <spec,...>\n"
                "  mat2c serve [<requests.jsonl>|-] [--jobs <n>] [--cache-entries <n>]"
                " [--stats-json <file>]\n"
-               "              [--max-request-bytes <n>] [--deadline-ms <ms>]\n"
+               "              [--max-request-bytes <n>] [--deadline-ms <ms>]"
+               " [--metrics <file>]\n"
+               "              [--store-dir <dir>] [--max-store-bytes <n>]"
+               " [--tenant-inflight <n>] [--binary]\n"
                "  mat2c isa [--preset <name>] [--isa-file <file>]\n"
                "  mat2c list-isas\n"
                "  mat2c list-kernels\n"
@@ -658,10 +669,12 @@ int cmdCompile(int argc, char** argv) {
 int cmdServe(int argc, char** argv) {
   std::string inputPath = "-";
   bool sawInput = false;
+  bool binary = false;
   service::CompileService::Config config;
   service::ProtocolLimits protocolLimits;
   double defaultDeadlineMillis = 0.0;  // applied to requests without their own
   std::string statsPath;
+  std::string metricsPath;
 
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
@@ -680,12 +693,24 @@ int cmdServe(int argc, char** argv) {
           parseIntFlag("--cache-entries", need("--cache-entries"), 0, 1 << 30));
     } else if (a == "--stats-json") {
       statsPath = need("--stats-json");
+    } else if (a == "--metrics") {
+      metricsPath = need("--metrics");
     } else if (a == "--max-request-bytes") {
       protocolLimits.maxRequestBytes = static_cast<std::size_t>(
           parseIntFlag("--max-request-bytes", need("--max-request-bytes"), 1, 1LL << 40));
     } else if (a == "--deadline-ms") {
       defaultDeadlineMillis =
           parseDoubleFlag("--deadline-ms", need("--deadline-ms"), 0.0, 1e9);
+    } else if (a == "--store-dir") {
+      config.storeDir = need("--store-dir");
+    } else if (a == "--max-store-bytes") {
+      config.maxStoreBytes = static_cast<std::size_t>(
+          parseIntFlag("--max-store-bytes", need("--max-store-bytes"), 0, 1LL << 50));
+    } else if (a == "--tenant-inflight") {
+      config.tenantInflightCap = static_cast<std::size_t>(
+          parseIntFlag("--tenant-inflight", need("--tenant-inflight"), 0, 1 << 20));
+    } else if (a == "--binary") {
+      binary = true;
     } else if ((a == "-" || a[0] != '-') && !sawInput) {
       inputPath = a;
       sawInput = true;
@@ -695,9 +720,22 @@ int cmdServe(int argc, char** argv) {
     }
   }
 
+  // Path validation is a usage error (exit 2), consistent with the strict
+  // numeric flags: pointing the store at a file would silently disable
+  // persistence otherwise.
+  if (!config.storeDir.empty()) {
+    std::error_code ec;
+    if (std::filesystem::exists(config.storeDir, ec) &&
+        !std::filesystem::is_directory(config.storeDir, ec)) {
+      std::fprintf(stderr, "mat2c: --store-dir '%s' exists and is not a directory\n",
+                   config.storeDir.c_str());
+      return 2;
+    }
+  }
+
   std::ifstream file;
   if (inputPath != "-") {
-    file.open(inputPath);
+    file.open(inputPath, binary ? std::ios::in | std::ios::binary : std::ios::in);
     if (!file) {
       std::fprintf(stderr, "mat2c: cannot open '%s'\n", inputPath.c_str());
       return 1;
@@ -706,9 +744,14 @@ int cmdServe(int argc, char** argv) {
   std::istream& in = inputPath == "-" ? std::cin : file;
 
   service::CompileService serviceInstance(config);
+  if (!config.storeDir.empty() && serviceInstance.artifactStore() &&
+      !serviceInstance.artifactStore()->ok()) {
+    std::fprintf(stderr, "mat2c: %s\n", serviceInstance.artifactStore()->error().c_str());
+    return 1;
+  }
 
-  // One slot per request line, so responses come out in input order even
-  // though the pool completes them in any order. Malformed lines get an
+  // One slot per request, so responses come out in input order even though
+  // the pool completes them in any order. Malformed requests get an
   // immediate error response instead of aborting the batch.
   struct Slot {
     bool ready = false;
@@ -718,28 +761,78 @@ int cmdServe(int argc, char** argv) {
   std::vector<Slot> slots;
 
   auto t0 = std::chrono::steady_clock::now();
-  std::string line;
   std::size_t lineNo = 0;
-  while (std::getline(in, line)) {
-    ++lineNo;
-    std::string_view stripped = trim(line);
-    if (stripped.empty() || stripped[0] == '#') continue;
-    service::CompileRequest request;
-    std::string error;
-    ErrorKind errorKind = ErrorKind::None;
-    Slot slot;
-    if (!service::parseCompileRequest(stripped, request, error, &errorKind, protocolLimits)) {
-      slot.ready = true;
-      slot.response.id = "line" + std::to_string(lineNo);
-      slot.response.error = "bad request: " + error;
-      slot.response.errorKind = errorKind;
+  if (binary) {
+    // Length-prefixed frames: no line structure, no JSON. A framing error is
+    // not resynchronizable (the stream position is unknown), so it produces
+    // one in-band error response and ends ingest; a *request* decode error
+    // is per-frame and ingest continues.
+    while (true) {
+      service::FrameType type{};
+      std::string payload;
+      std::string error;
+      int rc = service::readFrame(in, type, payload, error, protocolLimits);
+      if (rc == 0) break;
+      ++lineNo;
+      Slot slot;
+      if (rc < 0) {
+        slot.ready = true;
+        slot.response.id = "frame" + std::to_string(lineNo);
+        slot.response.error = "bad frame: " + error;
+        slot.response.errorKind = startsWith(error, "frame payload is")
+                                      ? ErrorKind::ResourceExhausted
+                                      : ErrorKind::ParseError;
+        slots.push_back(std::move(slot));
+        break;
+      }
+      if (type != service::FrameType::Request) {
+        slot.ready = true;
+        slot.response.id = "frame" + std::to_string(lineNo);
+        slot.response.error = "bad frame: expected a request frame";
+        slot.response.errorKind = ErrorKind::ParseError;
+        slots.push_back(std::move(slot));
+        continue;
+      }
+      service::WireRequest wire;
+      service::CompileRequest request;
+      if (!service::decodeBinaryRequest(payload, wire, error) ||
+          !wire.resolve(request, error)) {
+        slot.ready = true;
+        slot.response.id = wire.id.empty() ? "frame" + std::to_string(lineNo) : wire.id;
+        slot.response.error = "bad request: " + error;
+        slot.response.errorKind = ErrorKind::ParseError;
+        slots.push_back(std::move(slot));
+        continue;
+      }
+      if (request.id.empty()) request.id = "frame" + std::to_string(lineNo);
+      if (request.deadlineMillis <= 0) request.deadlineMillis = defaultDeadlineMillis;
+      slot.future = serviceInstance.submit(std::move(request));
       slots.push_back(std::move(slot));
-      continue;
     }
-    if (request.id.empty()) request.id = "line" + std::to_string(lineNo);
-    if (request.deadlineMillis <= 0) request.deadlineMillis = defaultDeadlineMillis;
-    slot.future = serviceInstance.submit(std::move(request));
-    slots.push_back(std::move(slot));
+  } else {
+    std::string line;
+    while (std::getline(in, line)) {
+      ++lineNo;
+      std::string_view stripped = trim(line);
+      if (stripped.empty() || stripped[0] == '#') continue;
+      service::CompileRequest request;
+      std::string error;
+      ErrorKind errorKind = ErrorKind::None;
+      Slot slot;
+      if (!service::parseCompileRequest(stripped, request, error, &errorKind,
+                                        protocolLimits)) {
+        slot.ready = true;
+        slot.response.id = "line" + std::to_string(lineNo);
+        slot.response.error = "bad request: " + error;
+        slot.response.errorKind = errorKind;
+        slots.push_back(std::move(slot));
+        continue;
+      }
+      if (request.id.empty()) request.id = "line" + std::to_string(lineNo);
+      if (request.deadlineMillis <= 0) request.deadlineMillis = defaultDeadlineMillis;
+      slot.future = serviceInstance.submit(std::move(request));
+      slots.push_back(std::move(slot));
+    }
   }
 
   std::size_t failed = 0;
@@ -747,8 +840,15 @@ int cmdServe(int argc, char** argv) {
     service::CompileResponse response =
         slot.ready ? std::move(slot.response) : slot.future.get();
     if (!response.ok) ++failed;
-    std::printf("%s\n", service::responseJson(response).c_str());
+    if (binary) {
+      std::string frame = service::encodeFrame(service::FrameType::Response,
+                                               service::encodeBinaryResponse(response));
+      std::fwrite(frame.data(), 1, frame.size(), stdout);
+    } else {
+      std::printf("%s\n", service::responseJson(response).c_str());
+    }
   }
+  if (binary) std::fflush(stdout);
   double wallMillis =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
 
@@ -764,13 +864,24 @@ int cmdServe(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "%s", statsDoc.c_str());
   }
+  if (!metricsPath.empty()) {
+    std::ofstream out(metricsPath);
+    if (!out) {
+      std::fprintf(stderr, "mat2c: cannot write '%s'\n", metricsPath.c_str());
+      return 1;
+    }
+    out << service::metricsText(stats, wallMillis);
+  }
   std::fprintf(stderr,
                "mat2c: served %zu request(s) on %zu thread(s): %llu compile(s), "
-               "%llu cache hit(s), %llu dedup join(s), %zu failure(s), %.1f ms\n",
+               "%llu cache hit(s) (%llu from store), %llu dedup join(s), "
+               "%zu failure(s), %.1f ms, healthz: %s\n",
                slots.size(), serviceInstance.threadCount(),
                static_cast<unsigned long long>(stats.compiles),
                static_cast<unsigned long long>(stats.cacheHits),
-               static_cast<unsigned long long>(stats.dedupJoins), failed, wallMillis);
+               static_cast<unsigned long long>(stats.storeHits),
+               static_cast<unsigned long long>(stats.dedupJoins), failed, wallMillis,
+               service::healthzText(stats).c_str());
   // Per-request failures are reported in-band (the "ok" field); only a
   // completely failed batch is an error exit.
   return !slots.empty() && failed == slots.size() ? 1 : 0;
