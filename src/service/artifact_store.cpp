@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "support/binary_io.hpp"
+#include "support/fault_injection.hpp"
 #include "support/string_utils.hpp"
 
 namespace fs = std::filesystem;
@@ -182,7 +183,18 @@ std::shared_ptr<const CachedResult> ArtifactStore::load(const CacheKey& key) {
 
 bool ArtifactStore::store(const CacheKey& key, const CachedResult& value) {
   std::string image = serialize(key, value);
+  // Chaos hooks. Fail models a full/readonly disk (counted, no bytes
+  // touched); Torn truncates the image mid-write and lets the rename land —
+  // the on-disk artifact is damaged exactly the way a crash between write
+  // and fsync damages it, and load()'s checksum must turn it into a clean
+  // miss, never a wrong answer.
+  fault::PointAction chaos = fault::atPoint("store.write");
   std::lock_guard<std::mutex> lock(mu_);
+  if (chaos == fault::PointAction::Fail) {
+    ++putFailures_;
+    return false;
+  }
+  if (chaos == fault::PointAction::Torn) image.resize(image.size() / 2);
   if (!ok_) {
     ++putFailures_;
     return false;
@@ -246,8 +258,13 @@ void ArtifactStore::evictLocked() {
     if (entryEc) continue;
     victims.push_back({mtime, entry.path(), static_cast<std::size_t>(size)});
   }
-  std::sort(victims.begin(), victims.end(),
-            [](const Victim& a, const Victim& b) { return a.mtime < b.mtime; });
+  // Filename tie-break: same-second writes are common on coarse-mtime
+  // filesystems, and an eviction order that depends on directory iteration
+  // order is impossible to test or reason about across siblings.
+  std::sort(victims.begin(), victims.end(), [](const Victim& a, const Victim& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.path.filename().string() < b.path.filename().string();
+  });
   for (const Victim& v : victims) {
     if (bytes_ <= config_.maxBytes) break;
     std::error_code rmEc;

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "support/fault_injection.hpp"
 #include "support/string_utils.hpp"
 #include "tune/tune.hpp"
 
@@ -110,6 +111,10 @@ std::string statsJson(const ServiceStats& stats, double wallMillis) {
   os << "  \"panics\": " << stats.panics << ",\n";
   os << "  \"degraded\": " << stats.degraded << ",\n";
   os << "  \"threads\": " << stats.threads << ",\n";
+  if (stats.isaVersion > 0) {
+    os << "  \"isaVersion\": " << stats.isaVersion << ",\n";
+    os << "  \"isaReloads\": " << stats.isaReloads << ",\n";
+  }
   os << "  \"compileMillis\": " << fixed(stats.compileMillis) << ",\n";
   os << "  \"latency\": {\"count\": " << stats.latency.count
      << ", \"p50Millis\": " << fixed(stats.latency.p50Millis)
@@ -188,6 +193,11 @@ std::string metricsText(const ServiceStats& stats, double wallMillis) {
   counter("mat2c_panics_total", stats.panics, "Non-standard exceptions contained");
   counter("mat2c_degraded_total", stats.degraded, "Compiles that used the degradation ladder");
   gauge("mat2c_threads", std::to_string(stats.threads), "Worker pool size");
+  if (stats.isaVersion > 0) {
+    gauge("mat2c_isa_version", std::to_string(stats.isaVersion),
+          "Version of the server-default ISA (bumps on hot-reload)");
+    counter("mat2c_isa_reloads_total", stats.isaReloads, "Successful ISA hot-reloads");
+  }
   gauge("mat2c_cache_entries", std::to_string(stats.cache.entries), "Live cache entries");
   gauge("mat2c_cache_bytes", std::to_string(stats.cache.bytes), "Cache footprint estimate");
   counter("mat2c_cache_evictions_total", stats.cache.evictions, "LRU evictions");
@@ -255,6 +265,13 @@ CompileService::~CompileService() {
 std::future<CompileResponse> CompileService::submit(CompileRequest request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   Clock::time_point start = Clock::now();
+  // Default-ISA stamping happens HERE, before the cache key is computed:
+  // the request is pinned to one registry snapshot for its whole life, so a
+  // hot-reload never yields a mixed-ISA answer — in-flight work finishes on
+  // the old fingerprint, later submissions key (and miss) on the new one.
+  if (request.useDefaultIsa && config_.isaRegistry) {
+    request.options.isa = *config_.isaRegistry->snapshot().isa;
+  }
   // Tune requests are keyed without the pass options: the tuned configuration
   // is what the cache stores, not what it is keyed on. Everything downstream
   // (fast path, single-flight, queueing) is shared with plain compiles.
@@ -446,6 +463,32 @@ void CompileService::runJob(Job& job, const std::string& tenant) {
 
   if (config_.onCompileStart) config_.onCompileStart(job.request);
 
+  // Chaos crash point: `crash:compile:<N>` aborts the whole worker process
+  // here (supervisor restart path); `fail:compile:<N>` turns the compile into
+  // an injected failure without the cost of running it.
+  if (fault::atPoint("compile") != fault::PointAction::None) {
+    std::vector<Flight::Waiter> waiters;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = inflight_.find(job.key.canonical);
+      if (it != inflight_.end() && it->second == job.flight) inflight_.erase(it);
+      waiters = std::move(job.flight->waiters);
+      finishTenantJobLocked(tenant);
+    }
+    for (Flight::Waiter& w : waiters) {
+      CompileResponse r;
+      r.id = std::move(w.id);
+      r.deduped = w.deduped;
+      r.millis = millisSince(w.submitted);
+      r.error = "injected fault at point 'compile'";
+      r.errorKind = ErrorKind::PassError;
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      latency_.record(r.millis * 1000.0);
+      w.promise.set_value(std::move(r));
+    }
+    return;
+  }
+
   // Bound the compile by the most patient surviving waiter, unless one of
   // them has no deadline (then the compile must be allowed to finish).
   // Combines with any budget the request itself carries (tighter wins).
@@ -577,6 +620,10 @@ ServiceStats CompileService::stats() const {
   if (store_) {
     s.storeEnabled = true;
     s.store = store_->stats();
+  }
+  if (config_.isaRegistry) {
+    s.isaVersion = config_.isaRegistry->version();
+    s.isaReloads = config_.isaRegistry->reloads();
   }
   {
     std::lock_guard<std::mutex> lock(mu_);

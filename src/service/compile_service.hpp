@@ -35,6 +35,7 @@
 
 #include "service/artifact_store.hpp"
 #include "service/compile_cache.hpp"
+#include "service/isa_registry.hpp"
 
 namespace mat2c::service {
 
@@ -59,6 +60,12 @@ struct CompileRequest {
   bool tune = false;
   /// Candidate budget for the search (0 = TuneOptions default).
   int tuneBudget = 0;
+  /// The request did not name a target: stamp the server-default ISA from
+  /// Config::isaRegistry at submit time (before the cache key is computed),
+  /// so the request is pinned to one registry version for its whole life —
+  /// a concurrent reload changes later submissions, never this one. When no
+  /// registry is configured, `options.isa` is used as given.
+  bool useDefaultIsa = false;
   /// Per-request deadline in milliseconds from submit (0 = none). Covers
   /// queue time and the compile itself: a request still queued past its
   /// deadline is resolved with Timeout at pickup (the future is never
@@ -79,6 +86,9 @@ struct CompileResponse {
   ErrorKind errorKind = ErrorKind::None;
   std::shared_ptr<const CachedResult> result;  ///< non-null when ok
   double millis = 0.0;    ///< latency from submit to fulfillment
+  /// Admin-request result text (reload/healthz/stats), "" for compiles.
+  /// Synthesized by the serve loop — CompileService itself never sets it.
+  std::string adminInfo;
 };
 
 /// Point-in-time percentile summary of the request-latency histogram.
@@ -134,6 +144,8 @@ struct ServiceStats {
   bool storeEnabled = false;
   ArtifactStore::Stats store;    ///< zeros when !storeEnabled
   std::vector<TenantStats> tenants;  ///< round-robin order (first-seen)
+  std::uint64_t isaVersion = 0;  ///< registry version (0 = no registry)
+  std::uint64_t isaReloads = 0;  ///< successful hot-reloads
 };
 
 /// Serializes stats in the same style as the pipeline telemetry JSON
@@ -175,6 +187,11 @@ class CompileService {
     /// before each underlying compile (lets tests stall the worker to prove
     /// single-flight dedup deterministically).
     std::function<void(const CompileRequest&)> onCompileStart;
+    /// Server-default ISA with zero-downtime reload (non-owning; the serve
+    /// loop owns the registry and outlives the service). When set, requests
+    /// flagged useDefaultIsa are stamped with the registry's current ISA at
+    /// submit time. Null = requests compile with options.isa as given.
+    IsaRegistry* isaRegistry = nullptr;
   };
 
   CompileService();

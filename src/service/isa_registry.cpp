@@ -1,0 +1,93 @@
+#include "service/isa_registry.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "support/diagnostics.hpp"
+
+namespace mat2c::service {
+
+namespace {
+
+bool readFileText(const std::string& path, std::string& out, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open ISA file '" + path + "'";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    error = "read error on ISA file '" + path + "'";
+    return false;
+  }
+  out = buf.str();
+  return true;
+}
+
+bool parseIsaText(const std::string& text, isa::IsaDescription& out, std::string& error) {
+  DiagnosticEngine diags;
+  isa::IsaDescription parsed = isa::IsaDescription::parse(text, diags);
+  if (diags.hasErrors()) {
+    error = diags.renderAll();
+    return false;
+  }
+  out = std::move(parsed);
+  return true;
+}
+
+}  // namespace
+
+IsaRegistry::IsaRegistry(isa::IsaDescription initial, std::string path)
+    : current_(std::make_shared<const isa::IsaDescription>(std::move(initial))),
+      path_(std::move(path)) {}
+
+isa::IsaDescription IsaRegistry::parseFile(const std::string& path) {
+  std::string text, error;
+  if (!readFileText(path, text, error)) throw std::runtime_error(error);
+  isa::IsaDescription parsed;
+  if (!parseIsaText(text, parsed, error))
+    throw std::runtime_error("bad ISA file '" + path + "': " + error);
+  return parsed;
+}
+
+IsaRegistry::Snapshot IsaRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Snapshot{current_, version_};
+}
+
+std::uint64_t IsaRegistry::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+std::uint64_t IsaRegistry::reloads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reloads_;
+}
+
+std::string IsaRegistry::reload() {
+  if (path_.empty()) return "ISA registry has no file to reload (--isa-file not set)";
+  // Read + parse outside the lock: a slow disk must not stall snapshot()
+  // on the submit path.
+  std::string text, error;
+  if (!readFileText(path_, text, error)) return error;
+  isa::IsaDescription parsed;
+  if (!parseIsaText(text, parsed, error))
+    return "bad ISA file '" + path_ + "': " + error;
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = std::make_shared<const isa::IsaDescription>(std::move(parsed));
+  ++version_;
+  ++reloads_;
+  return "";
+}
+
+void IsaRegistry::install(isa::IsaDescription next) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = std::make_shared<const isa::IsaDescription>(std::move(next));
+  ++version_;
+}
+
+}  // namespace mat2c::service

@@ -1,0 +1,68 @@
+// Versioned ISA registry: the server-default target with zero-downtime swap.
+//
+// The DSE loop (src/dse) keeps producing new ISA description files; deploying
+// one used to require a full server restart. IsaRegistry holds the current
+// default IsaDescription behind a shared_ptr so the serve plane can swap it
+// atomically: requests that asked for the server default (empty `isa` field
+// on the wire) are stamped with a snapshot at submit time, so in-flight
+// requests finish on the fingerprint they started with while new submissions
+// pick up the reloaded ISA. Cache correctness is free — CacheKey already
+// incorporates IsaDescription::fingerprint(), so a reload naturally misses
+// the old artifacts instead of serving stale code.
+//
+// reload() re-parses the file the registry was loaded from and keeps the old
+// description on ANY failure (unreadable file, parse diagnostics), so a bad
+// push can never take the default target down.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "isa/isa.hpp"
+
+namespace mat2c::service {
+
+class IsaRegistry {
+ public:
+  /// Immutable view of the registry at one instant. `isa` stays valid for as
+  /// long as the caller holds the shared_ptr, across any number of reloads.
+  struct Snapshot {
+    std::shared_ptr<const isa::IsaDescription> isa;
+    std::uint64_t version = 0;  ///< bumps on every successful install/reload
+  };
+
+  /// Starts at `initial` (version 1). `path` is the description file reload()
+  /// re-reads; "" disables file reloads (install() still works).
+  explicit IsaRegistry(isa::IsaDescription initial, std::string path = "");
+
+  /// Parses `path` into a description suitable for the constructor (the
+  /// registry itself is pinned by its mutex, so it is built in place:
+  /// `registry.emplace(IsaRegistry::parseFile(p), p)`). Throws
+  /// std::runtime_error on an unreadable or malformed file — startup, unlike
+  /// reload, SHOULD fail loudly on a bad file.
+  static isa::IsaDescription parseFile(const std::string& path);
+
+  Snapshot snapshot() const;
+  std::uint64_t version() const;
+  std::uint64_t reloads() const;  ///< successful reload() calls
+  const std::string& path() const { return path_; }
+
+  /// Re-reads and re-parses the description file. Returns "" on success
+  /// (version bumped, subsequent snapshots see the new ISA); on failure
+  /// returns a one-line reason and leaves the current ISA untouched.
+  std::string reload();
+
+  /// Installs a description directly (tests, programmatic swaps).
+  void install(isa::IsaDescription next);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const isa::IsaDescription> current_;
+  std::uint64_t version_ = 1;
+  std::uint64_t reloads_ = 0;
+  std::string path_;
+};
+
+}  // namespace mat2c::service

@@ -309,6 +309,10 @@ bool WireRequest::resolve(CompileRequest& out, std::string& error) const {
   out.tuneBudget = tuneBudget;
   out.deadlineMillis = deadlineMillis;
 
+  if (!admin.empty()) {
+    error = "admin request reached the compile path (serve-loop bug)";
+    return false;
+  }
   if (out.source.empty()) {
     error = "missing required field 'source'";
     return false;
@@ -338,13 +342,18 @@ bool WireRequest::resolve(CompileRequest& out, std::string& error) const {
       error = "bad isa_text: " + diags.renderAll();
       return false;
     }
-  } else {
+  } else if (!isa.empty()) {
     try {
       out.options.isa = isa::IsaDescription::preset(isa);
     } catch (const std::exception& e) {
       error = e.what();
       return false;
     }
+  } else {
+    // No explicit target: take the server default. options.isa keeps the
+    // style's dspx preset (standalone use); a service configured with an
+    // IsaRegistry overwrites it at submit time — see CompileService::submit.
+    out.useDefaultIsa = true;
   }
   if (constFold) out.options.constFold = *constFold;
   if (idioms) out.options.idioms = *idioms;
@@ -355,8 +364,8 @@ bool WireRequest::resolve(CompileRequest& out, std::string& error) const {
   return true;
 }
 
-bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string& error,
-                         ErrorKind* kind, const ProtocolLimits& limits) {
+bool parseWireRequest(std::string_view line, WireRequest& out, std::string& error,
+                      ErrorKind* kind, const ProtocolLimits& limits) {
   // Failures below are the client's malformed input unless re-classified.
   if (kind) *kind = ErrorKind::ParseError;
 
@@ -408,6 +417,8 @@ bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string
       if (!wantString(req.style)) return false;
     } else if (key == "tenant") {
       if (!wantString(req.tenant)) return false;
+    } else if (key == "admin") {
+      if (!wantString(req.admin)) return false;
     } else if (key == "constFold") {
       if (!wantBool(req.constFold)) return false;
     } else if (key == "idioms") {
@@ -445,6 +456,16 @@ bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string
     }
   }
 
+  out = std::move(req);
+  if (kind) *kind = ErrorKind::None;
+  return true;
+}
+
+bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string& error,
+                         ErrorKind* kind, const ProtocolLimits& limits) {
+  WireRequest req;
+  if (!parseWireRequest(line, req, error, kind, limits)) return false;
+  if (kind) *kind = ErrorKind::ParseError;
   if (!req.resolve(out, error)) return false;
   if (kind) *kind = ErrorKind::None;
   return true;
@@ -463,6 +484,7 @@ std::string responseJson(const CompileResponse& response) {
   out += ", \"millis\": ";
   out += buf;
   if (response.storeHit) out += ", \"storeHit\": true";
+  if (!response.adminInfo.empty()) out += ", \"adminInfo\": " + jsonQuote(response.adminInfo);
   if (response.ok && response.result) {
     // Denormalized metadata, not the CompiledUnit: store-rehydrated entries
     // carry no LIR, and the response must not depend on having one.
@@ -488,6 +510,53 @@ std::string responseJson(const CompileResponse& response) {
       for (std::size_t i = 0; i < res.degraded.size(); ++i) {
         if (i > 0) out += ", ";
         out += jsonQuote(res.degraded[i]);
+      }
+      out += "]";
+    }
+  } else {
+    out += ", \"error\": " + jsonQuote(response.error);
+    out += ", \"errorKind\": " + jsonQuote(toString(response.errorKind));
+  }
+  out += "}";
+  return out;
+}
+
+std::string responseJson(const BinaryResponse& response) {
+  std::string out = "{\"id\": " + jsonQuote(response.id);
+  out += ", \"ok\": ";
+  out += response.ok ? "true" : "false";
+  out += ", \"cached\": ";
+  out += response.cached ? "true" : "false";
+  out += ", \"deduped\": ";
+  out += response.deduped ? "true" : "false";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", response.millis);
+  out += ", \"millis\": ";
+  out += buf;
+  if (response.storeHit) out += ", \"storeHit\": true";
+  if (!response.adminInfo.empty()) out += ", \"adminInfo\": " + jsonQuote(response.adminInfo);
+  if (response.ok) {
+    out += ", \"isa\": " + jsonQuote(response.isa);
+    out += ", \"cBytes\": " + std::to_string(response.cBytes);
+    out += ", \"loopsVectorized\": " + std::to_string(response.loopsVectorized);
+    out += ", \"idiomRewrites\": " + std::to_string(response.idiomRewrites);
+    if (response.tuned) {
+      char num[64];
+      out += ", \"tuned\": true";
+      out += ", \"tunedSignature\": " + jsonQuote(response.tunedSignature);
+      out += ", \"tuneCandidates\": " + std::to_string(response.tuneCandidates);
+      std::snprintf(num, sizeof num, "%.1f", response.tunedCycles);
+      out += ", \"tunedCycles\": ";
+      out += num;
+      std::snprintf(num, sizeof num, "%.1f", response.tuneDefaultCycles);
+      out += ", \"tuneDefaultCycles\": ";
+      out += num;
+    }
+    if (!response.degraded.empty()) {
+      out += ", \"degraded\": [";
+      for (std::size_t i = 0; i < response.degraded.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += jsonQuote(response.degraded[i]);
       }
       out += "]";
     }
@@ -613,6 +682,7 @@ std::string encodeBinaryRequest(const WireRequest& req) {
   bin::appendU8(out, req.tune ? 1 : 0);
   bin::appendI32(out, req.tuneBudget);
   bin::appendF64(out, req.deadlineMillis);
+  bin::appendStr(out, req.admin);  // v2
   return out;
 }
 
@@ -627,7 +697,7 @@ bool decodeBinaryRequest(std::string_view payload, WireRequest& out, std::string
   if (!r.str(out.id) || !r.str(out.source) || !r.str(out.entry) || !r.str(out.args) ||
       !r.str(out.isa) || !r.str(out.isaText) || !r.str(out.style) || !r.str(out.tenant) ||
       !r.u8(present) || !r.u8(value) || !r.u8(flags) || !r.i32(tuneBudget) ||
-      !r.f64(deadline) || !r.done()) {
+      !r.f64(deadline) || !r.str(out.admin) || !r.done()) {
     error = "malformed request payload";
     return false;
   }
@@ -688,6 +758,34 @@ std::string encodeBinaryResponse(const CompileResponse& response) {
     bin::appendF64(out, 0.0);  // tunedCycles
     bin::appendF64(out, 0.0);  // tuneDefaultCycles
   }
+  bin::appendStr(out, response.adminInfo);  // v2
+  return out;
+}
+
+std::string encodeBinaryResponse(const BinaryResponse& response) {
+  std::string out;
+  bin::appendStr(out, response.id);
+  std::uint8_t flags = 0;
+  if (response.ok) flags |= kRespOk;
+  if (response.cached) flags |= kRespCached;
+  if (response.deduped) flags |= kRespDeduped;
+  if (response.storeHit) flags |= kRespStoreHit;
+  if (response.tuned) flags |= kRespTuned;
+  bin::appendU8(out, flags);
+  bin::appendU8(out, static_cast<std::uint8_t>(response.errorKind));
+  bin::appendF64(out, response.millis);
+  bin::appendStr(out, response.error);
+  bin::appendStr(out, response.isa);
+  bin::appendU64(out, response.cBytes);
+  bin::appendI32(out, response.loopsVectorized);
+  bin::appendI32(out, response.idiomRewrites);
+  bin::appendU32(out, static_cast<std::uint32_t>(response.degraded.size()));
+  for (const std::string& d : response.degraded) bin::appendStr(out, d);
+  bin::appendStr(out, response.tunedSignature);
+  bin::appendI32(out, response.tuneCandidates);
+  bin::appendF64(out, response.tunedCycles);
+  bin::appendF64(out, response.tuneDefaultCycles);
+  bin::appendStr(out, response.adminInfo);
   return out;
 }
 
@@ -721,7 +819,7 @@ bool decodeBinaryResponse(std::string_view payload, BinaryResponse& out, std::st
     out.degraded.push_back(std::move(d));
   }
   if (!r.str(out.tunedSignature) || !r.i32(out.tuneCandidates) || !r.f64(out.tunedCycles) ||
-      !r.f64(out.tuneDefaultCycles) || !r.done()) {
+      !r.f64(out.tuneDefaultCycles) || !r.str(out.adminInfo) || !r.done()) {
     error = "malformed response payload";
     return false;
   }
@@ -732,6 +830,33 @@ bool decodeBinaryResponse(std::string_view payload, BinaryResponse& out, std::st
   out.tuned = (flags & kRespTuned) != 0;
   out.errorKind = static_cast<ErrorKind>(kindRaw);
   return true;
+}
+
+// --- client-side resilience ------------------------------------------------
+
+namespace {
+
+/// splitmix64: tiny, well-distributed, and deterministic across platforms —
+/// exactly what a replayable jitter needs.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double RetryPolicy::delayMillis(int attempt, std::uint64_t seed) const {
+  if (attempt < 0) attempt = 0;
+  double cap = baseMillis;
+  for (int i = 0; i < attempt && cap < maxMillis; ++i) cap *= multiplier;
+  if (cap > maxMillis) cap = maxMillis;
+  // Jitter in [cap/2, cap]: enough spread to break restart synchronization
+  // across shards, never so little backoff that a retry storm forms.
+  std::uint64_t h = splitmix64(seed ^ (static_cast<std::uint64_t>(attempt) + 1));
+  double frac = static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+  return cap * (0.5 + 0.5 * frac);
 }
 
 }  // namespace mat2c::service

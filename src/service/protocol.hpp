@@ -68,16 +68,28 @@ struct WireRequest {
   std::string source;
   std::string entry;
   std::string args;             ///< CLI arg-spec syntax, "" = none
-  std::string isa = "dspx";     ///< preset name
+  /// Preset name; "" = the server default target (the ISA registry when the
+  /// server runs with --isa-file, the dspx preset otherwise). resolve() maps
+  /// "" to CompileRequest::useDefaultIsa so the service stamps the registry
+  /// snapshot at submit time.
+  std::string isa;
   std::string isaText;          ///< inline ISA description, overrides `isa`
   std::string style = "proposed";
   std::string tenant;           ///< fair-share admission class, "" = default
+  /// Admin command ("" = a normal compile request). Handled by the serve
+  /// loop, never by CompileService: "reload" re-parses --isa-file through
+  /// the registry, "healthz" / "stats" return the health line / stats JSON
+  /// in the response's adminInfo. A frame with a non-empty admin field
+  /// carries no compile payload.
+  std::string admin;
   std::optional<bool> constFold, idioms, vectorize, sinkDecls, checkElim, degrade;
   double deadlineMillis = 0.0;
   bool tune = false;
   int tuneBudget = 0;
 
   /// Validates and lowers into a CompileRequest; on failure sets `error`.
+  /// Admin requests must be intercepted before resolve() — a non-empty
+  /// `admin` field is an error here.
   bool resolve(CompileRequest& out, std::string& error) const;
 };
 
@@ -96,6 +108,12 @@ struct WireRequest {
 bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string& error,
                          ErrorKind* kind = nullptr, const ProtocolLimits& limits = {});
 
+/// Structural half of parseCompileRequest: JSON → WireRequest with no
+/// semantic resolution, so the serve loop can intercept admin requests
+/// ("admin" field) before resolve(). Same field set plus "admin" (string).
+bool parseWireRequest(std::string_view line, WireRequest& out, std::string& error,
+                      ErrorKind* kind = nullptr, const ProtocolLimits& limits = {});
+
 /// One response line (no trailing newline): id, ok, cached, deduped, millis,
 /// and on success isa/cBytes/loopsVectorized/idiomRewrites (plus
 /// "storeHit": true when served from the artifact store, plus degraded when
@@ -104,13 +122,22 @@ bool parseCompileRequest(std::string_view line, CompileRequest& out, std::string
 /// error + errorKind.
 std::string responseJson(const CompileResponse& response);
 
+/// Same response line rendered from a decoded BinaryResponse — the shard
+/// supervisor answers JSON-lines clients from its workers' binary frames
+/// without rehydrating a CompileResponse (it has no CachedResult).
+std::string responseJson(const struct BinaryResponse& response);
+
 // --- binary framing --------------------------------------------------------
 //
 // Frame: 'M' '2' 'C' 'B' | u16 version | u16 type | u32 payloadLen | payload
 // (all integers little-endian). docs/service.md has the payload layouts.
 
 inline constexpr char kBinaryMagic[4] = {'M', '2', 'C', 'B'};
-inline constexpr std::uint16_t kBinaryVersion = 1;
+/// v2 (PR 10): request payload gained a trailing `str admin`, response
+/// payload a trailing `str adminInfo`. Decoding is exact-consumption, so the
+/// additions are a wire break — the version bump makes v1 frames fail fast
+/// with "unsupported frame version" instead of a confusing payload error.
+inline constexpr std::uint16_t kBinaryVersion = 2;
 /// magic + version + type + payloadLen.
 inline constexpr std::size_t kFrameHeaderBytes = 12;
 
@@ -158,12 +185,36 @@ struct BinaryResponse {
   std::int32_t tuneCandidates = 0;
   double tunedCycles = 0.0;
   double tuneDefaultCycles = 0.0;
+  std::string adminInfo;  ///< admin-request result text ("" for compiles)
 };
 
 /// Response frame payload for `response`.
 std::string encodeBinaryResponse(const CompileResponse& response);
 
+/// Response frame payload from an already-decoded (or synthesized)
+/// BinaryResponse — the supervisor uses this for the failure responses it
+/// fabricates itself (no CachedResult exists to encode from).
+std::string encodeBinaryResponse(const BinaryResponse& response);
+
 /// Parses a Response frame payload; never crashes on arbitrary bytes.
 bool decodeBinaryResponse(std::string_view payload, BinaryResponse& out, std::string& error);
+
+// --- client-side resilience ------------------------------------------------
+
+/// Capped exponential backoff with deterministic jitter, shared by the shard
+/// supervisor's restart loop and client retry paths. Deterministic on
+/// purpose: the chaos harness must replay the exact same schedule from a
+/// seed, so the "jitter" is a hash of (seed, attempt), not a clock or RNG.
+struct RetryPolicy {
+  int maxAttempts = 5;        ///< total tries (first attempt included)
+  double baseMillis = 10.0;   ///< delay before attempt 1's retry
+  double maxMillis = 2000.0;  ///< backoff ceiling
+  double multiplier = 2.0;
+
+  /// Delay before retry number `attempt` (0-based: the wait after the
+  /// (attempt+1)-th failure). Full jitter over the exponential cap:
+  /// uniform-ish in [cap/2, cap], derived from splitmix64(seed ^ attempt).
+  double delayMillis(int attempt, std::uint64_t seed) const;
+};
 
 }  // namespace mat2c::service

@@ -21,12 +21,22 @@ namespace mat2c::fault {
 
 namespace {
 
-enum class ClauseType { PassThrow, PassPanic, PassSleep, PassDeadline, AllocAfter };
+enum class ClauseType {
+  PassThrow,
+  PassPanic,
+  PassSleep,
+  PassDeadline,
+  AllocAfter,
+  PointCrash,
+  PointFail,
+  PointTorn,
+};
 
 struct Clause {
   ClauseType type;
-  std::string pass;  // pass-name pattern ("*" matches every pass)
-  long arg = 0;      // sleep millis / alloc budget
+  std::string pass;  // pass-name / crash-point pattern ("*" matches every pass)
+  long arg = 0;      // sleep millis / alloc budget / 1-based point hit index
+  long hits = 0;     // point clauses: how often this point fired so far
 };
 
 struct State {
@@ -95,6 +105,13 @@ std::string parseSpecLocked(State& s) {
       s.clauses.push_back(std::move(c));
     } else if (f.size() == 3 && f[0] == "alloc" && f[1] == "after" && parseLong(f[2], c.arg)) {
       c.type = ClauseType::AllocAfter;
+      s.clauses.push_back(std::move(c));
+    } else if (f.size() == 3 &&
+               (f[0] == "crash" || f[0] == "fail" || f[0] == "torn") &&
+               parseLong(f[2], c.arg) && c.arg >= 1) {
+      c.type = f[0] == "crash" ? ClauseType::PointCrash
+                               : (f[0] == "fail" ? ClauseType::PointFail : ClauseType::PointTorn);
+      c.pass = f[1];
       s.clauses.push_back(std::move(c));
     } else {
       if (badClause.empty()) badClause = clause;
@@ -174,13 +191,13 @@ void atPassBoundary(const std::string& passName) {
     State& s = state();
     std::lock_guard<std::mutex> lock(s.mu);
     for (const Clause& c : s.clauses) {
-      if (c.type == ClauseType::AllocAfter || !passMatches(c, passName)) continue;
+      if (!passMatches(c, passName)) continue;
       switch (c.type) {
         case ClauseType::PassSleep: sleepMillis += c.arg; break;
         case ClauseType::PassThrow: doThrow = true; break;
         case ClauseType::PassPanic: doPanic = true; break;
         case ClauseType::PassDeadline: doDeadline = true; break;
-        case ClauseType::AllocAfter: break;
+        default: break;  // alloc / crash-point clauses have their own hooks
       }
     }
   }
@@ -206,6 +223,38 @@ void onAllocPoint() {
   }
   if (budget < 0) return;
   if (g_allocCount.fetch_add(1, std::memory_order_relaxed) >= budget) throw std::bad_alloc();
+}
+
+PointAction atPoint(const std::string& point) {
+  if (!isActive()) return PointAction::None;
+  PointAction action = PointAction::None;
+  bool crash = false;
+  {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (Clause& c : s.clauses) {
+      if (!passMatches(c, point)) continue;
+      switch (c.type) {
+        case ClauseType::PointCrash:
+          if (++c.hits == c.arg) crash = true;
+          break;
+        case ClauseType::PointFail:
+          if (++c.hits >= c.arg && action == PointAction::None) action = PointAction::Fail;
+          break;
+        case ClauseType::PointTorn:
+          // Torn beats Fail when both fire: the torn artifact is the harder
+          // case for the reader, so composed specs exercise it.
+          if (++c.hits >= c.arg) action = PointAction::Torn;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  // Abort outside the lock; the whole point is to model an unclean death,
+  // but a held mutex would make the abort look like a deadlock under TSan.
+  if (crash) std::abort();
+  return action;
 }
 
 }  // namespace mat2c::fault

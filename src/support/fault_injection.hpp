@@ -17,6 +17,21 @@
 //   alloc:after:<N>           the (N+1)-th cooperative allocation guard
 //                             point (parser/sema statements, pass
 //                             boundaries) throws std::bad_alloc
+//   crash:<point>:<N>         the N-th hit (1-based) of the named crash
+//                             point aborts the whole process (SIGABRT) —
+//                             models a worker dying mid-request for the
+//                             supervisor / chaos harness
+//   fail:<point>:<N>          from the N-th hit onward, the guarded
+//                             operation reports failure (e.g. store.write
+//                             counts a putFailure without touching disk)
+//   torn:<point>:<N>          from the N-th hit onward, the guarded write
+//                             is deliberately truncated partway (a torn
+//                             artifact / truncated response frame the
+//                             reader must reject or recover from)
+//
+// Named crash points currently wired in: `compile` (service worker, just
+// before the underlying compile), `store.write` (ArtifactStore::store),
+// `frame.write` (serve-mode response frame emission).
 //
 // Every clause is exact — no randomness — so each recovery path in the
 // degradation ladder and the service has a test that reaches it on purpose.
@@ -25,6 +40,11 @@
 #include <string>
 
 namespace mat2c::fault {
+
+/// What a guarded operation should do at a crash point. Crash never reaches
+/// the caller (atPoint aborts the process itself); Fail and Torn are acted
+/// on by the call site, which knows how to fail or tear its own operation.
+enum class PointAction { None, Fail, Torn };
 
 /// Deliberately not derived from std::exception: models a foreign/unknown
 /// exception escaping a worker ("panic"); only catch (...) contains it.
@@ -54,6 +74,11 @@ void atPassBoundary(const std::string& passName);
 /// alloc:after:<N> budget.
 void onAllocPoint();
 
+/// Crash-point guard: bumps the named point's hit counter and either aborts
+/// the process (crash:), or tells the caller to fail (fail:) or tear (torn:)
+/// the guarded operation. Returns PointAction::None when no clause matches.
+PointAction atPoint(const std::string& point);
+
 #else
 
 inline bool enabled() { return false; }
@@ -61,6 +86,7 @@ inline void setSpec(const std::string&) {}
 inline std::string activeSpec() { return {}; }
 inline void atPassBoundary(const std::string&) {}
 inline void onAllocPoint() {}
+inline PointAction atPoint(const std::string&) { return PointAction::None; }
 
 #endif
 

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -18,6 +19,7 @@
 #include <unistd.h>
 
 #include "service/compile_service.hpp"
+#include "support/fault_injection.hpp"
 #include "support/string_utils.hpp"
 
 namespace {
@@ -284,6 +286,69 @@ TEST_F(ArtifactStoreTest, EvictsOldestFirstUnderByteCap) {
   EXPECT_NE(store.load(testKey("5")), nullptr) << "newest artifact must survive eviction";
   EXPECT_EQ(store.load(testKey("0")), nullptr) << "oldest artifact must be evicted";
 }
+
+TEST_F(ArtifactStoreTest, EvictionMtimeTieBreaksByFilenameNotDirectoryOrder) {
+  // Same-second writes are common on coarse-timestamp filesystems; when
+  // mtimes collide the victim must be chosen by filename, not by whatever
+  // order the directory iterator happens to yield (regression test for the
+  // tie-break in evictLocked()).
+  CachedResult value = testResult(std::string(1024, 'c'));
+  std::size_t oneArtifact = ArtifactStore::serialize(testKey("0"), value).size();
+  ArtifactStore store({dir_.string(), oneArtifact * 4 + oneArtifact / 2});
+
+  std::vector<CacheKey> keys;
+  for (int i = 0; i < 4; ++i) keys.push_back(testKey("tie" + std::to_string(i)));
+  for (const auto& key : keys) ASSERT_TRUE(store.store(key, value));
+
+  // Force an exact tie, backdated so the fifth artifact is strictly newer.
+  auto stamp = fs::file_time_type::clock::now() - std::chrono::hours(1);
+  for (const auto& key : keys) {
+    fs::last_write_time(dir_ / ArtifactStore::fileNameFor(key), stamp);
+  }
+
+  CacheKey newest = testKey("newest");
+  ASSERT_TRUE(store.store(newest, value));  // pushes past the cap: one eviction
+
+  std::vector<std::string> names;
+  for (const auto& key : keys) names.push_back(ArtifactStore::fileNameFor(key));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(store.stats().evictions, 1u);
+  for (const auto& key : keys) {
+    if (ArtifactStore::fileNameFor(key) == names.front()) {
+      EXPECT_EQ(store.load(key), nullptr)
+          << "the lexicographically-first filename must be the tie victim";
+    } else {
+      EXPECT_NE(store.load(key), nullptr) << ArtifactStore::fileNameFor(key);
+    }
+  }
+  EXPECT_NE(store.load(newest), nullptr);
+}
+
+#ifdef MAT2C_FAULT_INJECTION
+TEST_F(ArtifactStoreTest, InjectedWriteFaultsCountFailuresAndTornWritesMissCleanly) {
+  ArtifactStore store({dir_.string(), 0});
+  CacheKey key = testKey();
+
+  // fail: a full/readonly disk — counted, nothing touches the directory.
+  fault::setSpec("fail:store.write:1");
+  EXPECT_FALSE(store.store(key, testResult()));
+  EXPECT_EQ(store.stats().putFailures, 1u);
+  EXPECT_EQ(store.stats().files, 0u);
+
+  // torn: the image is truncated mid-write but the rename lands — exactly a
+  // crash between write and fsync. The checksum must turn the damaged file
+  // into a clean miss, never a wrong artifact.
+  fault::setSpec("torn:store.write:1");
+  EXPECT_TRUE(store.store(key, testResult()));
+  fault::setSpec("");
+  EXPECT_EQ(store.load(key), nullptr) << "torn artifact must load as a miss";
+  EXPECT_GE(store.stats().corrupt, 1u);
+
+  // With injection cleared the same key stores and loads normally.
+  EXPECT_TRUE(store.store(key, testResult()));
+  EXPECT_NE(store.load(key), nullptr);
+}
+#endif  // MAT2C_FAULT_INJECTION
 
 TEST_F(ArtifactStoreTest, UnusableDirectoryDisablesTheStore) {
   fs::path file = dir_ / "not_a_dir";

@@ -334,6 +334,64 @@ TEST(FaultInjection, ValidSpecsStillInstall) {
   EXPECT_TRUE(fault::enabled());
 }
 
+TEST(FaultInjection, PointSpecsValidateActionAndCount) {
+  // Point hit counts are 1-based ("the Nth hit"); 0, negatives, junk, and a
+  // missing count are all spec errors, same as the pass clauses.
+  EXPECT_THROW(fault::setSpec("crash:compile:0"), std::invalid_argument);
+  EXPECT_THROW(fault::setSpec("crash:compile:-1"), std::invalid_argument);
+  EXPECT_THROW(fault::setSpec("crash:compile:two"), std::invalid_argument);
+  EXPECT_THROW(fault::setSpec("crash:compile:"), std::invalid_argument);
+  EXPECT_THROW(fault::setSpec("crash:compile"), std::invalid_argument);
+  EXPECT_THROW(fault::setSpec("fail:store.write:0"), std::invalid_argument);
+  EXPECT_THROW(fault::setSpec("torn:frame.write:1x"), std::invalid_argument);
+  fault::setSpec("");  // leave no residue for later tests
+  EXPECT_FALSE(fault::enabled());
+}
+
+TEST(FaultInjection, FailPointFiresFromTheNthHitOnward) {
+  FaultScope f("fail:unit.point:3");
+  EXPECT_EQ(fault::atPoint("unit.point"), fault::PointAction::None);  // hit 1
+  EXPECT_EQ(fault::atPoint("unit.point"), fault::PointAction::None);  // hit 2
+  EXPECT_EQ(fault::atPoint("unit.point"), fault::PointAction::Fail);  // hit 3
+  EXPECT_EQ(fault::atPoint("unit.point"), fault::PointAction::Fail)
+      << "fail: is sticky from the threshold onward";
+  // Other points are untouched, and their hits don't advance this counter.
+  EXPECT_EQ(fault::atPoint("other.point"), fault::PointAction::None);
+}
+
+TEST(FaultInjection, TornPointFiresFromTheNthHitAndBeatsFail) {
+  {
+    FaultScope f("torn:unit.point:2");
+    EXPECT_EQ(fault::atPoint("unit.point"), fault::PointAction::None);
+    EXPECT_EQ(fault::atPoint("unit.point"), fault::PointAction::Torn);
+    EXPECT_EQ(fault::atPoint("unit.point"), fault::PointAction::Torn);
+  }
+  {
+    // When both clauses cover one hit, the torn write wins: the half-written
+    // artifact is the harder case for the reader, so composed specs must
+    // exercise it regardless of clause order.
+    FaultScope f("fail:unit.point:1,torn:unit.point:1");
+    EXPECT_EQ(fault::atPoint("unit.point"), fault::PointAction::Torn);
+  }
+  {
+    FaultScope f("torn:unit.point:1,fail:unit.point:1");
+    EXPECT_EQ(fault::atPoint("unit.point"), fault::PointAction::Torn);
+  }
+}
+
+TEST(FaultInjection, PointCountersResetWithEachSpecInstall) {
+  {
+    FaultScope f("fail:unit.point:2");
+    EXPECT_EQ(fault::atPoint("unit.point"), fault::PointAction::None);
+    EXPECT_EQ(fault::atPoint("unit.point"), fault::PointAction::Fail);
+  }
+  // A fresh install starts counting from zero — chaos workers that restart
+  // re-arm their fault from the environment the same way.
+  FaultScope f("fail:unit.point:2");
+  EXPECT_EQ(fault::atPoint("unit.point"), fault::PointAction::None);
+  EXPECT_EQ(fault::atPoint("unit.point"), fault::PointAction::Fail);
+}
+
 TEST(FaultInjection, AllocBudgetClassifiesAsResourceExhausted) {
   FaultScope f("alloc:after:0");
   EXPECT_EQ(kindOf(kFirSource, "fir", {ArgSpec::row(64), ArgSpec::row(64)},

@@ -9,6 +9,8 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -927,6 +929,7 @@ TEST(Protocol, BinaryRequestRoundTripMatchesJsonParse) {
   wire.source = "function y = f(x)\ny = x;\nend\n";
   wire.entry = "f";
   wire.args = "1x8,c1x4";
+  wire.isa = "dspx";  // empty now means "server default", so name it explicitly
   wire.style = "coder";
   wire.tenant = "acme";
   wire.vectorize = false;
@@ -1127,6 +1130,165 @@ TEST(CompileService, StatsJsonCarriesLatencyTenantsAndStoreBlocks) {
   degraded.panics = 2;
   EXPECT_NE(healthzText(degraded).find("degraded"), std::string::npos);
   EXPECT_NE(metricsText(degraded).find("mat2c_healthz 0"), std::string::npos);
+}
+
+// ---- ISA registry: zero-downtime reload ----------------------------------
+
+TEST(IsaRegistry, ReloadKeepsOldIsaOnBadFileAndBumpsVersionOnSuccess) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "mat2c_registry_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  fs::path file = dir / "default.isa";
+  {
+    std::ofstream out(file);
+    out << isa::IsaDescription::preset("dspx").serialize();
+  }
+
+  IsaRegistry registry(IsaRegistry::parseFile(file.string()), file.string());
+  EXPECT_EQ(registry.snapshot().isa->name(), "dspx");
+  EXPECT_EQ(registry.version(), 1u);
+
+  // A bad push must NOT take the default target down: reload reports the
+  // parse failure and the old description keeps serving.
+  {
+    std::ofstream out(file, std::ios::trunc);
+    out << "isa utterly { broken\n";
+  }
+  std::string error = registry.reload();
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(registry.snapshot().isa->name(), "dspx");
+  EXPECT_EQ(registry.version(), 1u);
+  EXPECT_EQ(registry.reloads(), 0u);
+
+  {
+    std::ofstream out(file, std::ios::trunc);
+    out << isa::IsaDescription::preset("dspx_w4").serialize();
+  }
+  EXPECT_EQ(registry.reload(), "");
+  EXPECT_EQ(registry.snapshot().isa->name(), "dspx_w4");
+  EXPECT_EQ(registry.version(), 2u);
+  EXPECT_EQ(registry.reloads(), 1u);
+
+  // Snapshots taken before the reload stay valid: in-flight requests hold
+  // the shared_ptr, not the registry.
+  IsaRegistry fresh(isa::IsaDescription::preset("dspx"));
+  IsaRegistry::Snapshot old = fresh.snapshot();
+  fresh.install(isa::IsaDescription::preset("scalar"));
+  EXPECT_EQ(old.isa->name(), "dspx");
+  EXPECT_EQ(fresh.snapshot().isa->name(), "scalar");
+
+  EXPECT_THROW(IsaRegistry::parseFile((dir / "missing.isa").string()),
+               std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST(CompileService, IsaHotReloadDrainsInFlightOnOldFingerprint) {
+  // The reload-correctness contract: a request submitted before the swap
+  // finishes on the ISA it was stamped with, a request submitted after it
+  // compiles fresh under the new ISA (the fingerprint change makes the old
+  // cache entry unreachable — no stale or mixed answers), and repeats of the
+  // new request hit the new entry.
+  IsaRegistry registry(isa::IsaDescription::preset("dspx"));
+
+  std::promise<void> reloadDone;
+  std::shared_future<void> reloadDoneFuture = reloadDone.get_future().share();
+  std::promise<void> compileEntered;
+  std::atomic<bool> gateArmed{true};
+
+  CompileService::Config config;
+  config.threads = 1;
+  config.isaRegistry = &registry;
+  config.onCompileStart = [&](const CompileRequest&) {
+    if (gateArmed.exchange(false)) {
+      compileEntered.set_value();
+      reloadDoneFuture.wait();  // the swap happens while this compile runs
+    }
+  };
+  CompileService svc(config);
+
+  CompileRequest r1 = firRequest("inflight");
+  r1.useDefaultIsa = true;
+  std::future<CompileResponse> f1 = svc.submit(r1);
+
+  compileEntered.get_future().wait();
+  registry.install(isa::IsaDescription::preset("dspx_w4"));
+  reloadDone.set_value();
+
+  CompileResponse inflight = f1.get();
+  ASSERT_TRUE(inflight.ok) << inflight.error;
+  ASSERT_NE(inflight.result, nullptr);
+  EXPECT_EQ(inflight.result->isaName, "dspx")
+      << "in-flight request must finish on the ISA it was stamped with";
+
+  CompileRequest r2 = firRequest("post_swap");
+  r2.useDefaultIsa = true;
+  CompileResponse post = svc.submit(r2).get();
+  ASSERT_TRUE(post.ok) << post.error;
+  EXPECT_FALSE(post.cacheHit)
+      << "the old artifact must be unreachable after the swap";
+  ASSERT_NE(post.result, nullptr);
+  EXPECT_EQ(post.result->isaName, "dspx_w4");
+
+  CompileRequest r3 = firRequest("post_swap_repeat");
+  r3.useDefaultIsa = true;
+  CompileResponse repeat = svc.submit(r3).get();
+  ASSERT_TRUE(repeat.ok) << repeat.error;
+  EXPECT_TRUE(repeat.cacheHit);
+  EXPECT_EQ(repeat.result->isaName, "dspx_w4");
+
+  ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.isaVersion, 2u);
+  EXPECT_EQ(stats.compiles, 2u) << "one compile per ISA version, no mixing";
+
+  std::string metrics = metricsText(stats);
+  EXPECT_NE(metrics.find("mat2c_isa_version 2"), std::string::npos);
+  EXPECT_NE(metrics.find("mat2c_isa_reloads_total"), std::string::npos);
+}
+
+// ---- artifact store: blocked directory degrades, never fails -------------
+
+TEST(CompileService, BlockedStoreDirServesFromMemoryAndReportsDegraded) {
+  // Tests run as root, so a chmod 000 directory is still writable; blocking
+  // the store with a regular FILE where a path component must be a directory
+  // fails create_directories for any uid.
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "mat2c_blocked_store";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  fs::path blocker = dir / "blocker";
+  { std::ofstream out(blocker); out << "not a directory"; }
+
+  CompileService::Config config;
+  config.threads = 2;
+  config.storeDir = (blocker / "store").string();
+  CompileService svc(config);
+
+  ASSERT_NE(svc.artifactStore(), nullptr);
+  EXPECT_FALSE(svc.artifactStore()->ok());
+
+  // Compiles still succeed — the store failure only costs persistence.
+  CompileResponse cold = svc.submit(firRequest("cold")).get();
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.cacheHit);
+  CompileResponse warm = svc.submit(firRequest("warm")).get();
+  ASSERT_TRUE(warm.ok) << warm.error;
+  EXPECT_TRUE(warm.cacheHit) << "memory tier keeps working without the store";
+
+  // The write-behind runs after the waiter promise is fulfilled (it is kept
+  // off the request's critical path), so give the worker a moment to attempt
+  // the doomed put before asserting it was counted.
+  ServiceStats stats = svc.stats();
+  for (int i = 0; i < 400 && stats.store.putFailures == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    stats = svc.stats();
+  }
+  EXPECT_TRUE(stats.storeEnabled);
+  EXPECT_GE(stats.store.putFailures, 1u)
+      << "every write-behind against the blocked store must be counted";
+  EXPECT_NE(healthzText(stats).find("degraded"), std::string::npos);
+  EXPECT_NE(healthzText(stats).find("store write failures"), std::string::npos);
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -6,7 +6,9 @@
 //               [--stats-json <file>] [--metrics <file>]
 //               [--max-request-bytes <n>] [--deadline-ms <ms>]
 //               [--store-dir <dir>] [--max-store-bytes <n>]
-//               [--tenant-inflight <n>] [--binary]
+//               [--tenant-inflight <n>] [--binary] [--isa-file <file>]
+//               [--shards <n>] [--hedge-ms <ms>] [--max-restarts <n>]
+//               [--seed <n>]
 //   mat2c isa [--preset <name> | --isa-file <file>]
 //   mat2c list-kernels
 //
@@ -51,19 +53,33 @@
 // persists compiled artifacts across restarts; --tenant-inflight caps each
 // tenant's concurrent compiles (fair-share round-robin admission); --metrics
 // writes Prometheus text-format metrics.
+//
+// Resilience (docs/service.md "Resilience"): responses stream out in input
+// order as they complete (not batched at EOF). --isa-file makes that file the
+// server-default target with zero-downtime hot reload — a `{"admin":
+// "reload"}` request or SIGHUP re-parses it; in-flight requests finish on the
+// ISA they were submitted under. --shards N runs N worker processes behind a
+// supervisor that restarts crashed workers with backed-off jitter, re-routes
+// after permanent ejection, and optionally hedges slow requests (--hedge-ms).
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "driver/report.hpp"
 
@@ -71,7 +87,10 @@
 #include "driver/kernels.hpp"
 #include "dse/dse.hpp"
 #include "service/compile_service.hpp"
+#include "service/isa_registry.hpp"
 #include "service/protocol.hpp"
+#include "service/supervisor.hpp"
+#include "support/fault_injection.hpp"
 #include "support/string_utils.hpp"
 #include "tune/tune.hpp"
 
@@ -90,6 +109,8 @@ int usage() {
                " [--metrics <file>]\n"
                "              [--store-dir <dir>] [--max-store-bytes <n>]"
                " [--tenant-inflight <n>] [--binary]\n"
+               "              [--isa-file <file>] [--shards <n>] [--hedge-ms <ms>]"
+               " [--max-restarts <n>] [--seed <n>]\n"
                "  mat2c isa [--preset <name>] [--isa-file <file>]\n"
                "  mat2c list-isas\n"
                "  mat2c list-kernels\n"
@@ -666,15 +687,568 @@ int cmdCompile(int argc, char** argv) {
   return 0;
 }
 
-int cmdServe(int argc, char** argv) {
+volatile std::sig_atomic_t gSighup = 0;
+void sighupHandler(int) { gSighup = 1; }
+
+struct ServeOptions {
   std::string inputPath = "-";
-  bool sawInput = false;
   bool binary = false;
   service::CompileService::Config config;
   service::ProtocolLimits protocolLimits;
   double defaultDeadlineMillis = 0.0;  // applied to requests without their own
   std::string statsPath;
   std::string metricsPath;
+  std::string isaFile;    ///< server-default ISA with hot reload ("" = dspx)
+  int shards = 0;         ///< >0: supervisor mode (N worker processes)
+  double hedgeMillis = 0.0;
+  int maxRestarts = 8;
+  std::uint64_t seed = 1;
+  /// Flags forwarded verbatim to shard workers in supervisor mode.
+  std::vector<std::string> workerArgs;
+};
+
+/// Single-process serve loop: ingest on this thread, emit on a writer thread
+/// so responses stream out in input order as they complete — a prerequisite
+/// for running under the shard supervisor, whose readmission probe would
+/// deadlock against batch-at-EOF emission.
+int runServeSingle(const ServeOptions& opt, std::istream& in) {
+  std::optional<service::IsaRegistry> registry;
+  if (!opt.isaFile.empty()) {
+    try {
+      registry.emplace(service::IsaRegistry::parseFile(opt.isaFile), opt.isaFile);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mat2c: %s\n", e.what());
+      return 1;
+    }
+  }
+  service::CompileService::Config config = opt.config;
+  if (registry) config.isaRegistry = &*registry;
+
+  service::CompileService serviceInstance(config);
+  if (!config.storeDir.empty() && serviceInstance.artifactStore() &&
+      !serviceInstance.artifactStore()->ok()) {
+    // Degraded, not fatal: the service keeps compiling from memory, every
+    // write-behind counts a putFailure, and healthz reports degraded.
+    std::fprintf(stderr, "mat2c: warning: %s; serving without persistence\n",
+                 serviceInstance.artifactStore()->error().c_str());
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+
+  // One slot per request; the writer fulfills them strictly in input order,
+  // so output order is deterministic even though the pool completes jobs in
+  // any order. Malformed requests get an immediate in-band error response.
+  struct Slot {
+    bool ready = false;
+    service::CompileResponse response;
+    std::future<service::CompileResponse> future;
+  };
+  std::deque<Slot> queue;
+  std::mutex qmu;
+  std::condition_variable qcv;
+  bool ingestDone = false;
+  std::atomic<std::size_t> failed{0};
+
+  std::thread writer([&] {
+    while (true) {
+      Slot slot;
+      {
+        std::unique_lock<std::mutex> lk(qmu);
+        qcv.wait(lk, [&] { return ingestDone || !queue.empty(); });
+        if (queue.empty()) break;
+        slot = std::move(queue.front());
+        queue.pop_front();
+      }
+      service::CompileResponse response =
+          slot.ready ? std::move(slot.response) : slot.future.get();
+      if (!response.ok) ++failed;
+      if (opt.binary) {
+        std::string frame = service::encodeFrame(service::FrameType::Response,
+                                                 service::encodeBinaryResponse(response));
+        // Chaos point: a worker dying mid-write leaves the client a torn
+        // frame (Torn: half the bytes) or nothing (Fail). Either way the
+        // process must die — continuing after a skipped frame would shift
+        // every later response onto the wrong request.
+        fault::PointAction chaos = fault::atPoint("frame.write");
+        if (chaos != fault::PointAction::None) {
+          if (chaos == fault::PointAction::Torn) {
+            std::fwrite(frame.data(), 1, frame.size() / 2, stdout);
+          }
+          std::fflush(stdout);
+          std::_Exit(9);
+        }
+        std::fwrite(frame.data(), 1, frame.size(), stdout);
+      } else {
+        std::printf("%s\n", service::responseJson(response).c_str());
+      }
+      // Flush per response: downstream (supervisor, live clients) blocks on
+      // answers, and stdout is fully buffered on a pipe.
+      std::fflush(stdout);
+    }
+  });
+
+  std::size_t requestCount = 0;  // answered requests (admin + compile + errors)
+  auto push = [&](Slot&& slot) {
+    ++requestCount;
+    {
+      std::lock_guard<std::mutex> lk(qmu);
+      queue.push_back(std::move(slot));
+    }
+    qcv.notify_one();
+  };
+  auto pushReady = [&](service::CompileResponse r) {
+    Slot slot;
+    slot.ready = true;
+    slot.response = std::move(r);
+    push(std::move(slot));
+  };
+
+  // Admin requests are answered by the serve loop itself, synchronously with
+  // ingest — so a reload orders naturally against compiles: requests already
+  // submitted keep the ISA they were stamped with, later ones see the new one.
+  auto handleAdmin = [&](const service::WireRequest& wire) {
+    service::CompileResponse r;
+    r.id = wire.id;
+    if (wire.admin == "healthz") {
+      r.ok = true;
+      r.adminInfo = service::healthzText(serviceInstance.stats());
+    } else if (wire.admin == "stats") {
+      double wallSoFar =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+      r.ok = true;
+      r.adminInfo = service::statsJson(serviceInstance.stats(), wallSoFar);
+    } else if (wire.admin == "reload") {
+      if (!registry) {
+        r.error = "reload requires --isa-file";
+        r.errorKind = ErrorKind::ParseError;
+      } else {
+        std::string why = registry->reload();
+        if (why.empty()) {
+          r.ok = true;
+          r.adminInfo = "reloaded '" + opt.isaFile + "' as '" +
+                        registry->snapshot().isa->name() + "' (version " +
+                        std::to_string(registry->version()) + ")";
+        } else {
+          r.error = "reload failed (previous ISA kept): " + why;
+          r.errorKind = ErrorKind::ParseError;
+        }
+      }
+    } else {
+      r.error = "unknown admin command '" + wire.admin + "'";
+      r.errorKind = ErrorKind::ParseError;
+    }
+    return r;
+  };
+  auto checkSighup = [&] {
+    if (!gSighup) return;
+    gSighup = 0;
+    if (!registry) return;
+    std::string why = registry->reload();
+    if (why.empty()) {
+      std::fprintf(stderr, "mat2c: SIGHUP: reloaded '%s' (version %llu)\n",
+                   opt.isaFile.c_str(),
+                   static_cast<unsigned long long>(registry->version()));
+    } else {
+      std::fprintf(stderr, "mat2c: SIGHUP: reload failed (previous ISA kept): %s\n",
+                   why.c_str());
+    }
+  };
+
+  std::size_t lineNo = 0;
+  if (opt.binary) {
+    // Length-prefixed frames: no line structure, no JSON. A framing error is
+    // not resynchronizable (the stream position is unknown), so it produces
+    // one in-band error response and ends ingest; a *request* decode error
+    // is per-frame and ingest continues.
+    while (true) {
+      checkSighup();
+      service::FrameType type{};
+      std::string payload;
+      std::string error;
+      int rc = service::readFrame(in, type, payload, error, opt.protocolLimits);
+      if (rc == 0) break;
+      ++lineNo;
+      if (rc < 0) {
+        service::CompileResponse r;
+        r.id = "frame" + std::to_string(lineNo);
+        r.error = "bad frame: " + error;
+        r.errorKind = startsWith(error, "frame payload is") ? ErrorKind::ResourceExhausted
+                                                            : ErrorKind::ParseError;
+        pushReady(std::move(r));
+        break;
+      }
+      if (type != service::FrameType::Request) {
+        service::CompileResponse r;
+        r.id = "frame" + std::to_string(lineNo);
+        r.error = "bad frame: expected a request frame";
+        r.errorKind = ErrorKind::ParseError;
+        pushReady(std::move(r));
+        continue;
+      }
+      service::WireRequest wire;
+      if (!service::decodeBinaryRequest(payload, wire, error)) {
+        service::CompileResponse r;
+        r.id = wire.id.empty() ? "frame" + std::to_string(lineNo) : wire.id;
+        r.error = "bad request: " + error;
+        r.errorKind = ErrorKind::ParseError;
+        pushReady(std::move(r));
+        continue;
+      }
+      if (wire.id.empty()) wire.id = "frame" + std::to_string(lineNo);
+      if (!wire.admin.empty()) {
+        pushReady(handleAdmin(wire));
+        continue;
+      }
+      service::CompileRequest request;
+      if (!wire.resolve(request, error)) {
+        service::CompileResponse r;
+        r.id = wire.id;
+        r.error = "bad request: " + error;
+        r.errorKind = ErrorKind::ParseError;
+        pushReady(std::move(r));
+        continue;
+      }
+      if (request.deadlineMillis <= 0) request.deadlineMillis = opt.defaultDeadlineMillis;
+      Slot slot;
+      slot.future = serviceInstance.submit(std::move(request));
+      push(std::move(slot));
+    }
+  } else {
+    std::string line;
+    while (std::getline(in, line)) {
+      checkSighup();
+      ++lineNo;
+      std::string_view stripped = trim(line);
+      if (stripped.empty() || stripped[0] == '#') continue;
+      service::WireRequest wire;
+      std::string error;
+      ErrorKind errorKind = ErrorKind::None;
+      if (!service::parseWireRequest(stripped, wire, error, &errorKind,
+                                     opt.protocolLimits)) {
+        service::CompileResponse r;
+        r.id = "line" + std::to_string(lineNo);
+        r.error = "bad request: " + error;
+        r.errorKind = errorKind;
+        pushReady(std::move(r));
+        continue;
+      }
+      if (wire.id.empty()) wire.id = "line" + std::to_string(lineNo);
+      if (!wire.admin.empty()) {
+        pushReady(handleAdmin(wire));
+        continue;
+      }
+      service::CompileRequest request;
+      if (!wire.resolve(request, error)) {
+        service::CompileResponse r;
+        r.id = wire.id;
+        r.error = "bad request: " + error;
+        r.errorKind = ErrorKind::ParseError;
+        pushReady(std::move(r));
+        continue;
+      }
+      if (request.deadlineMillis <= 0) request.deadlineMillis = opt.defaultDeadlineMillis;
+      Slot slot;
+      slot.future = serviceInstance.submit(std::move(request));
+      push(std::move(slot));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(qmu);
+    ingestDone = true;
+  }
+  qcv.notify_all();
+  writer.join();
+  double wallMillis =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+
+  service::ServiceStats stats = serviceInstance.stats();
+  std::string statsDoc = service::statsJson(stats, wallMillis);
+  if (!opt.statsPath.empty()) {
+    std::ofstream out(opt.statsPath);
+    if (!out) {
+      std::fprintf(stderr, "mat2c: cannot write '%s'\n", opt.statsPath.c_str());
+      return 1;
+    }
+    out << statsDoc;
+  } else {
+    std::fprintf(stderr, "%s", statsDoc.c_str());
+  }
+  if (!opt.metricsPath.empty()) {
+    std::ofstream out(opt.metricsPath);
+    if (!out) {
+      std::fprintf(stderr, "mat2c: cannot write '%s'\n", opt.metricsPath.c_str());
+      return 1;
+    }
+    out << service::metricsText(stats, wallMillis);
+  }
+  std::fprintf(stderr,
+               "mat2c: served %zu request(s) on %zu thread(s): %llu compile(s), "
+               "%llu cache hit(s) (%llu from store), %llu dedup join(s), "
+               "%zu failure(s), %.1f ms, healthz: %s\n",
+               requestCount, serviceInstance.threadCount(),
+               static_cast<unsigned long long>(stats.compiles),
+               static_cast<unsigned long long>(stats.cacheHits),
+               static_cast<unsigned long long>(stats.storeHits),
+               static_cast<unsigned long long>(stats.dedupJoins), failed.load(), wallMillis,
+               service::healthzText(stats).c_str());
+  // Per-request failures are reported in-band (the "ok" field); only a
+  // completely failed batch is an error exit.
+  return requestCount > 0 && failed.load() == requestCount ? 1 : 0;
+}
+
+std::string supervisorStatsJson(const service::ShardSupervisor::Stats& s,
+                                std::size_t requests, double wallMillis) {
+  std::ostringstream os;
+  os << "{\n  \"requests\": " << requests << ",\n  \"completed\": " << s.completed
+     << ",\n  \"restarts\": " << s.restarts << ",\n  \"redispatched\": " << s.redispatched
+     << ",\n  \"hedges\": " << s.hedges << ",\n  \"hedgeWins\": " << s.hedgeWins
+     << ",\n  \"reloads\": " << s.reloads << ",\n  \"failedNoShard\": " << s.failedNoShard
+     << ",\n  \"shardsAlive\": " << s.shardsAlive
+     << ",\n  \"shardsEjected\": " << s.shardsEjected << ",\n  \"wallMillis\": "
+     << wallMillis << "\n}\n";
+  return os.str();
+}
+
+/// Supervisor serve loop: N worker processes behind consistent-hash routing,
+/// crash restart with backoff, re-dispatch, and optional hedging. The
+/// supervisor itself never compiles; it forwards wire requests and relays the
+/// workers' binary responses (re-rendered as JSON lines when the client side
+/// is JSON).
+int runServeSupervisor(const ServeOptions& opt, std::istream& in) {
+  service::ShardSupervisor::Config sc;
+  sc.shards = opt.shards;
+  sc.workerArgs = opt.workerArgs;
+  sc.maxRestarts = opt.maxRestarts;
+  sc.seed = opt.seed;
+  sc.hedgeMillis = opt.hedgeMillis;
+  service::ShardSupervisor supervisor(sc);
+  std::string error;
+  if (!supervisor.start(error)) {
+    std::fprintf(stderr, "mat2c: cannot start shard fleet: %s\n", error.c_str());
+    return 1;
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+
+  // Input-order emission, same contract as the single-process server: the
+  // writer waits on the oldest un-answered slot even while younger ones are
+  // already done.
+  struct OutSlot {
+    bool ready = false;
+    std::string payload;  ///< raw worker payload ("" = synthesized locally)
+    service::BinaryResponse decoded;
+  };
+  std::deque<std::shared_ptr<OutSlot>> order;
+  std::mutex omu;
+  std::condition_variable ocv;
+  bool ingestDone = false;
+  std::atomic<std::size_t> failed{0};
+
+  std::thread writer([&] {
+    while (true) {
+      std::shared_ptr<OutSlot> slot;
+      {
+        std::unique_lock<std::mutex> lk(omu);
+        ocv.wait(lk, [&] {
+          return (ingestDone && order.empty()) || (!order.empty() && order.front()->ready);
+        });
+        if (order.empty()) break;
+        slot = order.front();
+        order.pop_front();
+      }
+      if (!slot->decoded.ok) ++failed;
+      if (opt.binary) {
+        std::string payload =
+            slot->payload.empty() ? service::encodeBinaryResponse(slot->decoded)
+                                  : slot->payload;
+        std::string frame = service::encodeFrame(service::FrameType::Response, payload);
+        std::fwrite(frame.data(), 1, frame.size(), stdout);
+      } else {
+        std::printf("%s\n", service::responseJson(slot->decoded).c_str());
+      }
+      std::fflush(stdout);
+    }
+  });
+
+  std::size_t requestCount = 0;  // answered requests (admin + compile + errors)
+  auto pushReady = [&](service::BinaryResponse r) {
+    ++requestCount;
+    auto slot = std::make_shared<OutSlot>();
+    slot->decoded = std::move(r);
+    slot->ready = true;
+    {
+      std::lock_guard<std::mutex> lk(omu);
+      order.push_back(slot);
+    }
+    ocv.notify_all();
+  };
+  auto submitWire = [&](const service::WireRequest& wire) {
+    ++requestCount;
+    auto slot = std::make_shared<OutSlot>();
+    {
+      std::lock_guard<std::mutex> lk(omu);
+      order.push_back(slot);
+    }
+    supervisor.submit(wire, [slot, &omu, &ocv](const std::string& raw,
+                                               const service::BinaryResponse& decoded) {
+      {
+        std::lock_guard<std::mutex> lk(omu);
+        slot->payload = raw;
+        slot->decoded = decoded;
+        slot->ready = true;
+      }
+      ocv.notify_all();
+    });
+  };
+
+  auto handleAdmin = [&](const service::WireRequest& wire) {
+    service::BinaryResponse r;
+    r.id = wire.id;
+    if (wire.admin == "reload") {
+      int n = supervisor.broadcastReload();
+      r.ok = true;
+      r.adminInfo = "reload broadcast to " + std::to_string(n) + " shard(s)";
+    } else if (wire.admin == "healthz") {
+      service::ShardSupervisor::Stats s = supervisor.stats();
+      r.ok = true;
+      int total = static_cast<int>(s.pids.size());
+      if (s.shardsAlive == total) {
+        r.adminInfo = "ok (" + std::to_string(s.shardsAlive) + "/" +
+                      std::to_string(total) + " shards alive)";
+      } else {
+        r.adminInfo = "degraded (" + std::to_string(s.shardsAlive) + "/" +
+                      std::to_string(total) + " shards alive, " +
+                      std::to_string(s.shardsEjected) + " ejected)";
+      }
+    } else if (wire.admin == "stats") {
+      double wallSoFar =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
+      r.ok = true;
+      r.adminInfo = supervisorStatsJson(supervisor.stats(), 0, wallSoFar);
+    } else {
+      r.error = "unknown admin command '" + wire.admin + "'";
+      r.errorKind = ErrorKind::ParseError;
+    }
+    pushReady(std::move(r));
+  };
+  auto checkSighup = [&] {
+    if (!gSighup) return;
+    gSighup = 0;
+    int n = supervisor.broadcastReload();
+    std::fprintf(stderr, "mat2c: SIGHUP: reload broadcast to %d shard(s)\n", n);
+  };
+
+  std::size_t lineNo = 0;
+  if (opt.binary) {
+    while (true) {
+      checkSighup();
+      service::FrameType type{};
+      std::string payload;
+      int rc = service::readFrame(in, type, payload, error, opt.protocolLimits);
+      if (rc == 0) break;
+      ++lineNo;
+      if (rc < 0 || type != service::FrameType::Request) {
+        service::BinaryResponse r;
+        r.id = "frame" + std::to_string(lineNo);
+        r.error = rc < 0 ? "bad frame: " + error : "bad frame: expected a request frame";
+        r.errorKind = rc < 0 && startsWith(error, "frame payload is")
+                          ? ErrorKind::ResourceExhausted
+                          : ErrorKind::ParseError;
+        pushReady(std::move(r));
+        if (rc < 0) break;
+        continue;
+      }
+      service::WireRequest wire;
+      if (!service::decodeBinaryRequest(payload, wire, error)) {
+        service::BinaryResponse r;
+        r.id = wire.id.empty() ? "frame" + std::to_string(lineNo) : wire.id;
+        r.error = "bad request: " + error;
+        r.errorKind = ErrorKind::ParseError;
+        pushReady(std::move(r));
+        continue;
+      }
+      if (wire.id.empty()) wire.id = "frame" + std::to_string(lineNo);
+      if (!wire.admin.empty()) {
+        handleAdmin(wire);
+        continue;
+      }
+      submitWire(wire);
+    }
+  } else {
+    std::string line;
+    while (std::getline(in, line)) {
+      checkSighup();
+      ++lineNo;
+      std::string_view stripped = trim(line);
+      if (stripped.empty() || stripped[0] == '#') continue;
+      service::WireRequest wire;
+      ErrorKind errorKind = ErrorKind::None;
+      if (!service::parseWireRequest(stripped, wire, error, &errorKind,
+                                     opt.protocolLimits)) {
+        service::BinaryResponse r;
+        r.id = "line" + std::to_string(lineNo);
+        r.error = "bad request: " + error;
+        r.errorKind = errorKind;
+        pushReady(std::move(r));
+        continue;
+      }
+      if (wire.id.empty()) wire.id = "line" + std::to_string(lineNo);
+      if (!wire.admin.empty()) {
+        handleAdmin(wire);
+        continue;
+      }
+      submitWire(wire);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(omu);
+    ingestDone = true;
+  }
+  ocv.notify_all();
+  writer.join();
+  supervisor.shutdown();
+  double wallMillis =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+
+  service::ShardSupervisor::Stats ss = supervisor.stats();
+  std::string statsDoc = supervisorStatsJson(ss, requestCount, wallMillis);
+  if (!opt.statsPath.empty()) {
+    std::ofstream out(opt.statsPath);
+    if (!out) {
+      std::fprintf(stderr, "mat2c: cannot write '%s'\n", opt.statsPath.c_str());
+      return 1;
+    }
+    out << statsDoc;
+  } else {
+    std::fprintf(stderr, "%s", statsDoc.c_str());
+  }
+  if (!opt.metricsPath.empty()) {
+    std::ofstream out(opt.metricsPath);
+    if (!out) {
+      std::fprintf(stderr, "mat2c: cannot write '%s'\n", opt.metricsPath.c_str());
+      return 1;
+    }
+    out << supervisor.metricsText();
+  }
+  std::fprintf(stderr,
+               "mat2c: supervised %d shard(s): %zu request(s), %llu restart(s), "
+               "%llu redispatch(es), %llu hedge(s) (%llu won), %llu reload "
+               "broadcast(s), %zu failure(s), %.1f ms\n",
+               opt.shards, requestCount, static_cast<unsigned long long>(ss.restarts),
+               static_cast<unsigned long long>(ss.redispatched),
+               static_cast<unsigned long long>(ss.hedges),
+               static_cast<unsigned long long>(ss.hedgeWins),
+               static_cast<unsigned long long>(ss.reloads), failed.load(), wallMillis);
+  return requestCount > 0 && failed.load() == requestCount ? 1 : 0;
+}
+
+int cmdServe(int argc, char** argv) {
+  ServeOptions opt;
+  bool sawInput = false;
 
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
@@ -685,34 +1259,66 @@ int cmdServe(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // Worker-relevant flags are remembered verbatim so --shards mode can
+    // forward them to every worker process unchanged.
+    auto passthrough = [&](const char* flag, const char* value) {
+      opt.workerArgs.push_back(flag);
+      opt.workerArgs.push_back(value);
+    };
     if (a == "--jobs") {
-      config.threads =
-          static_cast<std::size_t>(parseIntFlag("--jobs", need("--jobs"), 1, 4096));
+      const char* v = need("--jobs");
+      opt.config.threads = static_cast<std::size_t>(parseIntFlag("--jobs", v, 1, 4096));
+      passthrough("--jobs", v);
     } else if (a == "--cache-entries") {
-      config.cacheEntries = static_cast<std::size_t>(
-          parseIntFlag("--cache-entries", need("--cache-entries"), 0, 1 << 30));
+      const char* v = need("--cache-entries");
+      opt.config.cacheEntries =
+          static_cast<std::size_t>(parseIntFlag("--cache-entries", v, 0, 1 << 30));
+      passthrough("--cache-entries", v);
     } else if (a == "--stats-json") {
-      statsPath = need("--stats-json");
+      opt.statsPath = need("--stats-json");
     } else if (a == "--metrics") {
-      metricsPath = need("--metrics");
+      opt.metricsPath = need("--metrics");
     } else if (a == "--max-request-bytes") {
-      protocolLimits.maxRequestBytes = static_cast<std::size_t>(
-          parseIntFlag("--max-request-bytes", need("--max-request-bytes"), 1, 1LL << 40));
+      const char* v = need("--max-request-bytes");
+      opt.protocolLimits.maxRequestBytes =
+          static_cast<std::size_t>(parseIntFlag("--max-request-bytes", v, 1, 1LL << 40));
+      passthrough("--max-request-bytes", v);
     } else if (a == "--deadline-ms") {
-      defaultDeadlineMillis =
-          parseDoubleFlag("--deadline-ms", need("--deadline-ms"), 0.0, 1e9);
+      const char* v = need("--deadline-ms");
+      opt.defaultDeadlineMillis = parseDoubleFlag("--deadline-ms", v, 0.0, 1e9);
+      passthrough("--deadline-ms", v);
     } else if (a == "--store-dir") {
-      config.storeDir = need("--store-dir");
+      const char* v = need("--store-dir");
+      opt.config.storeDir = v;
+      passthrough("--store-dir", v);
     } else if (a == "--max-store-bytes") {
-      config.maxStoreBytes = static_cast<std::size_t>(
-          parseIntFlag("--max-store-bytes", need("--max-store-bytes"), 0, 1LL << 50));
+      const char* v = need("--max-store-bytes");
+      opt.config.maxStoreBytes =
+          static_cast<std::size_t>(parseIntFlag("--max-store-bytes", v, 0, 1LL << 50));
+      passthrough("--max-store-bytes", v);
     } else if (a == "--tenant-inflight") {
-      config.tenantInflightCap = static_cast<std::size_t>(
-          parseIntFlag("--tenant-inflight", need("--tenant-inflight"), 0, 1 << 20));
+      const char* v = need("--tenant-inflight");
+      opt.config.tenantInflightCap =
+          static_cast<std::size_t>(parseIntFlag("--tenant-inflight", v, 0, 1 << 20));
+      passthrough("--tenant-inflight", v);
+    } else if (a == "--isa-file") {
+      const char* v = need("--isa-file");
+      opt.isaFile = v;
+      passthrough("--isa-file", v);
+    } else if (a == "--shards") {
+      opt.shards = static_cast<int>(parseIntFlag("--shards", need("--shards"), 1, 256));
+    } else if (a == "--hedge-ms") {
+      opt.hedgeMillis = parseDoubleFlag("--hedge-ms", need("--hedge-ms"), 0.0, 1e9);
+    } else if (a == "--max-restarts") {
+      opt.maxRestarts =
+          static_cast<int>(parseIntFlag("--max-restarts", need("--max-restarts"), 0, 1 << 20));
+    } else if (a == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(
+          parseIntFlag("--seed", need("--seed"), 0, 4294967295LL));
     } else if (a == "--binary") {
-      binary = true;
+      opt.binary = true;
     } else if ((a == "-" || a[0] != '-') && !sawInput) {
-      inputPath = a;
+      opt.inputPath = a;
       sawInput = true;
     } else {
       std::fprintf(stderr, "mat2c: unknown option '%s'\n", a.c_str());
@@ -723,168 +1329,29 @@ int cmdServe(int argc, char** argv) {
   // Path validation is a usage error (exit 2), consistent with the strict
   // numeric flags: pointing the store at a file would silently disable
   // persistence otherwise.
-  if (!config.storeDir.empty()) {
+  if (!opt.config.storeDir.empty()) {
     std::error_code ec;
-    if (std::filesystem::exists(config.storeDir, ec) &&
-        !std::filesystem::is_directory(config.storeDir, ec)) {
+    if (std::filesystem::exists(opt.config.storeDir, ec) &&
+        !std::filesystem::is_directory(opt.config.storeDir, ec)) {
       std::fprintf(stderr, "mat2c: --store-dir '%s' exists and is not a directory\n",
-                   config.storeDir.c_str());
+                   opt.config.storeDir.c_str());
       return 2;
     }
   }
 
   std::ifstream file;
-  if (inputPath != "-") {
-    file.open(inputPath, binary ? std::ios::in | std::ios::binary : std::ios::in);
+  if (opt.inputPath != "-") {
+    file.open(opt.inputPath, opt.binary ? std::ios::in | std::ios::binary : std::ios::in);
     if (!file) {
-      std::fprintf(stderr, "mat2c: cannot open '%s'\n", inputPath.c_str());
+      std::fprintf(stderr, "mat2c: cannot open '%s'\n", opt.inputPath.c_str());
       return 1;
     }
   }
-  std::istream& in = inputPath == "-" ? std::cin : file;
+  std::istream& in = opt.inputPath == "-" ? std::cin : file;
 
-  service::CompileService serviceInstance(config);
-  if (!config.storeDir.empty() && serviceInstance.artifactStore() &&
-      !serviceInstance.artifactStore()->ok()) {
-    std::fprintf(stderr, "mat2c: %s\n", serviceInstance.artifactStore()->error().c_str());
-    return 1;
-  }
-
-  // One slot per request, so responses come out in input order even though
-  // the pool completes them in any order. Malformed requests get an
-  // immediate error response instead of aborting the batch.
-  struct Slot {
-    bool ready = false;
-    service::CompileResponse response;
-    std::future<service::CompileResponse> future;
-  };
-  std::vector<Slot> slots;
-
-  auto t0 = std::chrono::steady_clock::now();
-  std::size_t lineNo = 0;
-  if (binary) {
-    // Length-prefixed frames: no line structure, no JSON. A framing error is
-    // not resynchronizable (the stream position is unknown), so it produces
-    // one in-band error response and ends ingest; a *request* decode error
-    // is per-frame and ingest continues.
-    while (true) {
-      service::FrameType type{};
-      std::string payload;
-      std::string error;
-      int rc = service::readFrame(in, type, payload, error, protocolLimits);
-      if (rc == 0) break;
-      ++lineNo;
-      Slot slot;
-      if (rc < 0) {
-        slot.ready = true;
-        slot.response.id = "frame" + std::to_string(lineNo);
-        slot.response.error = "bad frame: " + error;
-        slot.response.errorKind = startsWith(error, "frame payload is")
-                                      ? ErrorKind::ResourceExhausted
-                                      : ErrorKind::ParseError;
-        slots.push_back(std::move(slot));
-        break;
-      }
-      if (type != service::FrameType::Request) {
-        slot.ready = true;
-        slot.response.id = "frame" + std::to_string(lineNo);
-        slot.response.error = "bad frame: expected a request frame";
-        slot.response.errorKind = ErrorKind::ParseError;
-        slots.push_back(std::move(slot));
-        continue;
-      }
-      service::WireRequest wire;
-      service::CompileRequest request;
-      if (!service::decodeBinaryRequest(payload, wire, error) ||
-          !wire.resolve(request, error)) {
-        slot.ready = true;
-        slot.response.id = wire.id.empty() ? "frame" + std::to_string(lineNo) : wire.id;
-        slot.response.error = "bad request: " + error;
-        slot.response.errorKind = ErrorKind::ParseError;
-        slots.push_back(std::move(slot));
-        continue;
-      }
-      if (request.id.empty()) request.id = "frame" + std::to_string(lineNo);
-      if (request.deadlineMillis <= 0) request.deadlineMillis = defaultDeadlineMillis;
-      slot.future = serviceInstance.submit(std::move(request));
-      slots.push_back(std::move(slot));
-    }
-  } else {
-    std::string line;
-    while (std::getline(in, line)) {
-      ++lineNo;
-      std::string_view stripped = trim(line);
-      if (stripped.empty() || stripped[0] == '#') continue;
-      service::CompileRequest request;
-      std::string error;
-      ErrorKind errorKind = ErrorKind::None;
-      Slot slot;
-      if (!service::parseCompileRequest(stripped, request, error, &errorKind,
-                                        protocolLimits)) {
-        slot.ready = true;
-        slot.response.id = "line" + std::to_string(lineNo);
-        slot.response.error = "bad request: " + error;
-        slot.response.errorKind = errorKind;
-        slots.push_back(std::move(slot));
-        continue;
-      }
-      if (request.id.empty()) request.id = "line" + std::to_string(lineNo);
-      if (request.deadlineMillis <= 0) request.deadlineMillis = defaultDeadlineMillis;
-      slot.future = serviceInstance.submit(std::move(request));
-      slots.push_back(std::move(slot));
-    }
-  }
-
-  std::size_t failed = 0;
-  for (Slot& slot : slots) {
-    service::CompileResponse response =
-        slot.ready ? std::move(slot.response) : slot.future.get();
-    if (!response.ok) ++failed;
-    if (binary) {
-      std::string frame = service::encodeFrame(service::FrameType::Response,
-                                               service::encodeBinaryResponse(response));
-      std::fwrite(frame.data(), 1, frame.size(), stdout);
-    } else {
-      std::printf("%s\n", service::responseJson(response).c_str());
-    }
-  }
-  if (binary) std::fflush(stdout);
-  double wallMillis =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
-
-  service::ServiceStats stats = serviceInstance.stats();
-  std::string statsDoc = service::statsJson(stats, wallMillis);
-  if (!statsPath.empty()) {
-    std::ofstream out(statsPath);
-    if (!out) {
-      std::fprintf(stderr, "mat2c: cannot write '%s'\n", statsPath.c_str());
-      return 1;
-    }
-    out << statsDoc;
-  } else {
-    std::fprintf(stderr, "%s", statsDoc.c_str());
-  }
-  if (!metricsPath.empty()) {
-    std::ofstream out(metricsPath);
-    if (!out) {
-      std::fprintf(stderr, "mat2c: cannot write '%s'\n", metricsPath.c_str());
-      return 1;
-    }
-    out << service::metricsText(stats, wallMillis);
-  }
-  std::fprintf(stderr,
-               "mat2c: served %zu request(s) on %zu thread(s): %llu compile(s), "
-               "%llu cache hit(s) (%llu from store), %llu dedup join(s), "
-               "%zu failure(s), %.1f ms, healthz: %s\n",
-               slots.size(), serviceInstance.threadCount(),
-               static_cast<unsigned long long>(stats.compiles),
-               static_cast<unsigned long long>(stats.cacheHits),
-               static_cast<unsigned long long>(stats.storeHits),
-               static_cast<unsigned long long>(stats.dedupJoins), failed, wallMillis,
-               service::healthzText(stats).c_str());
-  // Per-request failures are reported in-band (the "ok" field); only a
-  // completely failed batch is an error exit.
-  return !slots.empty() && failed == slots.size() ? 1 : 0;
+  std::signal(SIGHUP, sighupHandler);
+  if (opt.shards > 0) return runServeSupervisor(opt, in);
+  return runServeSingle(opt, in);
 }
 
 }  // namespace
